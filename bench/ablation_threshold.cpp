@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: the delayed-advertising flush threshold (section 4.2).
+ * Too small forfeits IT absorption; too large lets stale accelerator
+ * state pin the advertised progress and stall remote lifeguards.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+
+using namespace paralog;
+
+int
+main()
+{
+    setQuiet(true);
+    std::uint64_t scale = ExperimentOptions::envScale(60000);
+    const std::uint32_t threads = 8;
+
+    std::printf("=== Ablation: delayed-advertising threshold "
+                "(TaintCheck, 8 threads, scale=%llu) ===\n\n",
+                (unsigned long long)scale);
+    std::printf("%-11s", "threshold");
+    for (WorkloadKind w :
+         {WorkloadKind::kLu, WorkloadKind::kBarnes,
+          WorkloadKind::kRadiosity, WorkloadKind::kSwaptions})
+        std::printf(" %11s", toString(w));
+    std::printf("\n");
+
+    for (std::uint64_t threshold : {0ULL, 16ULL, 64ULL, 256ULL, 4096ULL}) {
+        std::printf("%-11llu", (unsigned long long)threshold);
+        for (WorkloadKind w :
+             {WorkloadKind::kLu, WorkloadKind::kBarnes,
+              WorkloadKind::kRadiosity, WorkloadKind::kSwaptions}) {
+            ExperimentOptions opt;
+            opt.scale = scale;
+            PlatformConfig cfg =
+                makeConfig(w, LifeguardKind::kTaintCheck,
+                           MonitorMode::kParallel, threads, opt);
+            cfg.sim.accel.advertiseThreshold = threshold;
+            Platform p(cfg);
+            RunResult mon = p.run();
+            RunResult base =
+                runExperiment(w, LifeguardKind::kTaintCheck,
+                              MonitorMode::kNoMonitoring, threads, opt);
+            std::printf(" %10.2fx",
+                        static_cast<double>(mon.totalCycles) /
+                            static_cast<double>(base.totalCycles));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(the default threshold is 64)\n");
+    return 0;
+}

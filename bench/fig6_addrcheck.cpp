@@ -1,0 +1,10 @@
+/** @file Figure 6 (bottom): AddrCheck normalized execution times. */
+
+#include "fig_common.hpp"
+
+int
+main()
+{
+    paralog_bench::runFig6(paralog::LifeguardKind::kAddrCheck);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/** @file Figure 7 (bottom): AddrCheck slowdown breakdown. */
+
+#include "fig_common.hpp"
+
+int
+main()
+{
+    paralog_bench::runFig7(paralog::LifeguardKind::kAddrCheck);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/** @file Figure 7 (top): TaintCheck slowdown breakdown. */
+
+#include "fig_common.hpp"
+
+int
+main()
+{
+    paralog_bench::runFig7(paralog::LifeguardKind::kTaintCheck);
+    return 0;
+}

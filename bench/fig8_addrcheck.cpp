@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 8 (AddrCheck): 8-thread slowdown of PARALLEL monitoring with
+ * and without the accelerators, normalized to NO MONITORING at 8
+ * threads.
+ */
+
+#include "fig_common.hpp"
+
+using namespace paralog_bench;
+
+int
+main()
+{
+    setQuiet(true);
+    ExperimentOptions opt = defaultOptions();
+    const std::uint32_t threads = 8;
+    const LifeguardKind lg = LifeguardKind::kAddrCheck;
+
+    std::printf("=== Figure 8 (AddrCheck): 8-thread slowdowns ===\n");
+    std::printf("(scale=%llu)\n\n",
+                static_cast<unsigned long long>(opt.scale));
+    std::printf("%-11s %15s %12s  %s\n", "benchmark", "not-accelerated",
+                "accelerated", "accel speedup");
+
+    std::vector<double> accel_speedups;
+    for (WorkloadKind w : allWorkloads()) {
+        RunResult none = runExperiment(w, lg, MonitorMode::kNoMonitoring,
+                                       threads, opt);
+        double base = static_cast<double>(none.totalCycles);
+
+        ExperimentOptions no_acc = opt;
+        no_acc.accelerators = false;
+        RunResult r_no = runExperiment(w, lg, MonitorMode::kParallel,
+                                       threads, no_acc);
+        RunResult r_acc = runExperiment(w, lg, MonitorMode::kParallel,
+                                        threads, opt);
+
+        double s_no = r_no.totalCycles / base;
+        double s_acc = r_acc.totalCycles / base;
+        std::printf("%-11s %14.2fx %11.2fx  %6.2fx\n", toString(w), s_no,
+                    s_acc, s_no / s_acc);
+        accel_speedups.push_back(s_no / s_acc);
+    }
+    std::printf("\naccelerator speedup geomean: %.2fx "
+                "(paper: 1.13x-3.4x for AddrCheck)\n",
+                geomean(accel_speedups));
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8 (TaintCheck): 8-thread slowdown of PARALLEL monitoring,
+ * normalized to NO MONITORING at 8 threads, for three designs:
+ *   - Not Accelerated (aggressive per-block dependence reduction)
+ *   - Accelerated (limited reduction: one per-core timestamp)
+ *   - Accelerated (aggressive per-block reduction)
+ */
+
+#include "fig_common.hpp"
+
+using namespace paralog_bench;
+
+int
+main()
+{
+    setQuiet(true);
+    ExperimentOptions opt = defaultOptions();
+    const std::uint32_t threads = 8;
+    const LifeguardKind lg = LifeguardKind::kTaintCheck;
+
+    std::printf("=== Figure 8 (TaintCheck): 8-thread slowdowns ===\n");
+    std::printf("(scale=%llu)\n\n",
+                static_cast<unsigned long long>(opt.scale));
+    std::printf("%-11s %12s %12s %12s  %s\n", "benchmark", "no-accel",
+                "accel(lim)", "accel(aggr)", "accel speedup");
+
+    std::vector<double> accel_speedups;
+    for (WorkloadKind w : allWorkloads()) {
+        RunResult none = runExperiment(w, lg, MonitorMode::kNoMonitoring,
+                                       threads, opt);
+        double base = static_cast<double>(none.totalCycles);
+
+        ExperimentOptions no_acc = opt;
+        no_acc.accelerators = false;
+        RunResult r_no = runExperiment(w, lg, MonitorMode::kParallel,
+                                       threads, no_acc);
+
+        ExperimentOptions lim = opt;
+        lim.depTracking = DepTracking::kPerCore;
+        RunResult r_lim = runExperiment(w, lg, MonitorMode::kParallel,
+                                        threads, lim);
+
+        RunResult r_agg = runExperiment(w, lg, MonitorMode::kParallel,
+                                        threads, opt);
+
+        double s_no = r_no.totalCycles / base;
+        double s_lim = r_lim.totalCycles / base;
+        double s_agg = r_agg.totalCycles / base;
+        std::printf("%-11s %11.2fx %11.2fx %11.2fx  %6.2fx\n",
+                    toString(w), s_no, s_lim, s_agg, s_no / s_agg);
+        accel_speedups.push_back(s_no / s_agg);
+    }
+    std::printf("\naccelerator speedup geomean: %.2fx "
+                "(paper: 2x-10x for TaintCheck)\n",
+                geomean(accel_speedups));
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: monitor a 4-thread LU-like application with the
+ * TaintCheck lifeguard on the ParaLog parallel monitoring platform and
+ * print what happened.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+
+using namespace paralog;
+
+int
+main()
+{
+    setQuiet(true);
+
+    ExperimentOptions opt;
+    opt.scale = 4000;
+
+    std::printf("ParaLog quickstart: TaintCheck on LU, 4 app threads\n\n");
+
+    // Baseline: the application running alone on 8 cores.
+    RunResult base = runExperiment(WorkloadKind::kLu,
+                                   LifeguardKind::kTaintCheck,
+                                   MonitorMode::kNoMonitoring, 4, opt);
+
+    // ParaLog: 4 app cores + 4 lifeguard cores.
+    RunResult mon = runExperiment(WorkloadKind::kLu,
+                                  LifeguardKind::kTaintCheck,
+                                  MonitorMode::kParallel, 4, opt);
+
+    std::printf("no monitoring:      %12llu cycles\n",
+                (unsigned long long)base.totalCycles);
+    std::printf("parallel monitoring:%12llu cycles (%.2fx overhead)\n",
+                (unsigned long long)mon.totalCycles,
+                (double)mon.totalCycles / (double)base.totalCycles);
+    std::printf("records processed:  %12llu\n",
+                (unsigned long long)[&] {
+                    std::uint64_t n = 0;
+                    for (auto &l : mon.lifeguard)
+                        n += l.recordsProcessed;
+                    return n;
+                }());
+    std::printf("events handled:     %12llu (after accelerators)\n",
+                (unsigned long long)mon.eventsHandledTotal());
+    std::printf("violations:         %12llu\n",
+                (unsigned long long)mon.violationCount);
+    return 0;
+}

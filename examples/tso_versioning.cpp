@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TSO support walkthrough (section 5.5): runs the same lock-heavy
+ * workload under SC and TSO and reports the non-SC conflicts detected
+ * and the versioned-metadata traffic that keeps TaintCheck exact.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+
+using namespace paralog;
+
+namespace {
+
+PlatformConfig
+baseConfig(MemoryModel model)
+{
+    PlatformConfig cfg;
+    cfg.sim = SimConfig::forAppThreads(4);
+    cfg.sim.mode = MonitorMode::kParallel;
+    cfg.sim.memoryModel = model;
+    cfg.lifeguard = LifeguardKind::kTaintCheck;
+    cfg.workload = WorkloadKind::kLu;
+    cfg.scale = 60000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("LU + TaintCheck, 4 app threads\n\n");
+
+    {
+        Platform p(baseConfig(MemoryModel::kSC));
+        RunResult r = p.run();
+        std::printf("SC:  %llu cycles, sc_violations=%llu\n",
+                    (unsigned long long)r.totalCycles,
+                    (unsigned long long)p.memory().stats.get(
+                        "sc_violations"));
+    }
+    {
+        Platform p(baseConfig(MemoryModel::kTSO));
+        RunResult r = p.run();
+        std::printf("TSO: %llu cycles, sc_violations=%llu, versions "
+                    "produced=%llu consumed=%llu\n",
+                    (unsigned long long)r.totalCycles,
+                    (unsigned long long)p.memory().stats.get(
+                        "sc_violations"),
+                    (unsigned long long)p.versions().stats.get(
+                        "produced"),
+                    (unsigned long long)p.versions().stats.get(
+                        "consumed"));
+    }
+
+    std::printf("\nUnder TSO, non-SC R->W conflicts are reversed into "
+                "W->R by snapshotting\npre-overwrite metadata; every "
+                "produced version is consumed exactly once,\nso the "
+                "dependence graph stays acyclic and the lifeguards "
+                "stay exact.\n");
+    return 0;
+}

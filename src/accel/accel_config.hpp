@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-lifeguard policy for accelerators, event capture and ConflictAlert
+ * subscription, declared by each lifeguard at initialization time
+ * (sections 4.4 and 5.4: "lifeguards specify which types of high-level
+ * events they care about and ... whether a CA-Begin or CA-End record ...
+ * should invalidate or flush IT, IF, and/or M-TLB").
+ */
+
+#ifndef PARALOG_ACCEL_ACCEL_CONFIG_HPP
+#define PARALOG_ACCEL_ACCEL_CONFIG_HPP
+
+#include <cstdint>
+
+namespace paralog {
+
+struct LifeguardPolicy
+{
+    // Which accelerators this lifeguard benefits from.
+    bool usesIt = false;
+    bool usesIf = false;
+    bool usesMtlb = true;
+
+    // Capture-side event interests (the event mux of Figure 1).
+    bool wantsRegOps = true;  ///< mov/alu events
+    bool wantsJumps = true;
+    bool heapOnly = false;    ///< memory events restricted to the heap
+
+    // IF configuration.
+    bool ifFilterLoads = true;
+    bool ifFilterStores = true;
+    bool ifInvalidateOnLocalWrite = false;
+    bool ifDelayedAdvertising = false;
+
+    // ConflictAlert subscription (which wrapper events broadcast).
+    bool caOnMalloc = true;
+    bool caOnFree = true;
+    bool caOnSyscall = true;
+
+    // Accelerator flushing on CA records / local high-level events.
+    bool itFlushOnAlloc = true;   ///< malloc/free conflict with IT state
+    bool ifInvalidateOnAlloc = true;
+    bool mtlbFlushOnFree = false; ///< only if metadata pages deallocated
+    bool itFlushOnSyscall = true;
+
+    // Metadata geometry: shadow bits per application byte (1, 2, 4, 8).
+    std::uint32_t metadataBitsPerByte = 1;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_ACCEL_ACCEL_CONFIG_HPP

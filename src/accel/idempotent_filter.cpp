@@ -1,0 +1,74 @@
+#include "accel/idempotent_filter.hpp"
+
+namespace paralog {
+
+bool
+IdempotentFilter::checkAndInsert(Addr addr, unsigned size, bool is_write,
+                                 RecordId rid)
+{
+    Key key{addr, size, is_write};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Hit: refresh LRU position; keep the *older* rid so delayed
+        // advertising stays conservative for the absorbed event.
+        lru_.erase(it->second.lruIt);
+        lru_.push_front(key);
+        it->second.lruIt = lru_.begin();
+        stats.counter("hits").inc();
+        return true;
+    }
+    if (entries_.size() >= capacity_) {
+        // Evict the LRU entry.
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        stats.counter("evictions").inc();
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{rid, lru_.begin()});
+    stats.counter("misses").inc();
+    return false;
+}
+
+void
+IdempotentFilter::invalidateAll()
+{
+    entries_.clear();
+    lru_.clear();
+    stats.counter("full_invalidations").inc();
+}
+
+void
+IdempotentFilter::invalidateOverlapping(Addr addr, unsigned size)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const Key &k = it->first;
+        if (k.addr < addr + size && addr < k.addr + k.size) {
+            lru_.erase(it->second.lruIt);
+            it = entries_.erase(it);
+            stats.counter("entry_invalidations").inc();
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+IdempotentFilter::invalidateRange(const AddrRange &range)
+{
+    if (!range.empty())
+        invalidateOverlapping(range.begin,
+                              static_cast<unsigned>(range.size()));
+}
+
+RecordId
+IdempotentFilter::minRid() const
+{
+    RecordId min = kInvalidRecord;
+    for (const auto &kv : entries_) {
+        if (kv.second.rid < min)
+            min = kv.second.rid;
+    }
+    return min;
+}
+
+} // namespace paralog

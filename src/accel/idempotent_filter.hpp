@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Idempotent Filters (IF) accelerator (sections 2 and 4.1).
+ *
+ * Caches recently seen check events; a hit means the same check was
+ * performed since the last invalidation and the event is redundant.
+ * Entries carry record IDs for delayed advertising (the general
+ * mechanism; whether it is needed depends on the lifeguard). The cache
+ * is invalidated by ConflictAlert records (e.g. malloc/free for
+ * AddrCheck) and optionally by local stores.
+ */
+
+#ifndef PARALOG_ACCEL_IDEMPOTENT_FILTER_HPP
+#define PARALOG_ACCEL_IDEMPOTENT_FILTER_HPP
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+class IdempotentFilter
+{
+  public:
+    explicit IdempotentFilter(std::uint32_t entries) : capacity_(entries) {}
+
+    /**
+     * Present a check of [addr, addr+size) (class distinguishes read
+     * checks from write checks). Returns true if the check hit (the
+     * event is redundant and may be absorbed).
+     */
+    bool checkAndInsert(Addr addr, unsigned size, bool is_write,
+                        RecordId rid);
+
+    void invalidateAll();
+    void invalidateOverlapping(Addr addr, unsigned size);
+    void invalidateRange(const AddrRange &range);
+
+    /** Minimum record ID of a live entry (delayed advertising). */
+    RecordId minRid() const;
+
+    std::size_t size() const { return entries_.size(); }
+
+    StatSet stats{"if"};
+
+  private:
+    struct Key
+    {
+        Addr addr;
+        unsigned size;
+        bool isWrite;
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<Addr>()(k.addr * 2654435761ULL) ^
+                   (k.size << 1) ^ (k.isWrite ? 0x9e37 : 0);
+        }
+    };
+
+    struct Entry
+    {
+        RecordId rid;
+        std::list<Key>::iterator lruIt;
+    };
+
+    std::uint32_t capacity_;
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+    std::list<Key> lru_; ///< front = most recent
+};
+
+} // namespace paralog
+
+#endif // PARALOG_ACCEL_IDEMPOTENT_FILTER_HPP

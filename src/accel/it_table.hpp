@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Inheritance Tracking (IT) accelerator, parallel-monitoring version
+ * (sections 2, 4.1, 4.2 and Figure 3).
+ *
+ * IT tracks, per application register, where the register's metadata was
+ * inherited from: up to two memory addresses (covering binary ALU
+ * operations), the constant state, or unknown. Loads, register moves,
+ * constant writes and most ALU operations are absorbed; a store through
+ * a tracked register is delivered as a single memory-to-memory transfer
+ * event carrying the inherits-from addresses.
+ *
+ * Parallel-monitoring additions:
+ *  - every tracked address carries the record ID of the inheriting
+ *    access; the *delayed advertising* progress of the lifeguard is
+ *    min(row RIDs) - 1, so remote threads cannot run past events whose
+ *    metadata reads are still pending in the table (section 4.2);
+ *  - the table is flushed on dependence stalls (deadlock avoidance), on
+ *    ConflictAlert records (high-level remote conflicts), and when the
+ *    advertising lag exceeds a threshold.
+ */
+
+#ifndef PARALOG_ACCEL_IT_TABLE_HPP
+#define PARALOG_ACCEL_IT_TABLE_HPP
+
+#include <array>
+#include <vector>
+
+#include "accel/lg_event.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace paralog {
+
+class ItTable
+{
+  public:
+    enum class RowState : std::uint8_t
+    {
+        kInvalid, ///< lifeguard-side register metadata is current
+        kConst,   ///< register metadata is the "constant" state
+        kAddr,    ///< register inherits from 1-2 memory ranges
+    };
+
+    struct Source
+    {
+        Addr addr = 0;
+        std::uint8_t size = 0;
+        RecordId rid = kInvalidRecord;
+    };
+
+    struct Row
+    {
+        RowState state = RowState::kInvalid;
+        std::uint8_t nsrc = 0;
+        std::array<Source, kItMaxSources> src{};
+
+        bool
+        overlaps(Addr addr, unsigned size) const
+        {
+            for (unsigned i = 0; i < nsrc; ++i) {
+                if (src[i].addr < addr + size &&
+                    addr < src[i].addr + src[i].size)
+                    return true;
+            }
+            return false;
+        }
+    };
+
+    /**
+     * Process one instruction-level record; absorbed events append
+     * nothing, transformations/flushes append delivered events to @p out.
+     * Returns true if the original record itself was absorbed.
+     */
+    bool process(const EventRecord &rec, std::vector<LgEvent> &out);
+
+    /** Minimum record ID held live in the table (delayed advertising). */
+    RecordId minRid() const;
+
+    /** Flush one row: deliver its state to the lifeguard, then clear. */
+    void flushRow(RegId reg, std::vector<LgEvent> &out);
+
+    /** Flush the whole table (dependence stall / ConflictAlert). */
+    void flushAll(std::vector<LgEvent> &out);
+
+    /** Flush only rows holding a record ID at or below @p min_rid
+     *  (selective threshold flush: fresh rows keep absorbing). */
+    void flushOlderThan(RecordId min_rid, std::vector<LgEvent> &out);
+
+    /**
+     * Flush rows whose inherits-from ranges overlap [addr, size).
+     * @param exempt register whose row is exempt (self-RMW through the
+     *        stored register is idempotent under union/intersection
+     *        metadata combining; pass kNoReg for no exemption)
+     */
+    void flushOverlapping(Addr addr, unsigned size,
+                          std::vector<LgEvent> &out,
+                          RegId exempt = kNoReg);
+
+    const Row &row(RegId reg) const { return rows_[reg]; }
+
+    /** Any row currently holding inherits-from state? */
+    bool empty() const;
+
+    StatSet stats{"it"};
+
+  private:
+    static LgEvent inheritEvent(RegId reg, const Row &row);
+
+    std::array<Row, kNumRegs> rows_{};
+};
+
+} // namespace paralog
+
+#endif // PARALOG_ACCEL_IT_TABLE_HPP

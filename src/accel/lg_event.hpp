@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Events delivered to lifeguard handlers after accelerator processing.
+ * Inheritance Tracking collapses chains of loads/moves/stores into
+ * memory-to-memory transfer events (Figure 3); filters absorb redundant
+ * checks; everything else is a direct translation of the log record.
+ */
+
+#ifndef PARALOG_ACCEL_LG_EVENT_HPP
+#define PARALOG_ACCEL_LG_EVENT_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "app/event.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+enum class LgEventType : std::uint8_t
+{
+    kNone,
+    // Direct instruction-level translations.
+    kLoad,  ///< reg dst <- metadata(addr)
+    kStore, ///< metadata(addr) <- reg src
+    kMovRR,
+    kMovImm,
+    kAlu,
+    kJumpReg, ///< critical use of register src
+    // IT-synthesized events.
+    kMemToMem,        ///< metadata(addr) <- metadata(srcAddr) (Figure 3)
+    kMemSetConst,     ///< metadata(addr) <- "constant" state
+    kRegInheritMem,   ///< reg dst's metadata <- metadata(srcAddr) (flush)
+    kRegInheritConst, ///< reg dst's metadata <- constant (flush)
+    kJumpMem,         ///< critical use resolved to metadata(srcAddr)
+    // High-level events.
+    kMalloc,
+    kFree,
+    kSyscallBegin,
+    kSyscallEnd,
+    kLockAcquire,
+    kLockRelease,
+    kBarrierPass,
+    kThreadDone,
+    kThreadSwitch,
+    kCaFlush,        ///< ConflictAlert consumed (accelerators flushed)
+    kProduceVersion, ///< TSO: snapshot metadata(addr) under 'version'
+};
+
+/** One inherits-from memory range of an IT-synthesized event. */
+struct MetaSrc
+{
+    Addr addr = 0;
+    std::uint8_t size = 0;
+};
+
+/** Maximum inherits-from ranges an IT row can track (stencil kernels
+ *  combine up to four neighbours). */
+inline constexpr unsigned kItMaxSources = 4;
+
+struct LgEvent
+{
+    LgEventType type = LgEventType::kNone;
+    ThreadId tid = kInvalidThread;
+    RecordId rid = kInvalidRecord;
+    RegId dst = 0;
+    RegId src = 0;
+    std::uint8_t size = 0;
+    Addr addr = 0; ///< destination address
+    /// Inherits-from ranges (kMemToMem / kRegInheritMem / kJumpMem).
+    std::array<MetaSrc, kItMaxSources> srcs{};
+    std::uint8_t nsrcs = 0;
+    std::uint64_t value = 0;
+    AddrRange range{};
+    SyscallKind syscall = SyscallKind::kNone;
+    VersionTag version{};
+    bool consumesVersion = false;
+    bool racesSyscall = false; ///< range-table hit (section 5.4)
+};
+
+const char *toString(LgEventType t);
+
+} // namespace paralog
+
+#endif // PARALOG_ACCEL_LG_EVENT_HPP

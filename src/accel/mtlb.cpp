@@ -1,0 +1,52 @@
+#include "accel/mtlb.hpp"
+
+namespace paralog {
+
+std::uint32_t
+MetadataTlb::lookupCost(Addr app_addr)
+{
+    if (!enabled_)
+        return kMissCost;
+    std::uint64_t page = app_addr >> kPageShift;
+    auto it = pages_.find(page);
+    if (it != pages_.end()) {
+        lru_.erase(it->second.lruIt);
+        lru_.push_front(page);
+        it->second.lruIt = lru_.begin();
+        stats.counter("hits").inc();
+        return kHitCost;
+    }
+    if (pages_.size() >= capacity_) {
+        pages_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    pages_.emplace(page, Entry{lru_.begin()});
+    stats.counter("misses").inc();
+    return kMissCost;
+}
+
+void
+MetadataTlb::flushAll()
+{
+    pages_.clear();
+    lru_.clear();
+    stats.counter("flushes").inc();
+}
+
+void
+MetadataTlb::flushRange(const AddrRange &range)
+{
+    if (range.empty())
+        return;
+    for (std::uint64_t page = range.begin >> kPageShift;
+         page <= (range.end - 1) >> kPageShift; ++page) {
+        auto it = pages_.find(page);
+        if (it != pages_.end()) {
+            lru_.erase(it->second.lruIt);
+            pages_.erase(it);
+        }
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Metadata TLB (M-TLB) accelerator (section 2): a small LRU lookup table
+ * from application virtual pages to metadata virtual pages. A hit turns
+ * the two-level metadata address computation (~6 handler instructions)
+ * into a single lookup; misses pay the full software walk and install
+ * the mapping.
+ */
+
+#ifndef PARALOG_ACCEL_MTLB_HPP
+#define PARALOG_ACCEL_MTLB_HPP
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+class MetadataTlb
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+
+    /** Handler-instruction cost of a metadata address computation. */
+    static constexpr std::uint32_t kHitCost = 1;
+    static constexpr std::uint32_t kMissCost = 6;
+
+    explicit MetadataTlb(std::uint32_t entries, bool enabled)
+        : capacity_(entries), enabled_(enabled)
+    {
+    }
+
+    /**
+     * Look up the metadata page for @p app_addr; returns the handler
+     * instruction cost of the address computation and installs the
+     * mapping on a miss.
+     */
+    std::uint32_t lookupCost(Addr app_addr);
+
+    void flushAll();
+
+    /** Drop mappings covering the given application range (metadata
+     *  page deallocation after free, section 4.1). */
+    void flushRange(const AddrRange &range);
+
+    bool enabled() const { return enabled_; }
+    std::size_t size() const { return pages_.size(); }
+
+    StatSet stats{"mtlb"};
+
+  private:
+    struct Entry
+    {
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    std::uint32_t capacity_;
+    bool enabled_;
+    std::unordered_map<std::uint64_t, Entry> pages_;
+    std::list<std::uint64_t> lru_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_ACCEL_MTLB_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Abstraction over how application loads/stores reach the coherent memory
+ * system. The SC data path issues accesses immediately at retirement; the
+ * TSO data path (capture/store_buffer.hpp) buffers stores and drains them
+ * later, which is where non-SC behaviour and metadata versioning arise.
+ */
+
+#ifndef PARALOG_APP_DATA_PATH_HPP
+#define PARALOG_APP_DATA_PATH_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+
+namespace paralog {
+
+class DataPath
+{
+  public:
+    struct LoadResult
+    {
+        std::uint64_t value = 0;
+        AccessResult access;
+    };
+
+    virtual ~DataPath() = default;
+
+    virtual LoadResult load(CoreId core, Addr addr, unsigned size,
+                            const AccessTag &tag) = 0;
+
+    virtual AccessResult store(CoreId core, Addr addr, unsigned size,
+                               std::uint64_t value, const AccessTag &tag) = 0;
+
+    /** True if a store can be accepted right now (TSO buffer space). */
+    virtual bool storeSpace(CoreId core) const { (void)core; return true; }
+
+    /** Drain all buffered stores (lock/barrier/syscall fence). Returns
+     *  the cycles spent draining. */
+    virtual Cycle fence(CoreId core) { (void)core; return 0; }
+};
+
+/** Sequentially consistent data path: accesses complete at retirement.
+ *  Arc capture is disabled for the timesliced baseline (its merged
+ *  stream is already totally ordered). */
+class ScDataPath : public DataPath
+{
+  public:
+    explicit ScDataPath(MemorySystem &mem, bool capture_arcs = true)
+        : mem_(mem), captureArcs_(capture_arcs)
+    {
+    }
+
+    LoadResult
+    load(CoreId core, Addr addr, unsigned size,
+         const AccessTag &tag) override
+    {
+        LoadResult r;
+        r.access = mem_.access(core, addr, size, false, tag, captureArcs_);
+        r.value = mem_.memory().read(addr, size);
+        return r;
+    }
+
+    AccessResult
+    store(CoreId core, Addr addr, unsigned size, std::uint64_t value,
+          const AccessTag &tag) override
+    {
+        AccessResult a =
+            mem_.access(core, addr, size, true, tag, captureArcs_);
+        mem_.memory().write(addr, size, value);
+        return a;
+    }
+
+  private:
+    MemorySystem &mem_;
+    bool captureArcs_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_APP_DATA_PATH_HPP

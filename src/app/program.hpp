@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Interface implemented by workloads: a per-thread instruction generator.
+ */
+
+#ifndef PARALOG_APP_PROGRAM_HPP
+#define PARALOG_APP_PROGRAM_HPP
+
+#include <memory>
+#include <optional>
+
+#include "isa/inst.hpp"
+
+namespace paralog {
+
+class ThreadContext;
+
+/**
+ * One simulated application thread's instruction source.
+ *
+ * next() is called when the previous instruction retired; the generator
+ * may read register values from the context (set by earlier loads), which
+ * is how pointer-chasing workloads are expressed.
+ */
+class ThreadProgram
+{
+  public:
+    virtual ~ThreadProgram() = default;
+
+    /** Produce the next instruction; std::nullopt terminates the thread. */
+    virtual std::optional<Inst> next(ThreadContext &tc) = 0;
+};
+
+using ThreadProgramPtr = std::unique_ptr<ThreadProgram>;
+
+} // namespace paralog
+
+#endif // PARALOG_APP_PROGRAM_HPP

@@ -1,0 +1,38 @@
+#include "app/thread_context.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+bool
+ThreadContext::fetch(Inst &out)
+{
+    if (!microOps_.empty()) {
+        out = microOps_.front();
+        microOps_.pop_front();
+        return true;
+    }
+    if (programExhausted_ || done_)
+        return false;
+    std::optional<Inst> inst = program_ ? program_->next(*this)
+                                        : std::nullopt;
+    if (!inst) {
+        programExhausted_ = true;
+        out = Inst::done();
+        return true;
+    }
+    PARALOG_ASSERT(!isInternalOp(inst->op),
+                   "program emitted internal micro-op");
+    ++programInsts;
+    out = *inst;
+    return true;
+}
+
+void
+ThreadContext::pushMicroOps(std::initializer_list<Inst> ops)
+{
+    for (const Inst &op : ops)
+        microOps_.push_back(op);
+}
+
+} // namespace paralog

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Architectural state of one simulated application thread: register file,
+ * micro-op queue (wrapper-library expansions), and blocking status.
+ */
+
+#ifndef PARALOG_APP_THREAD_CONTEXT_HPP
+#define PARALOG_APP_THREAD_CONTEXT_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "app/program.hpp"
+#include "common/types.hpp"
+#include "isa/inst.hpp"
+
+namespace paralog {
+
+enum class BlockReason : std::uint8_t
+{
+    kNone,
+    kLogFull,     ///< event stream buffer is full
+    kLock,        ///< spinning on a held lock
+    kBarrier,     ///< waiting at a phase barrier
+    kDrain,       ///< damage containment: lifeguard draining before syscall
+    kCaAck,       ///< waiting for ConflictAlert acknowledgements
+    kStoreBuffer, ///< TSO store buffer full
+};
+
+class ThreadContext
+{
+  public:
+    ThreadContext(ThreadId tid, ThreadProgramPtr program)
+        : tid_(tid), program_(std::move(program))
+    {
+        regs.fill(0);
+    }
+
+    ThreadId tid() const { return tid_; }
+
+    /** Register file, readable/writable by programs between steps. */
+    std::array<std::uint64_t, kNumRegs> regs;
+
+    /** Fetch the next micro-op (expansion queue first, then program). */
+    bool fetch(Inst &out);
+
+    /** Push expansion micro-ops (executed before the next program inst). */
+    void pushMicroOps(std::initializer_list<Inst> ops);
+    void pushMicroOp(const Inst &op) { microOps_.push_back(op); }
+
+    /** Re-execute the current op later (blocked). */
+    void retry(const Inst &op) { microOps_.push_front(op); }
+
+    bool done() const { return done_; }
+    void markDone() { done_ = true; }
+
+    BlockReason blockReason = BlockReason::kNone;
+
+    /** Retired micro-op count == next record id. */
+    RecordId retired = 0;
+
+    /** In-flight allocation/free bound by kMallocCore / kFreeCore. */
+    AddrRange pendingAlloc{};
+    AddrRange pendingFree{};
+
+    std::uint64_t programInsts = 0; ///< program-visible instructions
+
+  private:
+    ThreadId tid_;
+    ThreadProgramPtr program_;
+    std::deque<Inst> microOps_;
+    bool done_ = false;
+    bool programExhausted_ = false;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_APP_THREAD_CONTEXT_HPP

@@ -1,0 +1,147 @@
+#include "capture/capture_unit.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+bool
+EventFilter::wants(const EventRecord &rec) const
+{
+    switch (rec.type) {
+      case EventType::kNone:
+        return false;
+      case EventType::kMovRR:
+      case EventType::kMovImm:
+      case EventType::kAlu:
+        return regOps;
+      case EventType::kJump:
+        return jumps;
+      case EventType::kLoad:
+      case EventType::kStore: {
+        if (rec.wrapper)
+            return false; // trusted allocator internals: never checked
+        bool wanted = (rec.type == EventType::kLoad) ? loads : stores;
+        if (!wanted)
+            return false;
+        if (heapOnly && !heapArena.contains(rec.addr))
+            return false;
+        return true;
+      }
+      default:
+        return true; // high-level / bookkeeping records always captured
+    }
+}
+
+bool
+CaptureUnit::append(const AppEvent &ev)
+{
+    // Arc reduction state must advance even if the record is filtered:
+    // the order-capturing hardware operates below the event mux. Arcs on
+    // filtered records are then re-attached to the next captured record,
+    // so no ordering information is lost.
+    std::vector<DepArc> arcs = pendingArcsCarry_;
+    pendingArcsCarry_.clear();
+    for (const RawArc &raw : ev.arcs) {
+        if (reducer_.shouldRecord(raw))
+            arcs.push_back(DepArc{raw.tid, raw.rid});
+    }
+
+    EventRecord rec = ev.record;
+    if (!filter_.wants(rec)) {
+        // Carry surviving arcs forward so a later captured record
+        // still enforces the ordering (conservative).
+        pendingArcsCarry_ = std::move(arcs);
+        stats.counter("filtered").inc();
+        return false;
+    }
+    rec.arcs = std::move(arcs);
+    stats.counter("records").inc();
+    if (!rec.arcs.empty())
+        stats.counter("records_with_arcs").inc();
+    std::uint32_t bytes = compressor_.encode(rec);
+    if (trace_)
+        trace_->append(rec);
+    buf_.append(std::move(rec), bytes);
+    return true;
+}
+
+void
+CaptureUnit::appendCa(EventRecord rec)
+{
+    rec.tid = tid_;
+    // CA records are injected by the broadcast mechanism between retired
+    // records; they reuse the current retire counter as their rid (the
+    // next retired micro-op will share it, which is harmless: progress
+    // semantics only require monotonicity).
+    rec.rid = retired_;
+    stats.counter("ca_records").inc();
+    std::uint32_t bytes = compressor_.encode(rec);
+    if (trace_)
+        trace_->append(rec);
+    buf_.append(std::move(rec), bytes);
+}
+
+void
+CaptureUnit::attachArcs(RecordId rid, const std::vector<RawArc> &arcs)
+{
+    EventRecord *rec = buf_.findByRid(rid);
+    std::vector<DepArc> kept;
+    for (const RawArc &raw : arcs) {
+        if (reducer_.shouldRecord(raw))
+            kept.push_back(DepArc{raw.tid, raw.rid});
+    }
+    if (kept.empty())
+        return;
+    if (!rec) {
+        // The store's record was filtered out at capture; carry the arcs
+        // to the next captured record.
+        for (const DepArc &a : kept)
+            pendingArcsCarry_.push_back(a);
+        return;
+    }
+    for (const DepArc &a : kept)
+        rec->arcs.push_back(a);
+}
+
+bool
+CaptureUnit::annotateConsume(RecordId rid, const VersionTag &v)
+{
+    EventRecord *rec = buf_.findByRid(rid);
+    if (!rec)
+        return false; // already consumed: reader saw pre-write metadata
+    rec->consumesVersion = true;
+    rec->version = v;
+    stats.counter("consume_versions").inc();
+    return true;
+}
+
+void
+CaptureUnit::insertProduceBefore(RecordId store_rid, const VersionTag &v,
+                                 Addr addr, std::uint8_t size)
+{
+    EventRecord rec;
+    rec.type = EventType::kProduceVersion;
+    rec.tid = tid_;
+    rec.rid = (store_rid == 0) ? 0 : store_rid - 1;
+    rec.addr = addr;
+    rec.size = size;
+    rec.version = v;
+    buf_.insertBefore(store_rid, std::move(rec));
+    stats.counter("produce_versions").inc();
+}
+
+RecordId
+CaptureUnit::progressCeiling() const
+{
+    if (const EventRecord *front = buf_.peek(kInvalidRecord)) {
+        RecordId ceil = front->rid;
+        if (visLimit_ != kInvalidRecord && visLimit_ < ceil)
+            ceil = visLimit_;
+        return ceil;
+    }
+    if (visLimit_ != kInvalidRecord)
+        return std::min(visLimit_, retired_);
+    return retired_;
+}
+
+} // namespace paralog

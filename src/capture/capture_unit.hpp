@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-application-thread event capture + order capture component
+ * (left half of Figure 2): assigns record IDs, filters events according
+ * to the lifeguard's registered interests (the "event mux" of Figure 1),
+ * applies transitive arc reduction, and manages the log buffer shared
+ * with the lifeguard core.
+ */
+
+#ifndef PARALOG_CAPTURE_CAPTURE_UNIT_HPP
+#define PARALOG_CAPTURE_CAPTURE_UNIT_HPP
+
+#include <cstdint>
+
+#include "app/event.hpp"
+#include "capture/compressor.hpp"
+#include "capture/log_buffer.hpp"
+#include "capture/reduction.hpp"
+#include "capture/trace.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/config.hpp"
+
+namespace paralog {
+
+/**
+ * Which events the lifeguard registered for. Anything else is dropped at
+ * capture time (it still retires and consumes a record ID).
+ */
+struct EventFilter
+{
+    bool regOps = true;    ///< kMovRR/kMovImm/kAlu (propagation lifeguards)
+    bool loads = true;
+    bool stores = true;
+    bool jumps = true;
+    bool heapOnly = false; ///< restrict loads/stores to the heap arena
+    AddrRange heapArena{};
+
+    bool wants(const EventRecord &rec) const;
+};
+
+class CaptureUnit
+{
+  public:
+    CaptureUnit(ThreadId tid, const SimConfig &cfg, EventFilter filter)
+        : tid_(tid), filter_(filter), buf_(cfg.logBufferBytes)
+    {
+    }
+
+    ThreadId tid() const { return tid_; }
+
+    /** True if there is room for the next record (producer may proceed). */
+    bool canAppend() const { return !buf_.full(); }
+
+    /**
+     * Append a retired event. Applies the event filter and arc reduction;
+     * returns true if a record was actually written to the stream.
+     * Arc reduction runs even for filtered-out records (the hardware sees
+     * all coherence traffic regardless of lifeguard interests).
+     */
+    bool append(const AppEvent &ev);
+
+    /** Append a ConflictAlert record (broadcast insertion, never blocks). */
+    void appendCa(EventRecord rec);
+
+    /** Attach arcs discovered at TSO store-drain time to a pending record. */
+    void attachArcs(RecordId rid, const std::vector<RawArc> &arcs);
+
+    /** Annotate a pending load with a consume-version tag (TSO). Returns
+     *  false if the record was already consumed (which is benign; see
+     *  DESIGN.md). */
+    bool annotateConsume(RecordId rid, const VersionTag &v);
+
+    /** Insert a produce-version record before a pending store (TSO). */
+    void insertProduceBefore(RecordId store_rid, const VersionTag &v,
+                             Addr addr, std::uint8_t size);
+
+    /** TSO visibility: records with rid >= limit are hidden from the
+     *  consumer. kInvalidRecord = everything visible. */
+    void setVisibilityLimit(RecordId limit) { visLimit_ = limit; }
+    RecordId visibilityLimit() const { return visLimit_; }
+
+    /** Producer-side retire counter mirror (count of retired micro-ops). */
+    void setRetired(RecordId retired) { retired_ = retired; }
+    RecordId retired() const { return retired_; }
+
+    // ---- consumer interface (order-enforcing component reads these) ----
+
+    const EventRecord *peek() const { return buf_.peek(visLimit_); }
+    EventRecord pop() { return buf_.pop(); }
+    bool consumerEmpty() const { return peek() == nullptr; }
+
+    /**
+     * Largest "done count" the consumer may publish once it has drained
+     * everything currently visible: all rids below this value either
+     * never produced a record or have been consumed.
+     */
+    RecordId progressCeiling() const;
+
+    LogBuffer &buffer() { return buf_; }
+    ArcReducer &reducer() { return reducer_; }
+    StreamCompressor &compressor() { return compressor_; }
+
+    /** Tee every captured record into @p sink (offline validation). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
+    StatSet stats{"capture"};
+
+  private:
+    ThreadId tid_;
+    EventFilter filter_;
+    LogBuffer buf_;
+    ArcReducer reducer_;
+    StreamCompressor compressor_;
+    TraceSink *trace_ = nullptr;
+    RecordId retired_ = 0;
+    RecordId visLimit_ = kInvalidRecord;
+    /// Arcs that survived reduction but whose record was filtered out;
+    /// re-attached to the next captured record (conservative ordering).
+    std::vector<DepArc> pendingArcsCarry_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CAPTURE_CAPTURE_UNIT_HPP

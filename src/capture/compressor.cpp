@@ -1,0 +1,106 @@
+#include "capture/compressor.hpp"
+
+namespace paralog {
+
+std::uint32_t
+StreamCompressor::varintBytes(std::uint64_t v)
+{
+    std::uint32_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+StreamCompressor::addressBytes(Predictor &p, Addr addr)
+{
+    std::uint32_t cost;
+    if (p.valid && addr == p.lastAddr + p.lastStride) {
+        // Stride hit: the address is implied; the 4-bit type code and
+        // the hit flag fit in the common single byte.
+        cost = 0;
+    } else if (p.valid) {
+        std::int64_t delta =
+            static_cast<std::int64_t>(addr) -
+            static_cast<std::int64_t>(p.lastAddr);
+        std::uint64_t zigzag =
+            (static_cast<std::uint64_t>(delta) << 1) ^
+            static_cast<std::uint64_t>(delta >> 63);
+        cost = varintBytes(zigzag);
+    } else {
+        cost = varintBytes(addr);
+    }
+    if (p.valid)
+        p.lastStride = static_cast<std::int64_t>(addr) -
+                       static_cast<std::int64_t>(p.lastAddr);
+    p.lastAddr = addr;
+    p.valid = true;
+    return cost;
+}
+
+std::uint32_t
+StreamCompressor::encode(const EventRecord &rec)
+{
+    // Every record carries a 1-byte header (4-bit type, register ids /
+    // flags packed in the rest). Register-only records need nothing
+    // more.
+    std::uint32_t bytes = 1;
+
+    switch (rec.type) {
+      case EventType::kLoad:
+        bytes += addressBytes(pred_[0], rec.addr);
+        break;
+      case EventType::kStore:
+        bytes += addressBytes(pred_[1], rec.addr);
+        break;
+      case EventType::kMovRR:
+      case EventType::kMovImm:
+      case EventType::kAlu:
+      case EventType::kJump:
+        break; // header only
+      case EventType::kLockAcquire:
+      case EventType::kLockRelease:
+      case EventType::kBarrierPass:
+        bytes += addressBytes(pred_[2], rec.addr);
+        break;
+      case EventType::kMallocEnd:
+      case EventType::kFreeBegin:
+      case EventType::kSyscallBegin:
+      case EventType::kSyscallEnd:
+      case EventType::kCaBegin:
+      case EventType::kCaEnd:
+        // Range begin + length, uncompressed-ish.
+        bytes += addressBytes(pred_[2], rec.range.begin);
+        bytes += varintBytes(rec.range.size());
+        break;
+      case EventType::kProduceVersion:
+        bytes += addressBytes(pred_[2], rec.addr) + 4;
+        break;
+      case EventType::kThreadDone:
+      case EventType::kThreadSwitch:
+      case EventType::kNone:
+        break;
+    }
+
+    // Dependence arcs: (thread id, record id delta) per arc.
+    for (const DepArc &arc : rec.arcs)
+        bytes += 1 + varintBytes(arc.rid);
+    if (rec.consumesVersion || rec.version.valid())
+        bytes += 4;
+
+    bytes_ += bytes;
+    ++records_;
+    return bytes;
+}
+
+void
+StreamCompressor::reset()
+{
+    pred_.fill(Predictor{});
+    bytes_ = 0;
+    records_ = 0;
+}
+
+} // namespace paralog

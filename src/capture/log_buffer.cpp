@@ -1,0 +1,69 @@
+#include "capture/log_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+void
+LogBuffer::append(EventRecord rec, std::uint32_t charged_bytes)
+{
+    rec.chargedBytes =
+        charged_bytes ? charged_bytes : rec.compressedBytes();
+    bytes_ += rec.chargedBytes;
+    ++appended_;
+    records_.push_back(std::move(rec));
+}
+
+const EventRecord *
+LogBuffer::peek(RecordId vis_limit) const
+{
+    if (records_.empty())
+        return nullptr;
+    const EventRecord &front = records_.front();
+    if (vis_limit != kInvalidRecord && front.rid >= vis_limit)
+        return nullptr;
+    return &front;
+}
+
+EventRecord
+LogBuffer::pop()
+{
+    PARALOG_ASSERT(!records_.empty(), "pop from empty log buffer");
+    EventRecord rec = std::move(records_.front());
+    records_.pop_front();
+    PARALOG_ASSERT(bytes_ >= rec.chargedBytes,
+                   "log buffer byte accounting underflow");
+    bytes_ -= rec.chargedBytes;
+    return rec;
+}
+
+EventRecord *
+LogBuffer::findByRid(RecordId rid)
+{
+    // Records are rid-ordered; binary search for the first >= rid.
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), rid,
+        [](const EventRecord &r, RecordId v) { return r.rid < v; });
+    if (it == records_.end() || it->rid != rid)
+        return nullptr;
+    return &*it;
+}
+
+void
+LogBuffer::insertBefore(RecordId before_rid, EventRecord rec)
+{
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), before_rid,
+        [](const EventRecord &r, RecordId v) { return r.rid < v; });
+    PARALOG_ASSERT(it != records_.end() && it->rid == before_rid,
+                   "insertBefore: record %llu not pending",
+                   static_cast<unsigned long long>(before_rid));
+    rec.chargedBytes = rec.compressedBytes();
+    bytes_ += rec.chargedBytes;
+    ++appended_;
+    records_.insert(it, std::move(rec));
+}
+
+} // namespace paralog

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-thread event stream buffer: the paper's circular log buffer held in
+ * the last-level cache (64 KB, ~1 byte per compressed record). When the
+ * buffer is full the application core stalls; when empty the lifeguard
+ * core stalls.
+ *
+ * Under TSO a visibility limit hides records at or beyond the oldest
+ * undrained store so produce-version annotations can still be inserted
+ * in front of pending store records (section 5.5).
+ */
+
+#ifndef PARALOG_CAPTURE_LOG_BUFFER_HPP
+#define PARALOG_CAPTURE_LOG_BUFFER_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "app/event.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+class LogBuffer
+{
+  public:
+    explicit LogBuffer(std::uint64_t capacity_bytes)
+        : capacityBytes_(capacity_bytes)
+    {
+    }
+
+    /** Append at the tail. Always succeeds; producers must check full()
+     *  first (ConflictAlert insertion may transiently overflow).
+     *  @param charged_bytes modelled compressed size; 0 = use the
+     *         record's static size table */
+    void append(EventRecord rec, std::uint32_t charged_bytes = 0);
+
+    bool full() const { return bytes_ >= capacityBytes_; }
+    bool empty() const { return records_.empty(); }
+    std::size_t size() const { return records_.size(); }
+    std::uint64_t bytes() const { return bytes_; }
+
+    /**
+     * The oldest record whose rid is below @p vis_limit, or nullptr.
+     * Pass kInvalidRecord for "everything visible".
+     */
+    const EventRecord *peek(RecordId vis_limit = kInvalidRecord) const;
+
+    /** Remove and return the head (must be visible per caller's check). */
+    EventRecord pop();
+
+    /** Find a pending record by rid (TSO consume-version annotation). */
+    EventRecord *findByRid(RecordId rid);
+
+    /**
+     * Insert @p rec immediately before the pending record with id
+     * @p before_rid (TSO produce-version annotation). Panics if absent.
+     */
+    void insertBefore(RecordId before_rid, EventRecord rec);
+
+    /** Total records ever appended (stats). */
+    std::uint64_t appended() const { return appended_; }
+
+  private:
+    std::deque<EventRecord> records_;
+    std::uint64_t capacityBytes_;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CAPTURE_LOG_BUFFER_HPP

@@ -1,0 +1,18 @@
+#include "capture/reduction.hpp"
+
+namespace paralog {
+
+bool
+ArcReducer::shouldRecord(const RawArc &arc)
+{
+    auto it = lastRecorded_.find(arc.tid);
+    if (it != lastRecorded_.end() && it->second >= arc.rid) {
+        ++dropped;
+        return false;
+    }
+    lastRecorded_[arc.tid] = arc.rid;
+    ++kept;
+    return true;
+}
+
+} // namespace paralog

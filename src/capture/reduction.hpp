@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Transitive reduction of dependence arcs (FDR/RTR style): an arc from
+ * (t, i) need not be recorded if an arc from (t, i') with i' >= i was
+ * already recorded earlier in this receiving thread's stream — the
+ * earlier arc already orders everything up to i' (section 5.1).
+ */
+
+#ifndef PARALOG_CAPTURE_REDUCTION_HPP
+#define PARALOG_CAPTURE_REDUCTION_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+
+namespace paralog {
+
+class ArcReducer
+{
+  public:
+    /**
+     * Consider recording an arc from @p arc into this thread's stream.
+     * Returns true if the arc is new information and must be recorded.
+     */
+    bool shouldRecord(const RawArc &arc);
+
+    /** Forget everything (context switch of the receiving thread). */
+    void reset() { lastRecorded_.clear(); }
+
+    std::uint64_t kept = 0;
+    std::uint64_t dropped = 0;
+
+  private:
+    std::unordered_map<ThreadId, RecordId> lastRecorded_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CAPTURE_REDUCTION_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Optional whole-run trace: a tee of every captured record in global
+ * capture order, consumed offline by the happens-before validator
+ * (capture/validator.hpp). This corresponds to dumping the paper's
+ * event streams to disk instead of consuming them online.
+ */
+
+#ifndef PARALOG_CAPTURE_TRACE_HPP
+#define PARALOG_CAPTURE_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "app/event.hpp"
+
+namespace paralog {
+
+struct TracedRecord
+{
+    std::uint64_t globalSeq = 0; ///< global capture order
+    EventRecord rec;
+    bool isWrite = false;        ///< store-like (for conflict analysis)
+};
+
+class TraceSink
+{
+  public:
+    void
+    append(const EventRecord &rec)
+    {
+        TracedRecord tr;
+        tr.globalSeq = nextSeq_++;
+        tr.rec = rec;
+        tr.isWrite = (rec.type == EventType::kStore ||
+                      rec.type == EventType::kLockAcquire ||
+                      rec.type == EventType::kLockRelease ||
+                      (rec.type == EventType::kBarrierPass &&
+                       rec.value == 0)); // exit phase is a read
+        records_.push_back(std::move(tr));
+    }
+
+    const std::vector<TracedRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear()
+    {
+        records_.clear();
+        nextSeq_ = 0;
+    }
+
+  private:
+    std::vector<TracedRecord> records_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CAPTURE_TRACE_HPP

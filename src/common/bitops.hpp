@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache and shadow-memory
+ * models.
+ */
+
+#ifndef PARALOG_COMMON_BITOPS_HPP
+#define PARALOG_COMMON_BITOPS_HPP
+
+#include <cstdint>
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+inline constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+inline constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+inline constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+inline constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract a bit field [lo, lo+width) from v. */
+inline constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1));
+}
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_BITOPS_HPP

@@ -1,0 +1,98 @@
+#include "common/interval_set.hpp"
+
+namespace paralog {
+
+void
+IntervalSet::insert(Addr begin, Addr end)
+{
+    if (begin >= end)
+        return;
+    // Find the first range that could touch [begin, end).
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= begin) {
+            // Overlapping or adjacent on the left: extend it.
+            begin = prev->first;
+            end = std::max(end, prev->second);
+            it = ranges_.erase(prev);
+        }
+    }
+    // Absorb everything overlapping or adjacent on the right.
+    while (it != ranges_.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = ranges_.erase(it);
+    }
+    ranges_.emplace(begin, end);
+}
+
+void
+IntervalSet::erase(Addr begin, Addr end)
+{
+    if (begin >= end)
+        return;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > begin)
+            it = prev;
+    }
+    while (it != ranges_.end() && it->first < end) {
+        Addr rb = it->first;
+        Addr re = it->second;
+        it = ranges_.erase(it);
+        if (rb < begin)
+            ranges_.emplace(rb, begin);
+        if (re > end) {
+            ranges_.emplace(end, re);
+            break;
+        }
+    }
+}
+
+bool
+IntervalSet::contains(Addr addr) const
+{
+    auto it = ranges_.upper_bound(addr);
+    if (it == ranges_.begin())
+        return false;
+    --it;
+    return addr < it->second;
+}
+
+bool
+IntervalSet::overlaps(Addr begin, Addr end) const
+{
+    if (begin >= end)
+        return false;
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > begin)
+            return true;
+    }
+    return it != ranges_.end() && it->first < end;
+}
+
+bool
+IntervalSet::covers(Addr begin, Addr end) const
+{
+    if (begin >= end)
+        return true;
+    auto it = ranges_.upper_bound(begin);
+    if (it == ranges_.begin())
+        return false;
+    --it;
+    return begin >= it->first && end <= it->second;
+}
+
+std::uint64_t
+IntervalSet::coveredBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &kv : ranges_)
+        total += kv.second - kv.first;
+    return total;
+}
+
+} // namespace paralog

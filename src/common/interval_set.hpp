@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ordered set of disjoint half-open address ranges. Used by the hardware
+ * range table (ConflictAlert memory-range parameters, paper section 5.4)
+ * and by lifeguard allocation bookkeeping.
+ */
+
+#ifndef PARALOG_COMMON_INTERVAL_SET_HPP
+#define PARALOG_COMMON_INTERVAL_SET_HPP
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hpp"
+
+namespace paralog {
+
+class IntervalSet
+{
+  public:
+    /** Insert [begin, end), merging with any overlapping/adjacent ranges. */
+    void insert(Addr begin, Addr end);
+    void insert(const AddrRange &r) { insert(r.begin, r.end); }
+
+    /** Remove [begin, end), splitting partially covered ranges. */
+    void erase(Addr begin, Addr end);
+    void erase(const AddrRange &r) { erase(r.begin, r.end); }
+
+    /** True iff addr is covered by some range. */
+    bool contains(Addr addr) const;
+
+    /** True iff [begin, end) intersects any stored range. */
+    bool overlaps(Addr begin, Addr end) const;
+    bool overlaps(const AddrRange &r) const { return overlaps(r.begin, r.end); }
+
+    /** True iff [begin, end) is entirely covered. */
+    bool covers(Addr begin, Addr end) const;
+
+    std::size_t size() const { return ranges_.size(); }
+    bool empty() const { return ranges_.empty(); }
+    void clear() { ranges_.clear(); }
+
+    /** Total number of bytes covered. */
+    std::uint64_t coveredBytes() const;
+
+    const std::map<Addr, Addr> &ranges() const { return ranges_; }
+
+  private:
+    // Maps range begin -> range end, disjoint and non-adjacent.
+    std::map<Addr, Addr> ranges_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_INTERVAL_SET_HPP

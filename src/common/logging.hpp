@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef PARALOG_COMMON_LOGGING_HPP
+#define PARALOG_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace paralog {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort the simulation because of an internal invariant violation (a
+ * simulator bug, never a user error). Calls std::abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because the simulation cannot continue due to a user-visible
+ * condition (bad configuration, invalid arguments). Calls std::exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; the simulation continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benches for clean output). */
+void setQuiet(bool quiet);
+
+} // namespace paralog
+
+#define PARALOG_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::paralog::panic("assertion '%s' failed at %s:%d: %s", #cond,   \
+                             __FILE__, __LINE__,                            \
+                             ::paralog::strprintf(__VA_ARGS__).c_str());    \
+        }                                                                   \
+    } while (0)
+
+#endif // PARALOG_COMMON_LOGGING_HPP

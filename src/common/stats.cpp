@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+
+namespace paralog {
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    unsigned b = (v <= 1) ? 0 : floorLog2(v);
+    if (b >= buckets_.size())
+        b = static_cast<unsigned>(buckets_.size()) - 1;
+    ++buckets_[b];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+Histogram::percentileApprox(double frac) const
+{
+    if (count_ == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(frac * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen > target)
+            return (b == 0) ? 1 : (1ULL << (b + 1)) - 1;
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+void
+StatSet::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << "." << kv.first << " = " << kv.second.value() << "\n";
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << name_ << "." << kv.first << " = {n=" << h.count()
+           << " mean=" << h.mean() << " min=" << h.min()
+           << " max=" << h.max() << "}\n";
+    }
+}
+
+} // namespace paralog

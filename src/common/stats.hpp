@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters and histograms, grouped
+ * into a StatSet that can be dumped for benches and inspected by tests.
+ */
+
+#ifndef PARALOG_COMMON_STATS_HPP
+#define PARALOG_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paralog {
+
+/** Monotonic scalar counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Power-of-two bucketed histogram: bucket k counts samples in
+ * [2^k, 2^(k+1)) with bucket 0 holding samples of 0 and 1.
+ */
+class Histogram
+{
+  public:
+    Histogram() : buckets_(64, 0) {}
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Smallest sample value v such that >= frac of samples are <= v
+     *  (approximated at bucket granularity). */
+    std::uint64_t percentileApprox(double frac) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ULL;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named group of counters and histograms. Lookup lazily creates the
+ * entry so instrumentation sites stay one-liners.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name = "") : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Histogram &histogram(const std::string &name) { return histograms_[name]; }
+
+    std::uint64_t get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    void reset();
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_STATS_HPP

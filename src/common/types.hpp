@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ParaLog subsystem.
+ */
+
+#ifndef PARALOG_COMMON_TYPES_HPP
+#define PARALOG_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace paralog {
+
+/** Byte address in the simulated flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle. */
+using Cycle = std::uint64_t;
+
+/** Application/lifeguard thread identifier (0-based). */
+using ThreadId = std::uint32_t;
+
+/** Simulated core identifier (0-based). */
+using CoreId = std::uint32_t;
+
+/**
+ * Per-thread event record identifier. Incremented by one for every record
+ * appended to the thread's event stream (the paper's per-core retire
+ * counter used as "RID").
+ */
+using RecordId = std::uint64_t;
+
+/** Architectural register index in the micro-ISA. */
+using RegId = std::uint8_t;
+
+/** Number of general-purpose registers in the micro-ISA. */
+inline constexpr unsigned kNumRegs = 16;
+
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+inline constexpr RecordId kInvalidRecord =
+    std::numeric_limits<RecordId>::max();
+
+/**
+ * Inter-thread dependence arc. Stored at the *receiving* end: the event
+ * carrying this arc may only be processed once lifeguard thread @c tid has
+ * advertised progress strictly beyond @c rid.
+ */
+struct DepArc
+{
+    ThreadId tid = kInvalidThread;
+    RecordId rid = kInvalidRecord;
+
+    bool valid() const { return tid != kInvalidThread; }
+    bool operator==(const DepArc &) const = default;
+};
+
+/**
+ * Version tag for TSO versioned metadata (paper section 5.5). A version is
+ * named by the (thread, record id) of the *consuming* load.
+ */
+struct VersionTag
+{
+    ThreadId tid = kInvalidThread;
+    RecordId rid = kInvalidRecord;
+
+    bool valid() const { return tid != kInvalidThread; }
+    bool operator==(const VersionTag &) const = default;
+};
+
+/** Half-open byte range [begin, end) in the application address space. */
+struct AddrRange
+{
+    Addr begin = 0;
+    Addr end = 0;
+
+    bool empty() const { return begin >= end; }
+    std::uint64_t size() const { return empty() ? 0 : end - begin; }
+
+    bool contains(Addr a) const { return a >= begin && a < end; }
+
+    bool
+    overlaps(const AddrRange &o) const
+    {
+        return !empty() && !o.empty() && begin < o.end && o.begin < end;
+    }
+
+    bool operator==(const AddrRange &) const = default;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_TYPES_HPP

@@ -1,0 +1,54 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+
+namespace paralog {
+
+std::uint64_t
+ExperimentOptions::envScale(std::uint64_t fallback)
+{
+    const char *s = std::getenv("PARALOG_SCALE");
+    if (!s)
+        return fallback;
+    std::uint64_t v = std::strtoull(s, nullptr, 10);
+    return v > 0 ? v : fallback;
+}
+
+PlatformConfig
+makeConfig(WorkloadKind workload, LifeguardKind lifeguard, MonitorMode mode,
+           std::uint32_t threads, const ExperimentOptions &opt)
+{
+    PlatformConfig cfg;
+    cfg.sim = SimConfig::forAppThreads(threads);
+    cfg.sim.mode = mode;
+    cfg.sim.depTracking = opt.depTracking;
+    cfg.sim.memoryModel = opt.memoryModel;
+    cfg.sim.conflictAlerts = opt.conflictAlerts;
+    cfg.sim.seed = opt.seed;
+    cfg.sim.logBufferBytes = opt.logBufferBytes;
+    if (!opt.accelerators) {
+        cfg.sim.accel.inheritanceTracking = false;
+        cfg.sim.accel.idempotentFilter = false;
+        cfg.sim.accel.metadataTlb = false;
+    }
+    cfg.lifeguard = lifeguard;
+    cfg.workload = workload;
+    cfg.scale = opt.scale;
+    return cfg;
+}
+
+RunResult
+runExperiment(WorkloadKind workload, LifeguardKind lifeguard,
+              MonitorMode mode, std::uint32_t threads,
+              const ExperimentOptions &opt)
+{
+    PlatformConfig cfg = makeConfig(workload, lifeguard, mode, threads, opt);
+    if (mode == MonitorMode::kTimesliced) {
+        Timesliced ts(cfg);
+        return ts.run();
+    }
+    Platform p(cfg);
+    return p.run();
+}
+
+} // namespace paralog

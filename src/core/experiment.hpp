@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bench/test harness helpers: run one (workload, lifeguard, mode,
+ * threads) configuration and derive the normalized metrics the paper
+ * plots (Figures 6-8).
+ */
+
+#ifndef PARALOG_CORE_EXPERIMENT_HPP
+#define PARALOG_CORE_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/platform.hpp"
+#include "core/run_stats.hpp"
+#include "core/timesliced.hpp"
+
+namespace paralog {
+
+struct ExperimentOptions
+{
+    std::uint64_t scale = 4000; ///< per-thread work units
+    bool accelerators = true;
+    DepTracking depTracking = DepTracking::kPerBlock;
+    MemoryModel memoryModel = MemoryModel::kSC;
+    bool conflictAlerts = true;
+    std::uint64_t seed = 1;
+    std::uint64_t logBufferBytes = 64 * 1024;
+
+    /** Scale override from the environment (PARALOG_SCALE), if set. */
+    static std::uint64_t envScale(std::uint64_t fallback);
+};
+
+/** Run one configuration to completion. */
+RunResult runExperiment(WorkloadKind workload, LifeguardKind lifeguard,
+                        MonitorMode mode, std::uint32_t threads,
+                        const ExperimentOptions &opt = {});
+
+/** Build the PlatformConfig runExperiment would use (for tests). */
+PlatformConfig makeConfig(WorkloadKind workload, LifeguardKind lifeguard,
+                          MonitorMode mode, std::uint32_t threads,
+                          const ExperimentOptions &opt = {});
+
+} // namespace paralog
+
+#endif // PARALOG_CORE_EXPERIMENT_HPP

@@ -1,0 +1,170 @@
+#include "core/lifeguard_core.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+LifeguardCore::LifeguardCore(CoreId core, ThreadId tid, const SimConfig &cfg,
+                             CaptureUnit &capture, ProgressTable &progress,
+                             CaManager &ca, Lifeguard &lifeguard,
+                             MemorySystem *mem, VersionStore &versions,
+                             std::uint32_t done_records_needed)
+    : core_(core), tid_(tid), cfg_(cfg), capture_(capture),
+      progress_(progress), lifeguard_(lifeguard),
+      accel_(cfg, lifeguard.policy()),
+      enforcer_(tid, capture, progress, ca,
+                [&versions](const VersionTag &v) {
+                    return versions.available(v);
+                }),
+      ctx_(lifeguard.shadow(), accel_.mtlb(), versions, mem, core),
+      doneNeeded_(done_records_needed)
+{
+}
+
+Cycle
+LifeguardCore::runHandlers(std::vector<LgEvent> &events)
+{
+    Cycle cost = 0;
+    for (LgEvent &ev : events) {
+        if (ev.tid == kInvalidThread) {
+            // Accelerator stall-flush events carry no record identity.
+            ThreadId owner = accel_.regOwner();
+            ev.tid = (owner != kInvalidThread) ? owner : tid_;
+            ev.rid = lastProcessed_;
+        }
+        ctx_.beginEvent();
+        lifeguard_.handle(ev, ctx_);
+        // One handler dispatch (event decode + jump) plus the handler
+        // body: instructions at 1 IPC plus metadata cache stalls.
+        cost += 2 + ctx_.instrs() + ctx_.memCycles();
+        ++stats.eventsHandled;
+        if (ev.type == LgEventType::kThreadDone)
+            ++doneSeen_;
+    }
+    return cost;
+}
+
+void
+LifeguardCore::publishProgress()
+{
+    RecordId ceiling = capture_.progressCeiling();
+    RecordId held = accel_.delayedMinRid();
+    // Delayed advertising (section 4.2): never advertise past the
+    // oldest record whose metadata effect is still pending inside an
+    // accelerator.
+    RecordId done = (held != kInvalidRecord && held < ceiling) ? held
+                                                               : ceiling;
+    progress_.publish(tid_, done);
+}
+
+Cycle
+LifeguardCore::maybeStallFlush(Cycle now)
+{
+    // The section 4.2 stall-flush exists to break wait cycles by
+    // publishing accurate progress. Brief stalls resolve on their own;
+    // only a persistent stall forfeits accelerator state.
+    ++stallStreak_;
+    if (stallStreak_ < cfg_.stallFlushAfterRetries) {
+        publishProgress();
+        return 0;
+    }
+    return handleStallFlush(now);
+}
+
+Cycle
+LifeguardCore::handleStallFlush(Cycle now)
+{
+    // Deadlock-avoidance rule of section 4.2: while stalled, flush the
+    // accelerators (delivering their pending state to the lifeguard)
+    // and publish an accurate progress.
+    events_.clear();
+    accel_.onStall(events_);
+    Cycle cost = 0;
+    if (!events_.empty())
+        cost = runHandlers(events_);
+    publishProgress();
+    (void)now;
+    return cost;
+}
+
+void
+LifeguardCore::step(Cycle now)
+{
+    if (finished())
+        return;
+
+    OrderEnforcer::Delivery d;
+    DeliverStatus st = enforcer_.tryDeliver(d);
+
+    switch (st) {
+      case DeliverStatus::kEmpty:
+        stats.appStall += cfg_.retryInterval;
+        // A drained stream means every captured record is processed; if
+        // delayed advertising still caps our progress, remote lifeguards
+        // stall on state we are not even using. A momentary drain (the
+        // producer refills within a retry or two) keeps its absorption;
+        // genuine idleness flushes so progress becomes accurate.
+        ++emptyStreak_;
+        if (emptyStreak_ > 3 &&
+            accel_.delayedMinRid() != kInvalidRecord) {
+            busyUntil = now + cfg_.retryInterval + handleStallFlush(now);
+        } else {
+            publishProgress();
+            busyUntil = now + cfg_.retryInterval;
+        }
+        return;
+
+      case DeliverStatus::kDepStall:
+        stats.depStall += cfg_.depRetryInterval;
+        busyUntil = now + cfg_.depRetryInterval + maybeStallFlush(now);
+        return;
+
+      case DeliverStatus::kCaStall:
+        stats.caStall += cfg_.depRetryInterval;
+        busyUntil = now + cfg_.depRetryInterval + maybeStallFlush(now);
+        return;
+
+      case DeliverStatus::kVersionStall:
+        stats.versionStall += cfg_.depRetryInterval;
+        busyUntil = now + cfg_.depRetryInterval + maybeStallFlush(now);
+        return;
+
+      case DeliverStatus::kDelivered:
+        break;
+    }
+
+    emptyStreak_ = 0;
+    stallStreak_ = 0;
+    ++stats.recordsProcessed;
+    lastProcessed_ = d.rec.rid;
+
+    events_.clear();
+    accel_.maybeThresholdFlush(lastProcessed_, events_);
+    accel_.process(d.rec, d.racesSyscall, events_);
+
+    Cycle cost;
+    if (events_.empty()) {
+        // Fully absorbed in hardware: the delivery engine retires
+        // compressed ~1-byte records at two per cycle.
+        cost = (++absorbedTick_ & 1) ? 0 : 1;
+    } else {
+        cost = 1 + runHandlers(events_);
+    }
+
+    // Versioned reads of metadata-irrelevant words (lock/barrier
+    // records) leave their snapshot unconsumed by any handler; discard
+    // it so the version store drains.
+    if (d.rec.consumesVersion && ctx_.versions().available(d.rec.version))
+        ctx_.versions().consume(d.rec.version);
+    stats.usefulCycles += cost;
+
+    if (d.rec.type == EventType::kThreadDone && finished()) {
+        progress_.finish(tid_);
+        stats.doneAt = now + cost;
+    } else {
+        publishProgress();
+    }
+    busyUntil = now + cost;
+}
+
+} // namespace paralog

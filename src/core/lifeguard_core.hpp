@@ -1,0 +1,71 @@
+/**
+ * @file
+ * One simulated lifeguard core: the right half of Figure 2. Pulls
+ * records through the order-enforcing component, runs them through the
+ * accelerators, executes lifeguard handlers for delivered events, and
+ * publishes progress (with delayed advertising) to the shared progress
+ * table.
+ */
+
+#ifndef PARALOG_CORE_LIFEGUARD_CORE_HPP
+#define PARALOG_CORE_LIFEGUARD_CORE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "accel/accel_unit.hpp"
+#include "core/run_stats.hpp"
+#include "deliver/order_enforce.hpp"
+#include "lifeguard/lifeguard.hpp"
+
+namespace paralog {
+
+class LifeguardCore
+{
+  public:
+    LifeguardCore(CoreId core, ThreadId tid, const SimConfig &cfg,
+                  CaptureUnit &capture, ProgressTable &progress,
+                  CaManager &ca, Lifeguard &lifeguard, MemorySystem *mem,
+                  VersionStore &versions, std::uint32_t done_records_needed);
+
+    /** Process at most one record (plus accelerator flush fallout). */
+    void step(Cycle now);
+
+    /** All kThreadDone records consumed (timesliced needs several). */
+    bool finished() const { return doneSeen_ >= doneNeeded_; }
+
+    Cycle busyUntil = 0;
+    LifeguardThreadStats stats;
+
+    AccelUnit &accel() { return accel_; }
+    OrderEnforcer &enforcer() { return enforcer_; }
+    LgContext &ctx() { return ctx_; }
+
+  private:
+    /** Run handlers for a batch of delivered events; returns cycles. */
+    Cycle runHandlers(std::vector<LgEvent> &events);
+    void publishProgress();
+    Cycle maybeStallFlush(Cycle now);
+    Cycle handleStallFlush(Cycle now);
+
+    CoreId core_;
+    ThreadId tid_;
+    const SimConfig &cfg_;
+    CaptureUnit &capture_;
+    ProgressTable &progress_;
+    Lifeguard &lifeguard_;
+    AccelUnit accel_;
+    OrderEnforcer enforcer_;
+    LgContext ctx_;
+    std::uint32_t doneNeeded_;
+    std::uint32_t doneSeen_ = 0;
+    RecordId lastProcessed_ = 0;
+    std::uint64_t emptyStreak_ = 0;
+    std::uint64_t stallStreak_ = 0;
+    std::uint64_t absorbedTick_ = 0;
+    std::vector<LgEvent> events_; ///< scratch, reused across steps
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CORE_LIFEGUARD_CORE_HPP

@@ -1,0 +1,291 @@
+#include "core/platform.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
+{
+    PARALOG_ASSERT(cfg_.sim.mode != MonitorMode::kTimesliced,
+                   "use Timesliced for the timesliced baseline");
+    const bool monitoring = cfg_.sim.mode == MonitorMode::kParallel;
+    const std::uint32_t k = cfg_.sim.appThreads;
+    const std::uint32_t cores = cfg_.sim.totalCores();
+
+    mem_ = std::make_unique<MemorySystem>(cfg_.sim, cores);
+    heap_ = std::make_unique<Heap>(AddressLayout::kHeapBase,
+                                   AddressLayout::kHeapBytes, k);
+
+    env_.heapBase = AddressLayout::kHeapBase;
+    env_.heapBytes = AddressLayout::kHeapBytes;
+    env_.globalBase = AddressLayout::kGlobalBase;
+    env_.lockBase = AddressLayout::kLockBase;
+    env_.barrierBase = AddressLayout::kBarrierBase;
+    env_.numThreads = k;
+    env_.scale = cfg_.scale;
+    env_.seed = cfg_.sim.seed;
+
+    if (monitoring) {
+        lifeguard_ = cfg_.customLifeguard ? cfg_.customLifeguard(k)
+                                          : makeLifeguard(cfg_.lifeguard, k);
+        policy_ = lifeguard_->policy();
+    }
+
+    if (cfg_.sim.memoryModel == MemoryModel::kTSO) {
+        auto tso = std::make_unique<TsoDataPath>(cfg_.sim, *mem_, *this,
+                                                 cores);
+        tsoPath_ = tso.get();
+        dataPath_ = std::move(tso);
+    } else {
+        dataPath_ = std::make_unique<ScDataPath>(*mem_);
+    }
+
+    interp_ = std::make_unique<Interpreter>(cfg_.sim, *dataPath_, *mem_,
+                                            *heap_, locks_, barriers_,
+                                            *this);
+
+    progress_ = std::make_unique<ProgressTable>(k);
+    caMgr_ = std::make_unique<CaManager>(k);
+
+    std::shared_ptr<Workload> workload = cfg_.customWorkload;
+    if (!workload)
+        workload = makeWorkload(cfg_.workload);
+
+    EventFilter filter;
+    if (monitoring) {
+        filter.regOps = policy_.wantsRegOps;
+        filter.jumps = policy_.wantsJumps;
+        filter.heapOnly = policy_.heapOnly;
+        filter.heapArena = heap_->arena();
+    }
+
+    for (ThreadId t = 0; t < k; ++t) {
+        if (monitoring) {
+            captures_.push_back(
+                std::make_unique<CaptureUnit>(t, cfg_.sim, filter));
+            if (cfg_.traceCapture)
+                captures_.back()->setTraceSink(&trace_);
+        } else {
+            captures_.push_back(nullptr);
+        }
+
+        auto tc = std::make_unique<ThreadContext>(
+            t, workload->makeThread(t, env_));
+        mem_->bindThread(t, t);
+
+        AppCore::CaBroadcastFn ca_fn;
+        if (monitoring) {
+            ca_fn = [this](ThreadId tid, RecordId rid, HighLevelKind kind,
+                           const AddrRange &range) {
+                return caBroadcast(tid, rid, kind, range);
+            };
+        }
+        appCores_.push_back(std::make_unique<AppCore>(
+            t, std::move(tc), captures_[t].get(), *interp_, *mem_,
+            cfg_.sim, monitoring, std::move(ca_fn)));
+    }
+
+    if (monitoring) {
+        for (ThreadId t = 0; t < k; ++t) {
+            lgCores_.push_back(std::make_unique<LifeguardCore>(
+                k + t, t, cfg_.sim, *captures_[t], *progress_, *caMgr_,
+                *lifeguard_, mem_.get(), versions_, 1));
+        }
+    }
+}
+
+Platform::~Platform() = default;
+
+Cycle
+Platform::caBroadcast(ThreadId tid, RecordId rid, HighLevelKind kind,
+                      const AddrRange &range)
+{
+    bool subscribed = false;
+    switch (kind) {
+      case HighLevelKind::kMallocEnd:
+        subscribed = policy_.caOnMalloc;
+        break;
+      case HighLevelKind::kFreeBegin:
+        subscribed = policy_.caOnFree;
+        break;
+      case HighLevelKind::kSyscallBegin:
+      case HighLevelKind::kSyscallEnd:
+        subscribed = policy_.caOnSyscall;
+        break;
+    }
+    if (!subscribed)
+        return 0;
+
+    std::vector<CaptureUnit *> units;
+    std::vector<bool> alive;
+    units.reserve(captures_.size());
+    for (ThreadId t = 0; t < captures_.size(); ++t) {
+        units.push_back(captures_[t].get());
+        alive.push_back(appCores_[t]->active());
+    }
+    Cycle lat = caMgr_->broadcast(tid, rid, kind, range, units, alive);
+    std::uint64_t seq = caMgr_->issued() - 1;
+
+    // Annotate the issuer's high-level record so its lifeguard enforces
+    // the issuer half of the barrier.
+    if (EventRecord *rec = captures_[tid]->buffer().findByRid(rid))
+        rec->caSeq = seq;
+    return lat;
+}
+
+bool
+Platform::lifeguardDrained(ThreadId tid)
+{
+    if (cfg_.sim.mode == MonitorMode::kNoMonitoring)
+        return true;
+    return captures_[tid]->consumerEmpty();
+}
+
+void
+Platform::attachArcsToPending(ThreadId tid, RecordId rid,
+                              const std::vector<RawArc> &arcs)
+{
+    if (captures_[tid])
+        captures_[tid]->attachArcs(rid, arcs);
+}
+
+void
+Platform::onScViolation(ThreadId writer_tid, RecordId writer_rid, Addr addr,
+                        std::uint8_t size, const VersionRequest &reader)
+{
+    if (!captures_[writer_tid] || !captures_[reader.readerTid])
+        return;
+    VersionTag v{reader.readerTid, reader.readerRid};
+    // Annotate the reader's pending load first; if it was already
+    // consumed the reader's lifeguard read the pre-overwrite metadata,
+    // which is exactly the versioned value — nothing to do.
+    if (!captures_[reader.readerTid]->annotateConsume(reader.readerRid, v))
+        return;
+    captures_[writer_tid]->insertProduceBefore(writer_rid, v, addr, size);
+}
+
+void
+Platform::setVisibilityLimit(ThreadId tid, RecordId limit)
+{
+    if (tid < captures_.size() && captures_[tid])
+        captures_[tid]->setVisibilityLimit(limit);
+}
+
+void
+Platform::dumpStuckState() const
+{
+    std::fprintf(stderr, "=== watchdog state dump ===\n");
+    for (ThreadId t = 0; t < captures_.size(); ++t) {
+        const AppCore &ac = *appCores_[t];
+        std::fprintf(stderr,
+                     "app %u: active=%d retired=%llu reason=%d "
+                     "busyUntil=%llu\n",
+                     t, ac.active() ? 1 : 0,
+                     static_cast<unsigned long long>(
+                         appCores_[t]->tc().retired),
+                     static_cast<int>(appCores_[t]->tc().blockReason),
+                     static_cast<unsigned long long>(ac.busyUntil));
+        if (!captures_[t])
+            continue;
+        std::fprintf(stderr,
+                     "  stream: size=%zu visLimit=%llu done=%llu\n",
+                     captures_[t]->buffer().size(),
+                     static_cast<unsigned long long>(
+                         captures_[t]->visibilityLimit()),
+                     static_cast<unsigned long long>(progress_->done(t)));
+        const EventRecord *front = captures_[t]->buffer().peek();
+        if (front) {
+            std::fprintf(stderr, "  front: type=%s rid=%llu arcs=[",
+                         toString(front->type),
+                         static_cast<unsigned long long>(front->rid));
+            for (const DepArc &a : front->arcs) {
+                std::fprintf(stderr, "(%u,%llu)", a.tid,
+                             static_cast<unsigned long long>(a.rid));
+            }
+            std::fprintf(stderr, "] caSeq=%llu consumesV=%d\n",
+                         static_cast<unsigned long long>(front->caSeq),
+                         front->consumesVersion ? 1 : 0);
+        }
+    }
+}
+
+bool
+Platform::allDone() const
+{
+    for (const auto &core : appCores_) {
+        if (core->active())
+            return false;
+    }
+    for (const auto &core : lgCores_) {
+        if (!core->finished())
+            return false;
+    }
+    return true;
+}
+
+RunResult
+Platform::run()
+{
+    Cycle now = 0;
+    Cycle last_now = 0;
+    std::uint64_t same_now_iters = 0;
+    while (!allDone()) {
+        // Livelock detector: simulated time must advance.
+        if (now == last_now) {
+            if (++same_now_iters > 20'000'000) {
+                dumpStuckState();
+                panic("livelock: cycle %llu never advances",
+                      static_cast<unsigned long long>(now));
+            }
+        } else {
+            last_now = now;
+            same_now_iters = 0;
+        }
+        // Event-driven advance: jump to the earliest ready core.
+        Cycle next = kInvalidRecord;
+        for (const auto &c : appCores_) {
+            if (c->active())
+                next = std::min(next, c->busyUntil);
+        }
+        for (const auto &c : lgCores_) {
+            if (!c->finished())
+                next = std::min(next, c->busyUntil);
+        }
+        if (next > now)
+            now = next;
+
+        if (now > cfg_.maxCycles) {
+            dumpStuckState();
+            panic("simulation watchdog: no completion after %llu cycles "
+                  "(deadlock or runaway workload)",
+                  static_cast<unsigned long long>(cfg_.maxCycles));
+        }
+
+        for (auto &c : appCores_) {
+            if (c->active() && c->busyUntil <= now)
+                c->step(now);
+        }
+        if (tsoPath_) {
+            for (CoreId core = 0; core < cfg_.sim.appThreads; ++core)
+                tsoPath_->pump(core, now);
+        }
+        for (auto &c : lgCores_) {
+            if (!c->finished() && c->busyUntil <= now)
+                c->step(now);
+        }
+    }
+
+    RunResult result;
+    result.totalCycles = now;
+    for (auto &c : appCores_) {
+        c->stats.programInsts = c->tc().programInsts;
+        result.app.push_back(c->stats);
+    }
+    for (auto &c : lgCores_)
+        result.lifeguard.push_back(c->stats);
+    if (lifeguard_)
+        result.violationCount = lifeguard_->violations.count();
+    return result;
+}
+
+} // namespace paralog

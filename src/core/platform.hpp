@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The ParaLog online parallel monitoring platform (Figure 2): k
+ * application cores each paired with a lifeguard core, sharing a
+ * coherent memory hierarchy, per-thread event streams with captured
+ * dependence arcs, a global progress table, ConflictAlert broadcasting,
+ * and (under TSO) the versioned-metadata protocol.
+ *
+ * Also runs the NO-MONITORING baseline (application alone on k cores).
+ * The TIMESLICED baseline lives in core/timesliced.hpp.
+ */
+
+#ifndef PARALOG_CORE_PLATFORM_HPP
+#define PARALOG_CORE_PLATFORM_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "app/data_path.hpp"
+#include "app/heap.hpp"
+#include "app/interpreter.hpp"
+#include "app/sync.hpp"
+#include "capture/store_buffer.hpp"
+#include "core/app_core.hpp"
+#include "core/lifeguard_core.hpp"
+#include "core/run_stats.hpp"
+#include "deliver/ca_manager.hpp"
+#include "deliver/progress_table.hpp"
+#include "lifeguard/version_store.hpp"
+#include "workloads/workload.hpp"
+
+namespace paralog {
+
+struct PlatformConfig
+{
+    SimConfig sim;
+    LifeguardKind lifeguard = LifeguardKind::kTaintCheck;
+    WorkloadKind workload = WorkloadKind::kLu;
+    /// When set, overrides `workload` (custom applications: examples,
+    /// failure-injection tests).
+    std::shared_ptr<Workload> customWorkload;
+    /// When set, overrides `lifeguard` (user-defined lifeguards written
+    /// against the Lifeguard API).
+    std::function<LifeguardPtr(std::uint32_t)> customLifeguard;
+    std::uint64_t scale = 10000;          ///< total work units
+    std::uint64_t maxCycles = 1ULL << 36; ///< watchdog
+    /// Tee all captured records into Platform::trace() for offline
+    /// happens-before validation (SC runs).
+    bool traceCapture = false;
+};
+
+/** Default simulated address layout. */
+struct AddressLayout
+{
+    static constexpr Addr kGlobalBase = 0x0100'0000;
+    static constexpr Addr kLockBase = 0x0300'0000;
+    static constexpr Addr kBarrierBase = 0x0310'0000;
+    static constexpr Addr kHeapBase = 0x0400'0000;
+    static constexpr std::uint64_t kHeapBytes = 48ULL << 20;
+};
+
+class Platform : public PlatformHooks, public TsoHooks
+{
+  public:
+    explicit Platform(PlatformConfig cfg);
+    ~Platform() override;
+
+    /** Run to completion; returns the collected statistics. */
+    RunResult run();
+
+    // --- PlatformHooks ---
+    bool lifeguardDrained(ThreadId tid) override;
+
+    // --- TsoHooks ---
+    void attachArcsToPending(ThreadId tid, RecordId rid,
+                             const std::vector<RawArc> &arcs) override;
+    void onScViolation(ThreadId writer_tid, RecordId writer_rid, Addr addr,
+                       std::uint8_t size,
+                       const VersionRequest &reader) override;
+    void setVisibilityLimit(ThreadId tid, RecordId limit) override;
+
+    Lifeguard &lifeguard() { return *lifeguard_; }
+    Heap &heap() { return *heap_; }
+    MemorySystem &memory() { return *mem_; }
+    CaManager &caManager() { return *caMgr_; }
+    VersionStore &versions() { return versions_; }
+    CaptureUnit &capture(ThreadId tid) { return *captures_[tid]; }
+    LifeguardCore &lifeguardCore(ThreadId tid) { return *lgCores_[tid]; }
+    AppCore &appCore(ThreadId tid) { return *appCores_[tid]; }
+    TraceSink &trace() { return trace_; }
+    const WorkloadEnv &env() const { return env_; }
+    const PlatformConfig &config() const { return cfg_; }
+
+  private:
+    Cycle caBroadcast(ThreadId tid, RecordId rid, HighLevelKind kind,
+                      const AddrRange &range);
+    bool allDone() const;
+    void dumpStuckState() const;
+
+    PlatformConfig cfg_;
+    LifeguardPolicy policy_;
+    WorkloadEnv env_;
+
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<Heap> heap_;
+    LockManager locks_;
+    BarrierManager barriers_;
+    std::unique_ptr<DataPath> dataPath_;
+    TsoDataPath *tsoPath_ = nullptr; ///< non-null iff TSO
+    std::unique_ptr<Interpreter> interp_;
+
+    std::unique_ptr<Lifeguard> lifeguard_;
+    std::unique_ptr<ProgressTable> progress_;
+    std::unique_ptr<CaManager> caMgr_;
+    VersionStore versions_;
+
+    std::vector<std::unique_ptr<CaptureUnit>> captures_;
+    std::vector<std::unique_ptr<AppCore>> appCores_;
+    std::vector<std::unique_ptr<LifeguardCore>> lgCores_;
+    TraceSink trace_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CORE_PLATFORM_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-run statistics: the time breakdown reported in Figure 7 (useful
+ * work / waiting for dependence / waiting for the application) plus
+ * application-side stall accounting.
+ */
+
+#ifndef PARALOG_CORE_RUN_STATS_HPP
+#define PARALOG_CORE_RUN_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace paralog {
+
+struct AppThreadStats
+{
+    Cycle execCycles = 0;        ///< busy executing instructions
+    Cycle logFullStall = 0;      ///< log buffer full
+    Cycle lockStall = 0;         ///< spinning on application locks
+    Cycle barrierStall = 0;      ///< waiting at application barriers
+    Cycle drainStall = 0;        ///< damage containment before syscalls
+    Cycle caAckCycles = 0;       ///< ConflictAlert serialization
+    Cycle storeBufStall = 0;     ///< TSO store buffer full
+    std::uint64_t retired = 0;   ///< retired micro-ops
+    std::uint64_t programInsts = 0;
+    Cycle doneAt = 0;            ///< cycle the thread exited
+};
+
+struct LifeguardThreadStats
+{
+    Cycle usefulCycles = 0;   ///< running handlers (Figure 7 "useful")
+    Cycle depStall = 0;       ///< "waiting for dependence"
+    Cycle caStall = 0;        ///< ConflictAlert barrier waits
+    Cycle versionStall = 0;   ///< TSO version waits
+    Cycle appStall = 0;       ///< "waiting for application" (empty log)
+    std::uint64_t recordsProcessed = 0;
+    std::uint64_t eventsHandled = 0; ///< post-accelerator deliveries
+    Cycle doneAt = 0;
+
+    Cycle
+    depStallTotal() const
+    {
+        return depStall + caStall + versionStall;
+    }
+};
+
+struct RunResult
+{
+    Cycle totalCycles = 0;
+    std::vector<AppThreadStats> app;
+    std::vector<LifeguardThreadStats> lifeguard;
+    std::uint64_t violationCount = 0;
+
+    Cycle
+    appExecTotal() const
+    {
+        Cycle sum = 0;
+        for (const auto &a : app)
+            sum += a.execCycles;
+        return sum;
+    }
+
+    std::uint64_t
+    retiredTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &a : app)
+            sum += a.retired;
+        return sum;
+    }
+
+    std::uint64_t
+    eventsHandledTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &l : lifeguard)
+            sum += l.eventsHandled;
+        return sum;
+    }
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CORE_RUN_STATS_HPP

@@ -1,0 +1,125 @@
+#include "deliver/order_enforce.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+OrderEnforcer::OrderEnforcer(ThreadId tid, CaptureUnit &unit,
+                             ProgressTable &progress, CaManager &ca,
+                             VersionAvailable version_available)
+    : tid_(tid), unit_(unit), progress_(progress), ca_(ca),
+      versionAvailable_(std::move(version_available))
+{
+}
+
+bool
+OrderEnforcer::issuerBarrierSatisfied(const CaBroadcast &b) const
+{
+    for (ThreadId t = 0; t < progress_.size(); ++t) {
+        if (t == tid_)
+            continue;
+        RecordId arrival = (t < b.arrivalRid.size()) ? b.arrivalRid[t]
+                                                     : kInvalidRecord;
+        if (arrival == kInvalidRecord)
+            continue; // thread was not running: nothing to wait for
+        if (progress_.done(t) < arrival)
+            return false;
+    }
+    return true;
+}
+
+DeliverStatus
+OrderEnforcer::tryDeliver(Delivery &out)
+{
+    // Waiter half of a ConflictAlert barrier: after consuming the CA
+    // record (accelerators flushed), stall until the issuing thread's
+    // lifeguard has processed the high-level event itself.
+    if (waitingForIssuer_) {
+        if (progress_.done(waitIssuer_) <= waitIssuerRid_) {
+            stats.counter("ca_wait_cycles").inc();
+            return DeliverStatus::kCaStall;
+        }
+        waitingForIssuer_ = false;
+        noteWaiterPassed(waitSeq_);
+    }
+
+    const EventRecord *rec = unit_.peek();
+    if (!rec)
+        return DeliverStatus::kEmpty;
+
+    // Inter-thread dependence arcs (the core ordering mechanism).
+    for (const DepArc &arc : rec->arcs) {
+        if (!progress_.satisfied(arc)) {
+            stats.counter("dep_stalls").inc();
+            stats.histogram("stall_gap")
+                .sample(arc.rid + 1 - progress_.done(arc.tid));
+            return DeliverStatus::kDepStall;
+        }
+    }
+
+    // TSO: a read annotated with a consume-version must wait until the
+    // writer's lifeguard produced the versioned metadata.
+    if (rec->consumesVersion && !versionAvailable_(rec->version)) {
+        stats.counter("version_stalls").inc();
+        return DeliverStatus::kVersionStall;
+    }
+
+    // Issuer half of a ConflictAlert barrier: the high-level event may
+    // only be processed after every other lifeguard has consumed all
+    // records preceding its CA record.
+    if (rec->caSeq != kNoCaSeq) {
+        const CaBroadcast *b = ca_.find(rec->caSeq);
+        if (b && !issuerBarrierSatisfied(*b)) {
+            stats.counter("ca_issuer_stalls").inc();
+            return DeliverStatus::kCaStall;
+        }
+        if (b)
+            noteIssuerDelivered(rec->caSeq);
+    }
+
+    out.rec = unit_.pop();
+    out.racesSyscall = false;
+
+    if (out.rec.type == EventType::kCaBegin ||
+        out.rec.type == EventType::kCaEnd) {
+        const CaBroadcast *b = ca_.find(out.rec.value);
+        ThreadId issuer = b ? b->issuer : kInvalidThread;
+        // Maintain the hardware range table for remote syscalls.
+        if (out.rec.caKind == HighLevelKind::kSyscallBegin &&
+            issuer != kInvalidThread) {
+            ranges_.insert(issuer, out.rec.range);
+        } else if (out.rec.caKind == HighLevelKind::kSyscallEnd &&
+                   issuer != kInvalidThread) {
+            ranges_.remove(issuer);
+        }
+        if (b && progress_.done(b->issuer) <= b->issuerEventRid) {
+            waitingForIssuer_ = true;
+            waitSeq_ = b->seq;
+            waitIssuer_ = b->issuer;
+            waitIssuerRid_ = b->issuerEventRid;
+        } else if (b) {
+            noteWaiterPassed(b->seq);
+        }
+    } else if (out.rec.isMemAccess()) {
+        out.racesSyscall = ranges_.races(out.rec.addr, out.rec.size);
+        if (out.racesSyscall)
+            stats.counter("syscall_races").inc();
+    }
+
+    stats.counter("delivered").inc();
+    return DeliverStatus::kDelivered;
+}
+
+void
+OrderEnforcer::noteWaiterPassed(std::uint64_t seq)
+{
+    ca_.noteWaiterPassed(seq);
+}
+
+void
+OrderEnforcer::noteIssuerDelivered(std::uint64_t seq)
+{
+    ca_.noteIssuerDelivered(seq);
+}
+
+} // namespace paralog

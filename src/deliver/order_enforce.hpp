@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-lifeguard-thread order-enforcing component (Figure 4(b)).
+ *
+ * Decides whether the next record in the thread's event stream may be
+ * delivered: dependence arcs must be satisfied in the progress table,
+ * ConflictAlert barriers must be respected (both the issuer-side and
+ * waiter-side halves), and TSO consume-version records must have their
+ * versioned metadata available.
+ */
+
+#ifndef PARALOG_DELIVER_ORDER_ENFORCE_HPP
+#define PARALOG_DELIVER_ORDER_ENFORCE_HPP
+
+#include <functional>
+
+#include "capture/capture_unit.hpp"
+#include "common/stats.hpp"
+#include "deliver/ca_manager.hpp"
+#include "deliver/progress_table.hpp"
+#include "deliver/range_table.hpp"
+
+namespace paralog {
+
+enum class DeliverStatus : std::uint8_t
+{
+    kDelivered,    ///< out filled with a record
+    kEmpty,        ///< stream empty: waiting for the application
+    kDepStall,     ///< waiting for a dependence arc
+    kCaStall,      ///< waiting at a ConflictAlert barrier
+    kVersionStall, ///< waiting for versioned metadata (TSO)
+};
+
+class OrderEnforcer
+{
+  public:
+    using VersionAvailable = std::function<bool(const VersionTag &)>;
+
+    OrderEnforcer(ThreadId tid, CaptureUnit &unit, ProgressTable &progress,
+                  CaManager &ca, VersionAvailable version_available);
+
+    struct Delivery
+    {
+        EventRecord rec;
+        bool racesSyscall = false;
+    };
+
+    DeliverStatus tryDeliver(Delivery &out);
+
+    /** The thread's hardware range table (remote in-flight syscalls). */
+    RangeTable &rangeTable() { return ranges_; }
+
+    StatSet stats{"enforce"};
+
+  private:
+    bool issuerBarrierSatisfied(const CaBroadcast &b) const;
+    void noteWaiterPassed(std::uint64_t seq);
+    void noteIssuerDelivered(std::uint64_t seq);
+
+    ThreadId tid_;
+    CaptureUnit &unit_;
+    ProgressTable &progress_;
+    CaManager &ca_;
+    VersionAvailable versionAvailable_;
+    RangeTable ranges_;
+
+    /// After consuming a CA record we stall until the issuer's lifeguard
+    /// processes the associated high-level event.
+    bool waitingForIssuer_ = false;
+    std::uint64_t waitSeq_ = 0;
+    ThreadId waitIssuer_ = kInvalidThread;
+    RecordId waitIssuerRid_ = kInvalidRecord;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_DELIVER_ORDER_ENFORCE_HPP

@@ -1,0 +1,3 @@
+#include "deliver/progress_table.hpp"
+
+// Header-only; this translation unit anchors the library target.

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Globally shared memory-mapped table of lifeguard progress counters
+ * (Figure 4(b)): done(t) is the number of record IDs lifeguard t has
+ * completed — every rid < done(t) is processed (or never produced a
+ * record). A dependence arc (t, i) is satisfied when done(t) > i.
+ *
+ * Each entry conceptually lives on its own cache line; reads by remote
+ * order-enforcing components cost a small fixed latency, modelled by the
+ * consumer's retry interval.
+ */
+
+#ifndef PARALOG_DELIVER_PROGRESS_TABLE_HPP
+#define PARALOG_DELIVER_PROGRESS_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace paralog {
+
+class ProgressTable
+{
+  public:
+    explicit ProgressTable(std::uint32_t num_threads)
+        : done_(num_threads, 0)
+    {
+    }
+
+    /** Advertise that all rids < @p done_count are complete for @p tid.
+     *  Never moves backwards (delayed advertising may under-report). */
+    void
+    publish(ThreadId tid, RecordId done_count)
+    {
+        if (done_count > done_[tid])
+            done_[tid] = done_count;
+    }
+
+    /** Mark the lifeguard finished: progress becomes infinite. */
+    void finish(ThreadId tid) { done_[tid] = kInvalidRecord; }
+
+    RecordId done(ThreadId tid) const { return done_[tid]; }
+
+    /** Arc (tid, rid) satisfied iff its producer completed past rid. */
+    bool
+    satisfied(const DepArc &arc) const
+    {
+        return done_[arc.tid] > arc.rid;
+    }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(done_.size());
+    }
+
+  private:
+    std::vector<RecordId> done_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_DELIVER_PROGRESS_TABLE_HPP

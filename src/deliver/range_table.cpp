@@ -1,0 +1,3 @@
+#include "deliver/range_table.hpp"
+
+// Header-only; this translation unit anchors the library target.

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hardware range table (section 5.4, "Memory Range Parameters"): one
+ * entry per core, tracking the memory ranges of in-flight remote system
+ * calls. The order-enforcing component checks event addresses against it
+ * to detect races between application accesses and unmonitored kernel
+ * activity, letting lifeguards apply conservative handling (e.g.
+ * TaintCheck taints a load racing a read() buffer).
+ */
+
+#ifndef PARALOG_DELIVER_RANGE_TABLE_HPP
+#define PARALOG_DELIVER_RANGE_TABLE_HPP
+
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+class RangeTable
+{
+  public:
+    /** CA-Begin for a system call inserted issuer's range. */
+    void
+    insert(ThreadId issuer, const AddrRange &range)
+    {
+        entries_[issuer] = range;
+    }
+
+    /** CA-End removes it. */
+    void remove(ThreadId issuer) { entries_.erase(issuer); }
+
+    /** Does [addr, addr+size) race any in-flight remote system call? */
+    bool
+    races(Addr addr, unsigned size) const
+    {
+        AddrRange a{addr, addr + size};
+        for (const auto &kv : entries_) {
+            if (kv.second.overlaps(a))
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    void clear() { entries_.clear(); }
+
+  private:
+    std::unordered_map<ThreadId, AddrRange> entries_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_DELIVER_RANGE_TABLE_HPP

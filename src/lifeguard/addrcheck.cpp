@@ -1,0 +1,55 @@
+#include "lifeguard/addrcheck.hpp"
+
+namespace paralog {
+
+void
+AddrCheck::checkAccess(const LgEvent &ev, LgContext &ctx)
+{
+    std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
+    ctx.charge(2);
+    // Every accessed byte must be allocated: with 1 bit/byte the packed
+    // value must have all ev.size low bits set.
+    std::uint64_t expect = (ev.size >= 64)
+                               ? ~0ULL
+                               : ((1ULL << ev.size) - 1);
+    if ((bits & expect) != expect) {
+        violations.report(Violation::Kind::kUnallocatedAccess, ev.tid,
+                          ev.rid, ev.addr);
+    }
+}
+
+void
+AddrCheck::handle(const LgEvent &ev, LgContext &ctx)
+{
+    switch (ev.type) {
+      case LgEventType::kLoad:
+      case LgEventType::kStore:
+        checkAccess(ev, ctx);
+        break;
+
+      case LgEventType::kMalloc:
+        if (ev.range.empty()) {
+            violations.report(Violation::Kind::kInvalidFree, ev.tid,
+                              ev.rid, 0);
+            break;
+        }
+        ctx.fillMeta(ev.range, kAllocated);
+        break;
+
+      case LgEventType::kFree:
+        if (ev.range.empty()) {
+            // The wrapper saw a free() of a non-live block.
+            violations.report(Violation::Kind::kInvalidFree, ev.tid,
+                              ev.rid, 0);
+            break;
+        }
+        ctx.fillMeta(ev.range, kUnallocated);
+        break;
+
+      default:
+        ctx.charge(1);
+        break;
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,197 @@
+#include "lifeguard/lifeguard.hpp"
+
+#include "common/logging.hpp"
+#include "lifeguard/addrcheck.hpp"
+#include "lifeguard/lockset.hpp"
+#include "lifeguard/memcheck.hpp"
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+
+std::size_t
+ViolationLog::count(Violation::Kind kind) const
+{
+    std::size_t n = 0;
+    for (const Violation &v : violations_) {
+        if (v.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+LgContext::LgContext(ShadowMemory &shadow, MetadataTlb &mtlb,
+                     VersionStore &versions, MemorySystem *mem, CoreId core)
+    : shadow_(shadow), mtlb_(mtlb), versions_(versions), mem_(mem),
+      core_(core)
+{
+}
+
+void
+LgContext::beginEvent()
+{
+    instrs_ = 0;
+    memCycles_ = 0;
+}
+
+void
+LgContext::touchMeta(Addr app_addr, unsigned app_bytes, bool is_write)
+{
+    // Metadata address computation: M-TLB hit is ~1 handler instruction,
+    // a miss pays the two-level table walk.
+    instrs_ += mtlb_.lookupCost(app_addr);
+    if (!mem_)
+        return;
+    unsigned meta_bytes =
+        std::max<unsigned>(1, (app_bytes * shadow_.bitsPerByte() + 7) / 8);
+    AccessResult r = mem_->access(core_, shadow_.metaAddr(app_addr),
+                                  meta_bytes, is_write, AccessTag{}, false);
+    memCycles_ += r.latency;
+}
+
+std::uint64_t
+LgContext::loadMeta(Addr app_addr, unsigned bytes)
+{
+    touchMeta(app_addr, bytes, false);
+    instrs_ += 1;
+    return shadow_.readPacked(app_addr, bytes);
+}
+
+void
+LgContext::storeMeta(Addr app_addr, unsigned bytes, std::uint64_t bits)
+{
+    touchMeta(app_addr, bytes, true);
+    instrs_ += 1;
+    shadow_.writePacked(app_addr, bytes, bits);
+}
+
+std::uint64_t
+LgContext::loadMetaUnion(const MetaSrc *srcs, unsigned n)
+{
+    std::uint64_t bits = 0;
+    Addr touched[kItMaxSources];
+    unsigned ntouched = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr word = shadow_.metaAddr(srcs[i].addr) & ~7ULL;
+        bool seen = false;
+        for (unsigned j = 0; j < ntouched; ++j) {
+            if (touched[j] == word)
+                seen = true;
+        }
+        if (!seen) {
+            touched[ntouched++] = word;
+            touchMeta(srcs[i].addr, srcs[i].size, false);
+        }
+        instrs_ += 1;
+        bits |= shadow_.readPacked(srcs[i].addr, srcs[i].size);
+    }
+    return bits;
+}
+
+bool
+LgContext::metaAllEqual(const MetaSrc *srcs, unsigned n, std::uint8_t value)
+{
+    bool all = true;
+    Addr touched[kItMaxSources];
+    unsigned ntouched = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr word = shadow_.metaAddr(srcs[i].addr) & ~7ULL;
+        bool seen = false;
+        for (unsigned j = 0; j < ntouched; ++j) {
+            if (touched[j] == word)
+                seen = true;
+        }
+        if (!seen) {
+            touched[ntouched++] = word;
+            touchMeta(srcs[i].addr, srcs[i].size, false);
+        }
+        instrs_ += 1;
+        AddrRange r{srcs[i].addr, srcs[i].addr + srcs[i].size};
+        all = all && shadow_.rangeAll(r, value);
+    }
+    return all;
+}
+
+void
+LgContext::fillMeta(const AddrRange &range, std::uint8_t value)
+{
+    if (range.empty())
+        return;
+    instrs_ += 4;
+    // One store (and one cache access) per 64-byte metadata line.
+    Addr meta_begin = shadow_.metaAddr(range.begin);
+    Addr meta_end = shadow_.metaAddr(range.end - 1) + 1;
+    for (Addr m = meta_begin & ~63ULL; m < meta_end; m += 64) {
+        instrs_ += 2;
+        if (mem_) {
+            AccessResult r = mem_->access(core_, m, 8, true, AccessTag{},
+                                          false);
+            memCycles_ += r.latency;
+        }
+    }
+    shadow_.fill(range, value);
+}
+
+bool
+LgContext::checkMetaAll(const AddrRange &range, std::uint8_t value)
+{
+    if (range.empty())
+        return true;
+    instrs_ += 3;
+    Addr meta_begin = shadow_.metaAddr(range.begin);
+    Addr meta_end = shadow_.metaAddr(range.end - 1) + 1;
+    for (Addr m = meta_begin & ~63ULL; m < meta_end; m += 64) {
+        instrs_ += 1;
+        if (mem_) {
+            AccessResult r = mem_->access(core_, m, 8, false, AccessTag{},
+                                          false);
+            memCycles_ += r.latency;
+        }
+    }
+    return shadow_.rangeAll(range, value);
+}
+
+Lifeguard::Lifeguard(std::uint32_t num_threads,
+                     std::uint32_t bits_per_byte)
+    : shadow_(bits_per_byte), regMeta_(num_threads)
+{
+    for (auto &regs : regMeta_)
+        regs.fill(0);
+}
+
+std::uint8_t &
+Lifeguard::regMeta(ThreadId tid, RegId reg)
+{
+    PARALOG_ASSERT(tid < regMeta_.size() && reg < kNumRegs,
+                   "bad register metadata index (%u, %u)", tid, reg);
+    return regMeta_[tid][reg];
+}
+
+LifeguardPtr
+makeLifeguard(LifeguardKind kind, std::uint32_t num_threads)
+{
+    switch (kind) {
+      case LifeguardKind::kTaintCheck:
+        return std::make_unique<TaintCheck>(num_threads);
+      case LifeguardKind::kAddrCheck:
+        return std::make_unique<AddrCheck>(num_threads);
+      case LifeguardKind::kMemCheck:
+        return std::make_unique<MemCheck>(num_threads);
+      case LifeguardKind::kLockSet:
+        return std::make_unique<LockSet>(num_threads);
+    }
+    panic("unknown lifeguard kind");
+}
+
+const char *
+toString(LifeguardKind kind)
+{
+    switch (kind) {
+      case LifeguardKind::kTaintCheck: return "TaintCheck";
+      case LifeguardKind::kAddrCheck: return "AddrCheck";
+      case LifeguardKind::kMemCheck: return "MemCheck";
+      case LifeguardKind::kLockSet: return "LockSet";
+    }
+    return "?";
+}
+
+} // namespace paralog

@@ -1,0 +1,111 @@
+#include "lifeguard/memcheck.hpp"
+
+namespace paralog {
+
+void
+MemCheck::handle(const LgEvent &ev, LgContext &ctx)
+{
+    switch (ev.type) {
+      case LgEventType::kLoad: {
+        std::uint64_t bits;
+        if (ev.consumesVersion) {
+            bits = ctx.versions().consume(ev.version).bits;
+            ctx.charge(4);
+        } else {
+            bits = ctx.loadMeta(ev.addr, ev.size);
+            ctx.charge(3);
+        }
+        bool init = (bits & ones(ev.size)) == ones(ev.size);
+        if (!init && checkedRange_.contains(ev.addr)) {
+            violations.report(Violation::Kind::kUninitRead, ev.tid,
+                              ev.rid, ev.addr);
+        }
+        regMeta(ev.tid, ev.dst) = init ? kInit : kUninit;
+        break;
+      }
+
+      case LgEventType::kStore:
+        // Storing any register value makes the destination defined to
+        // the degree the register is defined.
+        ctx.storeMeta(ev.addr, ev.size,
+                      regMeta(ev.tid, ev.src) ? ones(ev.size) : 0);
+        ctx.charge(3);
+        break;
+
+      case LgEventType::kMovRR:
+        regMeta(ev.tid, ev.dst) = regMeta(ev.tid, ev.src);
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kMovImm:
+        regMeta(ev.tid, ev.dst) = kInit;
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kAlu:
+        // Defined iff both operands are defined.
+        regMeta(ev.tid, ev.dst) = regMeta(ev.tid, ev.dst) &
+                                  regMeta(ev.tid, ev.src);
+        ctx.charge(3);
+        break;
+
+      case LgEventType::kMemToMem: {
+        bool init = ctx.metaAllEqual(ev.srcs.data(), ev.nsrcs, kInit);
+        if (!init && ev.nsrcs > 0 &&
+            checkedRange_.contains(ev.srcs[0].addr)) {
+            violations.report(Violation::Kind::kUninitRead, ev.tid,
+                              ev.rid, ev.srcs[0].addr);
+        }
+        ctx.storeMeta(ev.addr, ev.size, init ? ones(ev.size) : 0);
+        ctx.charge(2);
+        break;
+      }
+
+      case LgEventType::kMemSetConst:
+        ctx.storeMeta(ev.addr, ev.size, ones(ev.size));
+        ctx.charge(3);
+        break;
+
+      case LgEventType::kRegInheritMem: {
+        bool init = ctx.metaAllEqual(ev.srcs.data(), ev.nsrcs, kInit);
+        regMeta(ev.tid, ev.dst) = init ? kInit : kUninit;
+        ctx.charge(2);
+        break;
+      }
+
+      case LgEventType::kRegInheritConst:
+        regMeta(ev.tid, ev.dst) = kInit;
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kMalloc:
+        // Freshly allocated memory is uninitialized: this is the
+        // high-level conflict that forces IT flushes (section 4.1).
+        ctx.fillMeta(ev.range, kUninit);
+        break;
+
+      case LgEventType::kFree:
+        ctx.fillMeta(ev.range, kUninit);
+        break;
+
+      case LgEventType::kSyscallEnd:
+        if (ev.syscall == SyscallKind::kRead)
+            ctx.fillMeta(ev.range, kInit); // kernel defined the buffer
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kProduceVersion: {
+        std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
+        ctx.versions().produce(
+            ev.version, VersionStore::Versioned{bits, ev.addr, ev.size});
+        ctx.charge(4);
+        break;
+      }
+
+      default:
+        ctx.charge(1);
+        break;
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,103 @@
+#include "lifeguard/shadow_memory.hpp"
+
+#include "common/bitops.hpp"
+#include "common/logging.hpp"
+
+namespace paralog {
+
+ShadowMemory::ShadowMemory(std::uint32_t bits_per_byte)
+    : bitsPerByte_(bits_per_byte)
+{
+    PARALOG_ASSERT(bits_per_byte == 1 || bits_per_byte == 2 ||
+                       bits_per_byte == 4 || bits_per_byte == 8,
+                   "unsupported metadata ratio %u", bits_per_byte);
+    valueMask_ = static_cast<std::uint8_t>((1u << bits_per_byte) - 1);
+}
+
+ShadowMemory::Chunk &
+ShadowMemory::chunkFor(Addr app_addr)
+{
+    std::uint64_t idx = app_addr / kChunkAppBytes;
+    auto it = chunks_.find(idx);
+    if (it == chunks_.end()) {
+        auto chunk = std::make_unique<Chunk>(
+            kChunkAppBytes * bitsPerByte_ / 8, 0);
+        it = chunks_.emplace(idx, std::move(chunk)).first;
+    }
+    return *it->second;
+}
+
+const ShadowMemory::Chunk *
+ShadowMemory::chunkForConst(Addr app_addr) const
+{
+    auto it = chunks_.find(app_addr / kChunkAppBytes);
+    return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+ShadowMemory::read(Addr app_addr) const
+{
+    const Chunk *c = chunkForConst(app_addr);
+    if (!c)
+        return 0;
+    std::uint64_t off = app_addr % kChunkAppBytes;
+    std::uint64_t bit = off * bitsPerByte_;
+    std::uint8_t byte = (*c)[bit / 8];
+    return (byte >> (bit % 8)) & valueMask_;
+}
+
+void
+ShadowMemory::write(Addr app_addr, std::uint8_t value)
+{
+    Chunk &c = chunkFor(app_addr);
+    std::uint64_t off = app_addr % kChunkAppBytes;
+    std::uint64_t bit = off * bitsPerByte_;
+    std::uint8_t &byte = c[bit / 8];
+    std::uint8_t shift = bit % 8;
+    byte = static_cast<std::uint8_t>(
+        (byte & ~(valueMask_ << shift)) | ((value & valueMask_) << shift));
+}
+
+std::uint64_t
+ShadowMemory::readPacked(Addr app_addr, unsigned bytes) const
+{
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < bytes && i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(read(app_addr + i))
+                << (i * bitsPerByte_);
+    return bits;
+}
+
+void
+ShadowMemory::writePacked(Addr app_addr, unsigned bytes, std::uint64_t bits)
+{
+    for (unsigned i = 0; i < bytes && i < 8; ++i) {
+        write(app_addr + i, static_cast<std::uint8_t>(
+                                (bits >> (i * bitsPerByte_)) & valueMask_));
+    }
+}
+
+bool
+ShadowMemory::rangeAll(const AddrRange &range, std::uint8_t value) const
+{
+    return rangeFindNot(range, value) == kInvalidAddr;
+}
+
+Addr
+ShadowMemory::rangeFindNot(const AddrRange &range, std::uint8_t value) const
+{
+    for (Addr a = range.begin; a < range.end; ++a) {
+        if (read(a) != value)
+            return a;
+    }
+    return kInvalidAddr;
+}
+
+void
+ShadowMemory::fill(const AddrRange &range, std::uint8_t value)
+{
+    for (Addr a = range.begin; a < range.end; ++a)
+        write(a, value);
+}
+
+} // namespace paralog

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Two-level shadow (metadata) memory, as described in section 6: a
+ * first-level chunk table indexed by the high application address bits,
+ * with metadata chunks allocated lazily when the corresponding virtual
+ * space is first used.
+ *
+ * The metadata-to-data ratio is configurable (1, 2, 4 or 8 bits per
+ * application byte: AddrCheck uses 1, TaintCheck uses 2). Metadata bytes
+ * live at a modelled virtual address (metaAddr) so lifeguard cache
+ * behaviour can be simulated.
+ *
+ * The layout satisfies condition 3 of section 5.3 (no bit-manipulation
+ * races): metadata bytes covering different 64-byte application lines
+ * never share a byte, because 64 app bytes map to >= 8 metadata bytes.
+ */
+
+#ifndef PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
+#define PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace paralog {
+
+class ShadowMemory
+{
+  public:
+    /// Application bytes covered by one metadata chunk.
+    static constexpr std::uint64_t kChunkAppBytes = 1ULL << 20;
+
+    /// Base of the modelled metadata virtual address region.
+    static constexpr Addr kMetaBase = 1ULL << 40;
+
+    explicit ShadowMemory(std::uint32_t bits_per_byte);
+
+    std::uint32_t bitsPerByte() const { return bitsPerByte_; }
+
+    /** Metadata value (bitsPerByte wide) for one application byte. */
+    std::uint8_t read(Addr app_addr) const;
+    void write(Addr app_addr, std::uint8_t value);
+
+    /** Pack the metadata of @p bytes consecutive app bytes (<= 8). */
+    std::uint64_t readPacked(Addr app_addr, unsigned bytes) const;
+    void writePacked(Addr app_addr, unsigned bytes, std::uint64_t bits);
+
+    /** True iff every byte in [range) has metadata == value. */
+    bool rangeAll(const AddrRange &range, std::uint8_t value) const;
+
+    /** First app byte in [range) with metadata != value, else
+     *  kInvalidAddr. */
+    Addr rangeFindNot(const AddrRange &range, std::uint8_t value) const;
+
+    void fill(const AddrRange &range, std::uint8_t value);
+
+    /** Modelled virtual address of the metadata for @p app_addr. */
+    Addr
+    metaAddr(Addr app_addr) const
+    {
+        return kMetaBase + (app_addr * bitsPerByte_) / 8;
+    }
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    using Chunk = std::vector<std::uint8_t>;
+
+    Chunk &chunkFor(Addr app_addr);
+    const Chunk *chunkForConst(Addr app_addr) const;
+
+    std::uint32_t bitsPerByte_;
+    std::uint8_t valueMask_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP

@@ -1,0 +1,155 @@
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+
+bool
+TaintCheck::isTainted(Addr addr, unsigned size) const
+{
+    for (unsigned i = 0; i < size; ++i) {
+        if (shadow_.read(addr + i) != kUntainted)
+            return true;
+    }
+    return false;
+}
+
+void
+TaintCheck::handle(const LgEvent &ev, LgContext &ctx)
+{
+    switch (ev.type) {
+      case LgEventType::kLoad: {
+        std::uint64_t bits;
+        if (ev.consumesVersion) {
+            // TSO: read the versioned (pre-overwrite) metadata.
+            bits = ctx.versions().consume(ev.version).bits;
+            ctx.charge(4);
+        } else {
+            bits = ctx.loadMeta(ev.addr, ev.size);
+            ctx.charge(2);
+        }
+        std::uint8_t t = anyTainted(bits) ? kTainted : kUntainted;
+        if (ev.racesSyscall) {
+            // Concurrent with an unmonitored read(): conservatively
+            // tainted (section 5.4).
+            t = kTainted;
+            ++conservativeTaints;
+        }
+        regMeta(ev.tid, ev.dst) = t;
+        break;
+      }
+
+      case LgEventType::kStore:
+        ctx.storeMeta(ev.addr, ev.size,
+                      spread(regMeta(ev.tid, ev.src), ev.size));
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kMovRR:
+        regMeta(ev.tid, ev.dst) = regMeta(ev.tid, ev.src);
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kMovImm:
+        regMeta(ev.tid, ev.dst) = kUntainted;
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kAlu:
+        regMeta(ev.tid, ev.dst) = regMeta(ev.tid, ev.dst) |
+                                  regMeta(ev.tid, ev.src);
+        ctx.charge(3);
+        break;
+
+      case LgEventType::kJumpReg:
+        ctx.charge(3);
+        if (regMeta(ev.tid, ev.src)) {
+            violations.report(Violation::Kind::kTaintedJump, ev.tid,
+                              ev.rid, ev.value);
+        }
+        break;
+
+      case LgEventType::kJumpMem: {
+        std::uint64_t bits = ctx.loadMetaUnion(ev.srcs.data(), ev.nsrcs);
+        ctx.charge(2);
+        if (anyTainted(bits)) {
+            violations.report(Violation::Kind::kTaintedJump, ev.tid,
+                              ev.rid, ev.srcs[0].addr);
+        }
+        break;
+      }
+
+      case LgEventType::kMemToMem: {
+        // The single event IT synthesizes for a load/.../store chain
+        // (Figure 3): metadata(addr) <- union of inherits-from metadata.
+        std::uint64_t bits = ctx.loadMetaUnion(ev.srcs.data(), ev.nsrcs);
+        std::uint8_t t =
+            (anyTainted(bits) || ev.racesSyscall) ? kTainted : kUntainted;
+        ctx.storeMeta(ev.addr, ev.size, spread(t, ev.size));
+        ctx.charge(2);
+        break;
+      }
+
+      case LgEventType::kMemSetConst:
+        ctx.storeMeta(ev.addr, ev.size, 0);
+        ctx.charge(3);
+        break;
+
+      case LgEventType::kRegInheritMem: {
+        std::uint64_t bits = ctx.loadMetaUnion(ev.srcs.data(), ev.nsrcs);
+        regMeta(ev.tid, ev.dst) = anyTainted(bits) ? kTainted : kUntainted;
+        ctx.charge(2);
+        break;
+      }
+
+      case LgEventType::kRegInheritConst:
+        regMeta(ev.tid, ev.dst) = kUntainted;
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kMalloc:
+      case LgEventType::kFree:
+        // Fresh (or recycled) memory holds no tainted data.
+        ctx.fillMeta(ev.range, kUntainted);
+        break;
+
+      case LgEventType::kSyscallEnd:
+        if (ev.syscall == SyscallKind::kRead) {
+            // Untrusted input: taint the kernel-filled buffer.
+            ctx.fillMeta(ev.range, kTainted);
+        }
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kSyscallBegin:
+        if (ev.syscall == SyscallKind::kWrite &&
+            !ctx.checkMetaAll(ev.range, kUntainted)) {
+            violations.report(Violation::Kind::kTaintedOutput, ev.tid,
+                              ev.rid, ev.range.begin);
+        }
+        ctx.charge(2);
+        break;
+
+      case LgEventType::kProduceVersion: {
+        // TSO: snapshot the current metadata before our pending store
+        // overwrites it; the racing reader's lifeguard consumes it.
+        std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
+        ctx.versions().produce(
+            ev.version, VersionStore::Versioned{bits, ev.addr, ev.size});
+        ctx.charge(4);
+        break;
+      }
+
+      case LgEventType::kLockAcquire:
+      case LgEventType::kLockRelease:
+      case LgEventType::kBarrierPass:
+      case LgEventType::kCaFlush:
+      case LgEventType::kThreadSwitch:
+      case LgEventType::kThreadDone:
+        ctx.charge(1);
+        break;
+
+      case LgEventType::kNone:
+        break;
+    }
+}
+
+} // namespace paralog

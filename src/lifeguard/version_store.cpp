@@ -1,0 +1,33 @@
+#include "lifeguard/version_store.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+void
+VersionStore::produce(const VersionTag &v, const Versioned &data)
+{
+    entries_[v] = data;
+    stats.counter("produced").inc();
+}
+
+bool
+VersionStore::available(const VersionTag &v) const
+{
+    return entries_.count(v) > 0;
+}
+
+VersionStore::Versioned
+VersionStore::consume(const VersionTag &v)
+{
+    auto it = entries_.find(v);
+    PARALOG_ASSERT(it != entries_.end(),
+                   "consuming unavailable version (%u, %llu)", v.tid,
+                   static_cast<unsigned long long>(v.rid));
+    Versioned data = it->second;
+    entries_.erase(it);
+    stats.counter("consumed").inc();
+    return data;
+}
+
+} // namespace paralog

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Temporary versioned-metadata store for TSO support (section 5.5).
+ * Writers snapshot the pre-overwrite metadata under a version tag; the
+ * reader's lifeguard waits for the version, consumes it once, and the
+ * entry is discarded.
+ */
+
+#ifndef PARALOG_LIFEGUARD_VERSION_STORE_HPP
+#define PARALOG_LIFEGUARD_VERSION_STORE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace paralog {
+
+class VersionStore
+{
+  public:
+    struct Versioned
+    {
+        std::uint64_t bits = 0;
+        Addr addr = 0;
+        std::uint8_t size = 0;
+    };
+
+    void produce(const VersionTag &v, const Versioned &data);
+    bool available(const VersionTag &v) const;
+
+    /** Fetch and erase; panics if unavailable (enforcement bug). */
+    Versioned consume(const VersionTag &v);
+
+    std::size_t size() const { return entries_.size(); }
+
+    StatSet stats{"versions"};
+
+  private:
+    struct TagHash
+    {
+        std::size_t
+        operator()(const VersionTag &t) const
+        {
+            return std::hash<std::uint64_t>()(
+                (static_cast<std::uint64_t>(t.tid) << 48) ^ t.rid);
+        }
+    };
+
+    std::unordered_map<VersionTag, Versioned, TagHash> entries_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_LIFEGUARD_VERSION_STORE_HPP

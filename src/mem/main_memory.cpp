@@ -1,0 +1,54 @@
+#include "mem/main_memory.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+MainMemory::Page &
+MainMemory::pageFor(Addr addr)
+{
+    std::uint64_t pn = addr >> kPageShift;
+    auto it = pages_.find(pn);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(pn, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const MainMemory::Page *
+MainMemory::pageForConst(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+MainMemory::read(Addr addr, unsigned size) const
+{
+    PARALOG_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        const Page *p = pageForConst(a);
+        std::uint8_t byte = p ? (*p)[a & (kPageBytes - 1)] : 0;
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+MainMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    PARALOG_ASSERT(size >= 1 && size <= 8, "bad access size %u", size);
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        pageFor(a)[a & (kPageBytes - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flat, sparse backing store for the simulated address space. Values are
+ * real: loads return what stores wrote, so lifeguard analyses (taint
+ * propagation, allocation checks) operate on genuine data flow.
+ */
+
+#ifndef PARALOG_MEM_MAIN_MEMORY_HPP
+#define PARALOG_MEM_MAIN_MEMORY_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace paralog {
+
+class MainMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::uint64_t kPageBytes = 1ULL << kPageShift;
+
+    /** Read @p size bytes (1..8) at @p addr as a little-endian integer. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes (1..8) of @p value at @p addr. */
+    void write(Addr addr, unsigned size, std::uint64_t value);
+
+    std::uint64_t read64(Addr addr) const { return read(addr, 8); }
+    void write64(Addr addr, std::uint64_t v) { write(addr, 8, v); }
+
+    /** Number of distinct pages touched (for tests/stats). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_MEM_MAIN_MEMORY_HPP

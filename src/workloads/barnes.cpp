@@ -1,0 +1,130 @@
+/**
+ * @file
+ * BARNES-like SPLASH-2 kernel (paper input: 16K bodies, scaled down).
+ *
+ * The monitoring-relevant trait is heavy *pointer chasing* over a shared
+ * octree plus racy force updates on node values: dependent loads feed
+ * two-source ALU operations, which IT cannot absorb, so the lifeguard
+ * does real work for a large fraction of events — BARNES is the
+ * "lifeguard busy" benchmark in Figure 7.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+constexpr unsigned kFanout = 4;
+constexpr unsigned kDepth = 4;
+// 1 + 4 + 16 + 64 + 256 nodes; children of node i are 4i+1 .. 4i+4.
+constexpr std::uint64_t kNodes = 341;
+constexpr std::uint64_t kLeafFirst = 85; // nodes >= this have no children
+constexpr std::uint64_t kNodeBytes = 48; // value + 4 child ptrs + pad
+
+class BarnesThread : public ScriptProgram
+{
+  public:
+    BarnesThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env), rng_(env.seed * 1299721 + tid)
+    {
+        // env.scale is total work, divided among threads.
+        walks_ = std::max<std::uint64_t>(
+            4, env.scale / 26 / env.numThreads);
+        slotBase_ = env.globalBase; // slot table used only during build
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (phase_ == Phase::kBuild) {
+            if (tid_ == 0) {
+                // Allocate all nodes and record their addresses in the
+                // slot table (r2 holds each fresh pointer).
+                for (std::uint64_t i = 0; i < kNodes; ++i) {
+                    emit(Inst::malloc(2, kNodeBytes));
+                    emit(Inst::store(slot(i), 2, 8));
+                    emit(Inst::movImm(3, i + 1));
+                    emit(Inst::storeInd(2, 0, 3, 8)); // node.value
+                }
+                // Link children into parents through loaded pointers.
+                for (std::uint64_t i = 0; i < kLeafFirst; ++i) {
+                    emit(Inst::load(2, slot(i), 8)); // parent ptr
+                    for (unsigned c = 0; c < kFanout; ++c) {
+                        emit(Inst::load(3, slot(kFanout * i + 1 + c), 8));
+                        emit(Inst::storeInd(2, 8 + 8 * c, 3, 8));
+                    }
+                }
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            phase_ = Phase::kWalk;
+            return true;
+        }
+
+        if (walk_ >= walks_)
+            return false;
+
+        // One complete root-to-leaf walk per refill: every step loads a
+        // child pointer from the *current node* (register-indirect), so
+        // each address depends on the previous load — genuine pointer
+        // chasing through shared heap memory.
+        std::uint64_t burst =
+            std::min<std::uint64_t>(16, walks_ - walk_);
+        for (std::uint64_t w = 0; w < burst; ++w, ++walk_) {
+            emit(Inst::load(1, slot(0), 8)); // r1 = root
+            for (unsigned d = 0; d < kDepth; ++d) {
+                emit(Inst::loadInd(3, 1, 0, 8)); // node value
+                emit(Inst::alu(6, 3));           // two-source ALU: IT
+                emit(Inst::alu(6, 1));           // cannot absorb these
+                if (rng_.chance(0.2))
+                    emit(Inst::storeInd(1, 0, 6, 8)); // racy update
+                unsigned c = static_cast<unsigned>(rng_.below(kFanout));
+                emit(Inst::loadInd(1, 1, 8 + 8 * c, 8)); // descend
+            }
+            emit(Inst::loadInd(3, 1, 0, 8)); // leaf value
+            emit(Inst::alu(6, 3));
+        }
+        return true;
+    }
+
+  private:
+    enum class Phase { kBuild, kWalk };
+
+    Addr slot(std::uint64_t i) const { return slotBase_ + i * 8; }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    Rng rng_;
+    std::uint64_t walks_;
+    std::uint64_t walk_ = 0;
+    Addr slotBase_;
+    Phase phase_ = Phase::kBuild;
+};
+
+class Barnes : public Workload
+{
+  public:
+    const char *name() const override { return "BARNES"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<BarnesThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes()
+{
+    return std::make_unique<Barnes>();
+}
+
+} // namespace paralog

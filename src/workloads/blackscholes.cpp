@@ -1,0 +1,115 @@
+/**
+ * @file
+ * BLACKSCHOLES-like PARSEC kernel (simlarge input, scaled down).
+ *
+ * Embarrassingly parallel option pricing: each thread prices its own
+ * slice of the option array with long ALU chains and no inter-thread
+ * communication after an initial barrier — the best case for parallel
+ * monitoring (near-zero dependence stalls).
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+class BlackscholesThread : public ScriptProgram
+{
+  public:
+    BlackscholesThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env)
+    {
+        // ~18 instructions per option; env.scale is total work.
+        options_ = std::max<std::uint64_t>(
+            8, env.scale / 18 / env.numThreads);
+        base_ = env.globalBase + tid_ * options_ * 24;
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (!initialized_) {
+            // Write this thread's private option parameters.
+            for (std::uint64_t i = 0; i < options_; ++i) {
+                emit(Inst::movImm(1, 100 + i));
+                emit(Inst::store(opt(i, 0), 1, 8));
+                emit(Inst::movImm(1, 42 + i));
+                emit(Inst::store(opt(i, 1), 1, 8));
+            }
+            if (tid_ == 0) {
+                // Market data arrives from an untrusted source, into a
+                // cache-line-aligned buffer clear of the option arrays.
+                Addr buf = (env_.globalBase +
+                            env_.numThreads * options_ * 24 + 63) &
+                           ~63ULL;
+                emit(Inst::syscallRead(buf + 64, 128));
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            initialized_ = true;
+            return true;
+        }
+        if (next_ >= options_)
+            return false;
+
+        std::uint64_t burst = std::min<std::uint64_t>(64, options_ - next_);
+        for (std::uint64_t n = 0; n < burst; ++n, ++next_) {
+            emit(Inst::load(1, opt(next_, 0), 8)); // spot
+            emit(Inst::load(2, opt(next_, 1), 8)); // strike
+            // CNDF-like ALU chain.
+            emit(Inst::movRR(3, 1));
+            emit(Inst::alu(3, 2));
+            emit(Inst::aluImm(3, 17));
+            emit(Inst::alu(3, 1));
+            emit(Inst::movRR(4, 3));
+            emit(Inst::alu(4, 2));
+            emit(Inst::aluImm(4, 5));
+            emit(Inst::alu(3, 4));
+            emit(Inst::aluImm(3, 3));
+            emit(Inst::alu(3, 1));
+            emit(Inst::store(opt(next_, 2), 3, 8)); // price
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    opt(std::uint64_t i, unsigned field) const
+    {
+        return base_ + i * 24 + field * 8;
+    }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    std::uint64_t options_;
+    Addr base_;
+    std::uint64_t next_ = 0;
+    bool initialized_ = false;
+};
+
+class Blackscholes : public Workload
+{
+  public:
+    const char *name() const override { return "BLACKSCH."; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<BlackscholesThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBlackscholes()
+{
+    return std::make_unique<Blackscholes>();
+}
+
+} // namespace paralog

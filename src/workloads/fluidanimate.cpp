@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FLUIDANIMATE-like PARSEC kernel (simlarge input, scaled down).
+ *
+ * Grid-of-cells particle simulation with *fine-grain per-cell locks*:
+ * most updates stay within a thread's own cells, but border cells are
+ * shared with neighbouring threads and protected by locks, producing a
+ * steady rate of lock-transfer dependence arcs.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+constexpr std::uint64_t kCells = 64;
+constexpr std::uint64_t kCellBytes = 64;
+
+class FluidanimateThread : public ScriptProgram
+{
+  public:
+    FluidanimateThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env), rng_(env.seed * 0x9e3779b97f4a7c15ULL + tid)
+    {
+        steps_ = std::max<std::uint64_t>(
+            8, env.scale / 12 / env.numThreads);
+        cellsPerThread_ = std::max<std::uint64_t>(1, kCells /
+                                                         env.numThreads);
+        firstCell_ = tid_ * cellsPerThread_;
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (!initialized_) {
+            for (std::uint64_t c = firstCell_;
+                 c < firstCell_ + cellsPerThread_ && c < kCells; ++c) {
+                emit(Inst::movImm(1, c * 17 + 1));
+                emit(Inst::store(cellAddr(c), 1, 8));
+                emit(Inst::store(cellAddr(c) + 8, 1, 8));
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            initialized_ = true;
+            return true;
+        }
+        if (step_ >= steps_)
+            return false;
+
+        std::uint64_t burst = std::min<std::uint64_t>(32, steps_ - step_);
+        for (std::uint64_t s = 0; s < burst; ++s, ++step_) {
+            // 80% own cells, 20% a border/neighbour cell.
+            std::uint64_t cell;
+            if (rng_.chance(0.8) || env_.numThreads == 1) {
+                cell = firstCell_ + rng_.below(cellsPerThread_);
+            } else {
+                // Neighbour's first cell (the shared border).
+                ThreadId nb = (tid_ + 1) % env_.numThreads;
+                cell = nb * cellsPerThread_;
+            }
+            cell %= kCells;
+            // Update several particles' density/force fields while
+            // holding the cell lock (locks are per cell, not per word).
+            emit(Inst::lock(env_.lockAddr(2 + cell)));
+            for (unsigned f = 0; f < 4; ++f) {
+                emit(Inst::load(2, cellAddr(cell) + 16 * f, 8));
+                emit(Inst::load(3, cellAddr(cell) + 16 * f + 8, 8));
+                emit(Inst::alu(2, 3));
+                emit(Inst::aluImm(2, 5));
+                emit(Inst::alu(2, 3));
+                emit(Inst::store(cellAddr(cell) + 16 * f, 2, 8));
+            }
+            emit(Inst::unlock(env_.lockAddr(2 + cell)));
+        }
+        return true;
+    }
+
+  private:
+    Addr
+    cellAddr(std::uint64_t c) const
+    {
+        return env_.globalBase + c * kCellBytes;
+    }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    Rng rng_;
+    std::uint64_t steps_;
+    std::uint64_t step_ = 0;
+    std::uint64_t cellsPerThread_;
+    std::uint64_t firstCell_;
+    bool initialized_ = false;
+};
+
+class Fluidanimate : public Workload
+{
+  public:
+    const char *name() const override { return "FLUIDANIM."; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<FluidanimateThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFluidanimate()
+{
+    return std::make_unique<Fluidanimate>();
+}
+
+} // namespace paralog

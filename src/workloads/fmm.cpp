@@ -1,0 +1,114 @@
+/**
+ * @file
+ * FMM-like SPLASH-2 kernel (paper input: 32768 particles, scaled down).
+ *
+ * Fast-multipole style: overwhelmingly local particle updates on
+ * per-thread arrays with periodic reads of neighbouring threads' cells.
+ * Lifeguard overhead is minimal (< 1% AddrCheck overhead in the paper),
+ * so this is the "nothing to accelerate" control benchmark in Figure 8.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+constexpr std::uint64_t kParticleBytes = 16;
+
+class FmmThread : public ScriptProgram
+{
+  public:
+    FmmThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env), rng_(env.seed * 2862933555777941757ULL + tid)
+    {
+        particles_ = 64;
+        iterations_ = std::max<std::uint64_t>(
+            2, env.scale / (particles_ * 7) / env.numThreads);
+        ptrSlot_ = env.globalBase + tid_ * 8; // published array pointer
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (!initialized_) {
+            // Allocate this thread's particle array and publish it.
+            emit(Inst::malloc(1, particles_ * kParticleBytes));
+            emit(Inst::store(ptrSlot_, 1, 8));
+            emit(Inst::movImm(2, tid_ + 1));
+            for (std::uint64_t p = 0; p < particles_; ++p) {
+                emit(Inst::aluImm(2, 13));
+                emit(Inst::storeInd(1, p * kParticleBytes, 2, 8));
+                emit(Inst::storeInd(1, p * kParticleBytes + 8, 2, 8));
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            // Reload our own array pointer after the barrier.
+            emit(Inst::load(1, ptrSlot_, 8));
+            initialized_ = true;
+            return true;
+        }
+        if (iter_ >= iterations_)
+            return false;
+
+        // Local force pass over our particles (r1 = own array): the
+        // force accumulates into r4 and is stored back (classic RMW).
+        for (std::uint64_t p = 0; p < particles_; ++p) {
+            emit(Inst::loadInd(3, 1, p * kParticleBytes, 8));     // pos
+            emit(Inst::loadInd(4, 1, p * kParticleBytes + 8, 8)); // force
+            emit(Inst::alu(4, 3));
+            emit(Inst::aluImm(4, 11));
+            emit(Inst::alu(4, 3));
+            emit(Inst::storeInd(1, p * kParticleBytes + 8, 4, 8));
+        }
+        // Periodic neighbour-cell interaction (coherence arcs).
+        if (env_.numThreads > 1 && (iter_ & 0x7) == 0) {
+            ThreadId nb = (tid_ + 1) % env_.numThreads;
+            emit(Inst::load(5, env_.globalBase + nb * 8, 8)); // nb array
+            for (unsigned p = 0; p < 4; ++p) {
+                std::uint64_t idx = rng_.below(particles_);
+                emit(Inst::loadInd(6, 5, idx * kParticleBytes, 8));
+                emit(Inst::alu(7, 6));
+            }
+        }
+        ++iter_;
+        return true;
+    }
+
+  private:
+    ThreadId tid_;
+    WorkloadEnv env_;
+    Rng rng_;
+    std::uint64_t particles_;
+    std::uint64_t iterations_;
+    std::uint64_t iter_ = 0;
+    Addr ptrSlot_;
+    bool initialized_ = false;
+};
+
+class Fmm : public Workload
+{
+  public:
+    const char *name() const override { return "FMM"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<FmmThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFmm()
+{
+    return std::make_unique<Fmm>();
+}
+
+} // namespace paralog

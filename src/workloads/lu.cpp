@@ -1,0 +1,127 @@
+/**
+ * @file
+ * LU-like SPLASH-2 kernel (paper input: 1024x1024 matrix, scaled down).
+ *
+ * Matrix-oriented: long runs of load/alu/store over rows, with the pivot
+ * row read-shared by every thread and phase barriers between pivot
+ * steps. The regular load->alu->store pattern is exactly what
+ * Inheritance Tracking absorbs best, which is why the paper sees its
+ * largest accelerator speedups (~10X TaintCheck) here.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+class LuThread : public ScriptProgram
+{
+  public:
+    LuThread(ThreadId tid, const WorkloadEnv &env) : tid_(tid), env_(env)
+    {
+        n_ = 96; // matrix dimension (paper: 1024, scaled)
+        blockCols_ = 16;
+        // env.scale is the *total* application work (strong scaling,
+        // as in Figure 6): the pass count is thread-count independent.
+        std::uint64_t insts_per_pass = n_ * blockCols_ * 4;
+        passes_ = std::max<std::uint64_t>(
+            2, env.scale / std::max<std::uint64_t>(1, insts_per_pass));
+        passes_ = std::min<std::uint64_t>(passes_, n_ - 1);
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        switch (phase_) {
+          case Phase::kInit: {
+            // Each thread initializes its own rows (exclusive stores).
+            for (std::uint64_t i = tid_; i < n_; i += env_.numThreads) {
+                for (std::uint64_t j = 0; j < n_; j += 4) {
+                    emit(Inst::movImm(1, (i << 16) | j));
+                    emit(Inst::store(cell(i, j), 1, 8));
+                }
+            }
+            // Thread 0 reads untrusted input into the first row: an
+            // unmonitored-kernel write that TaintCheck must taint.
+            if (tid_ == 0)
+                emit(Inst::syscallRead(cell(0, 0), 256));
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            phase_ = Phase::kEliminate;
+            return true;
+          }
+
+          case Phase::kEliminate: {
+            if (pass_ >= passes_) {
+                phase_ = Phase::kDone;
+                return false;
+            }
+            std::uint64_t k = pass_;
+            // Update the block of columns right of the pivot in every
+            // row this thread owns below the pivot row.
+            for (std::uint64_t i = k + 1 + tid_; i < n_;
+                 i += env_.numThreads) {
+                std::uint64_t jend = std::min(n_, k + 1 + blockCols_);
+                for (std::uint64_t j = k + 1; j < jend; ++j) {
+                    emit(Inst::load(2, cell(k, j), 8)); // pivot row: shared
+                    emit(Inst::load(3, cell(i, j), 8)); // own row
+                    emit(Inst::alu(3, 2));              // row update
+                    emit(Inst::store(cell(i, j), 3, 8));
+                }
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            ++pass_;
+            return true;
+          }
+
+          case Phase::kDone:
+            return false;
+        }
+        return false;
+    }
+
+  private:
+    enum class Phase { kInit, kEliminate, kDone };
+
+    Addr
+    cell(std::uint64_t i, std::uint64_t j) const
+    {
+        return env_.globalBase + (i * n_ + j) * 8;
+    }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    std::uint64_t n_;
+    std::uint64_t blockCols_;
+    std::uint64_t passes_;
+    std::uint64_t pass_ = 0;
+    Phase phase_ = Phase::kInit;
+};
+
+class Lu : public Workload
+{
+  public:
+    const char *name() const override { return "LU"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<LuThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLu()
+{
+    return std::make_unique<Lu>();
+}
+
+} // namespace paralog

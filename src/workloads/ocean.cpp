@@ -1,0 +1,113 @@
+/**
+ * @file
+ * OCEAN-like SPLASH-2 kernel (paper input: 258x258 grid, scaled down).
+ *
+ * Red-black-style stencil sweeps over a shared grid: each thread owns a
+ * band of rows and reads its neighbours' boundary rows, producing a
+ * regular, low-frequency dependence pattern at band edges with barriers
+ * between sweeps.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+class OceanThread : public ScriptProgram
+{
+  public:
+    OceanThread(ThreadId tid, const WorkloadEnv &env) : tid_(tid), env_(env)
+    {
+        g_ = 64; // grid dimension (paper: 258, scaled)
+        rows_ = g_ / env.numThreads;
+        if (rows_ == 0)
+            rows_ = 1;
+        row0_ = 1 + tid_ * rows_;
+        // env.scale is total work: sweep count is thread independent.
+        std::uint64_t insts_per_sweep = (g_ - 2) * (g_ - 2) * 8;
+        sweeps_ = std::max<std::uint64_t>(
+            2, env.scale / std::max<std::uint64_t>(1, insts_per_sweep));
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (!initialized_) {
+            for (std::uint64_t i = row0_; i < row0_ + rows_ && i < g_ - 1;
+                 ++i) {
+                for (std::uint64_t j = 0; j < g_; j += 2) {
+                    emit(Inst::movImm(1, i * 1000 + j));
+                    emit(Inst::store(cell(i, j), 1, 8));
+                }
+            }
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            initialized_ = true;
+            return true;
+        }
+        if (sweep_ >= sweeps_)
+            return false;
+
+        for (std::uint64_t i = row0_; i < row0_ + rows_ && i < g_ - 1;
+             ++i) {
+            for (std::uint64_t j = 1; j < g_ - 1; ++j) {
+                // Five-point stencil: the rows above/below the band edge
+                // belong to neighbouring threads (coherence arcs).
+                emit(Inst::load(1, cell(i - 1, j), 8));
+                emit(Inst::load(2, cell(i + 1, j), 8));
+                emit(Inst::alu(1, 2));
+                emit(Inst::load(2, cell(i, j - 1), 8));
+                emit(Inst::alu(1, 2));
+                emit(Inst::load(2, cell(i, j + 1), 8));
+                emit(Inst::alu(1, 2));
+                emit(Inst::store(cell(i, j), 1, 8));
+            }
+        }
+        emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+        ++sweep_;
+        return true;
+    }
+
+  private:
+    Addr
+    cell(std::uint64_t i, std::uint64_t j) const
+    {
+        return env_.globalBase + (i * g_ + j) * 8;
+    }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    std::uint64_t g_;
+    std::uint64_t rows_;
+    std::uint64_t row0_;
+    std::uint64_t sweeps_;
+    std::uint64_t sweep_ = 0;
+    bool initialized_ = false;
+};
+
+class Ocean : public Workload
+{
+  public:
+    const char *name() const override { return "OCEAN"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<OceanThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeOcean()
+{
+    return std::make_unique<Ocean>();
+}
+
+} // namespace paralog

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * RADIOSITY-like SPLASH-2 kernel ("-room" base problem, scaled down).
+ *
+ * Task-queue parallelism as SPLASH-2 implements it: *per-processor* task
+ * queues with stealing. Threads pop task indices from their own
+ * lock-protected counter (thread-local queue locks) and only cross
+ * threads when their queue drains and they steal from a neighbour. The
+ * patch computation may read patches produced by other threads' tasks,
+ * creating irregular migration-style dependences.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+constexpr std::uint64_t kPatchBytes = 64;
+
+class RadiosityThread : public ScriptProgram
+{
+  public:
+    RadiosityThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env)
+    {
+        // ~300 instructions of patch computation per task: radiosity
+        // tasks (ray-patch interactions) are coarse, so queue locks are
+        // held for a tiny fraction of the time.
+        tasks_ = std::max<std::uint64_t>(4, env.scale / 300);
+        tasksPerThread_ =
+            std::max<std::uint64_t>(1, tasks_ / env.numThreads);
+        counterAddr_ = env.globalBase + 64ULL * tid_;
+        nbThread_ = (tid_ + 1) % env.numThreads;
+        stealCounterAddr_ = env.globalBase + 64ULL * nbThread_;
+        patchBase_ = env.globalBase + 64ULL * env.numThreads + 64;
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        if (!started_) {
+            // Seed this thread's own task queue.
+            emit(Inst::movImm(1, tid_ * tasksPerThread_));
+            emit(Inst::store(counterAddr_, 1, 8));
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            started_ = true;
+            havePendingTask_ = false;
+            return true;
+        }
+
+        if (havePendingTask_) {
+            // r2 holds the task index we popped last refill.
+            std::uint64_t task = tc.regs[2];
+            havePendingTask_ = false;
+            std::uint64_t queue_end =
+                (stealing_ ? nbThread_ + 1 : tid_ + 1) * tasksPerThread_;
+            if (task >= queue_end) {
+                if (!stealing_ && env_.numThreads > 1) {
+                    // Own queue drained: try stealing from the
+                    // neighbour's queue (usually near-empty too).
+                    stealing_ = true;
+                } else {
+                    return false;
+                }
+            } else {
+                emitTask(task);
+            }
+        }
+
+        // Pop the next task index under the owning queue's lock.
+        Addr ctr = stealing_ ? stealCounterAddr_ : counterAddr_;
+        unsigned lock_idx = 1 + (stealing_ ? nbThread_ : tid_);
+        emit(Inst::lock(env_.lockAddr(lock_idx)));
+        emit(Inst::load(2, ctr, 8));
+        emit(Inst::movRR(6, 2));
+        emit(Inst::aluImm(6, 1));
+        emit(Inst::store(ctr, 6, 8));
+        emit(Inst::unlock(env_.lockAddr(lock_idx)));
+        havePendingTask_ = true;
+        return true;
+    }
+
+  private:
+    void
+    emitTask(std::uint64_t task)
+    {
+        // Each task owns a distinct patch; a couple of reads gather
+        // radiosity from patches other tasks may have produced.
+        Addr patch = patchBase_ + (task % 1024) * kPatchBytes;
+        Addr src1 = patchBase_ + ((task * 7 + 3) % 1024) * kPatchBytes;
+        for (unsigned e = 0; e < 24; ++e) {
+            // Operands are reloaded per element, as register pressure
+            // forces in real compiled kernels.
+            emit(Inst::load(3, src1, 8));
+            emit(Inst::load(4, src1 + 8, 8));
+            emit(Inst::alu(3, 4));
+            emit(Inst::load(5, patch + 8 * (e % 8), 8));
+            emit(Inst::alu(5, 3));
+            emit(Inst::aluImm(5, 9));
+            emit(Inst::alu(5, 3));
+            emit(Inst::aluImm(5, 3));
+            emit(Inst::store(patch + 8 * (e % 8), 5, 8));
+        }
+    }
+
+    ThreadId tid_;
+    WorkloadEnv env_;
+    std::uint64_t tasks_;
+    std::uint64_t tasksPerThread_;
+    ThreadId nbThread_;
+    Addr counterAddr_;
+    Addr stealCounterAddr_;
+    Addr patchBase_;
+    bool started_ = false;
+    bool havePendingTask_ = false;
+    bool stealing_ = false;
+};
+
+class Radiosity : public Workload
+{
+  public:
+    const char *name() const override { return "RADIOSITY"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<RadiosityThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadiosity()
+{
+    return std::make_unique<Radiosity>();
+}
+
+} // namespace paralog

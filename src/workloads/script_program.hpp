@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Convenience base for workload thread programs: a refillable
+ * instruction queue. refill() is called only when every previously
+ * emitted instruction has executed, so it may read register values
+ * produced by them (pointer chasing).
+ */
+
+#ifndef PARALOG_WORKLOADS_SCRIPT_PROGRAM_HPP
+#define PARALOG_WORKLOADS_SCRIPT_PROGRAM_HPP
+
+#include <deque>
+
+#include "app/program.hpp"
+#include "app/thread_context.hpp"
+
+namespace paralog {
+
+class ScriptProgram : public ThreadProgram
+{
+  public:
+    std::optional<Inst>
+    next(ThreadContext &tc) override
+    {
+        if (queue_.empty() && !done_) {
+            if (!refill(tc))
+                done_ = true;
+        }
+        if (queue_.empty())
+            return std::nullopt;
+        Inst i = queue_.front();
+        queue_.pop_front();
+        return i;
+    }
+
+  protected:
+    /** Emit more instructions; return false when the program is over. */
+    virtual bool refill(ThreadContext &tc) = 0;
+
+    void emit(const Inst &i) { queue_.push_back(i); }
+
+  private:
+    std::deque<Inst> queue_;
+    bool done_ = false;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_WORKLOADS_SCRIPT_PROGRAM_HPP

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SWAPTIONS-like PARSEC kernel (simlarge input, scaled down).
+ *
+ * The paper singles SWAPTIONS out for its allocation behaviour: ~450K
+ * malloc/free pairs in the parallel phase, each generating a pair of
+ * ConflictAlert messages that act as lifeguard-side barriers — making
+ * it the worst case for both lifeguards (Figures 6 and 7). Allocation
+ * sizes follow the paper's measured distribution: 1/3 of allocations
+ * request at most 64 bytes (one cache block), 2/3 at most 32 blocks,
+ * and none more than 128 blocks.
+ */
+
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "workloads/script_program.hpp"
+
+namespace paralog {
+
+namespace {
+
+class SwaptionsThread : public ScriptProgram
+{
+  public:
+    SwaptionsThread(ThreadId tid, const WorkloadEnv &env)
+        : tid_(tid), env_(env), rng_(env.seed * 6364136223846793005ULL + tid)
+    {
+        // Roughly 60 micro-ops per simulation iteration (including the
+        // wrapper-library expansion of malloc/free).
+        iterations_ = std::max<std::uint64_t>(
+            4, env.scale / 60 / env.numThreads);
+        accumAddr_ = env.globalBase + tid_ * 0; // shared accumulator
+    }
+
+    bool
+    refill(ThreadContext &tc) override
+    {
+        (void)tc;
+        if (!started_) {
+            emit(Inst::barrier(env_.barrierAddr(0), env_.numThreads));
+            started_ = true;
+            return true;
+        }
+        if (iter_ >= iterations_)
+            return false;
+
+        // Allocate a fresh HJM path buffer every fourth trial (the
+        // paper's distribution: 1/3 <= 1 block, 2/3 <= 32 blocks,
+        // none above 128 blocks).
+        if ((iter_ & 3) == 0) {
+            // Cumulative: 1/3 <= 1 block, 2/3 <= 32 blocks, all
+            // <= 128 blocks (the remaining third is 32-128 blocks).
+            std::uint64_t bytes;
+            double p = rng_.uniform();
+            if (p < 1.0 / 3.0)
+                bytes = rng_.range(16, 64);
+            else if (p < 2.0 / 3.0)
+                bytes = rng_.range(65, 32 * 64);
+            else
+                bytes = rng_.range(32 * 64 + 1, 128 * 64);
+            emit(Inst::malloc(1, bytes));
+            bufWords_ = std::min<std::uint64_t>(6, bytes / 8);
+        }
+
+        // Fill the head of the buffer (simulated rate path).
+        emit(Inst::movImm(2, iter_ + 1));
+        emit(Inst::movImm(4, 0)); // fresh Monte-Carlo accumulator
+        for (std::uint64_t w = 0; w < bufWords_; ++w) {
+            emit(Inst::aluImm(2, 3));
+            emit(Inst::storeInd(1, w * 8, 2, 8));
+        }
+        // Monte-Carlo style reduce over the buffer.
+        for (std::uint64_t w = 0; w < bufWords_; ++w) {
+            emit(Inst::loadInd(3, 1, w * 8, 8));
+            emit(Inst::alu(4, 3));
+            emit(Inst::aluImm(4, 7));
+        }
+        // Occasionally publish into the shared accumulator under lock.
+        if ((iter_ & 0xF) == 0) {
+            emit(Inst::lock(env_.lockAddr(0)));
+            emit(Inst::load(5, accumAddr_, 8));
+            emit(Inst::alu(5, 4));
+            emit(Inst::store(accumAddr_, 5, 8));
+            emit(Inst::unlock(env_.lockAddr(0)));
+        }
+        if ((iter_ & 3) == 3)
+            emit(Inst::freeReg(1));
+        ++iter_;
+        return true;
+    }
+
+  private:
+    ThreadId tid_;
+    WorkloadEnv env_;
+    Rng rng_;
+    std::uint64_t iterations_;
+    std::uint64_t iter_ = 0;
+    std::uint64_t bufWords_ = 1;
+    Addr accumAddr_;
+    bool started_ = false;
+};
+
+class Swaptions : public Workload
+{
+  public:
+    const char *name() const override { return "SWAPTIONS"; }
+
+    ThreadProgramPtr
+    makeThread(ThreadId tid, const WorkloadEnv &env) const override
+    {
+        return std::make_unique<SwaptionsThread>(tid, env);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSwaptions()
+{
+    return std::make_unique<Swaptions>();
+}
+
+} // namespace paralog

@@ -1,0 +1,61 @@
+#include "workloads/workload.hpp"
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+// Factories implemented in the per-benchmark translation units.
+std::unique_ptr<Workload> makeBarnes();
+std::unique_ptr<Workload> makeLu();
+std::unique_ptr<Workload> makeOcean();
+std::unique_ptr<Workload> makeFmm();
+std::unique_ptr<Workload> makeRadiosity();
+std::unique_ptr<Workload> makeBlackscholes();
+std::unique_ptr<Workload> makeFluidanimate();
+std::unique_ptr<Workload> makeSwaptions();
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kBarnes: return makeBarnes();
+      case WorkloadKind::kLu: return makeLu();
+      case WorkloadKind::kOcean: return makeOcean();
+      case WorkloadKind::kFmm: return makeFmm();
+      case WorkloadKind::kRadiosity: return makeRadiosity();
+      case WorkloadKind::kBlackscholes: return makeBlackscholes();
+      case WorkloadKind::kFluidanimate: return makeFluidanimate();
+      case WorkloadKind::kSwaptions: return makeSwaptions();
+    }
+    panic("unknown workload kind");
+}
+
+const char *
+toString(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kBarnes: return "BARNES";
+      case WorkloadKind::kLu: return "LU";
+      case WorkloadKind::kOcean: return "OCEAN";
+      case WorkloadKind::kFmm: return "FMM";
+      case WorkloadKind::kRadiosity: return "RADIOSITY";
+      case WorkloadKind::kBlackscholes: return "BLACKSCH.";
+      case WorkloadKind::kFluidanimate: return "FLUIDANIM.";
+      case WorkloadKind::kSwaptions: return "SWAPTIONS";
+    }
+    return "?";
+}
+
+const std::vector<WorkloadKind> &
+allWorkloads()
+{
+    static const std::vector<WorkloadKind> kAll = {
+        WorkloadKind::kBarnes,       WorkloadKind::kLu,
+        WorkloadKind::kOcean,        WorkloadKind::kBlackscholes,
+        WorkloadKind::kFluidanimate, WorkloadKind::kSwaptions,
+        WorkloadKind::kFmm,          WorkloadKind::kRadiosity,
+    };
+    return kAll;
+}
+
+} // namespace paralog

@@ -1,0 +1,217 @@
+/** @file Unit tests for event capture: log buffer, reduction, filters. */
+
+#include <gtest/gtest.h>
+
+#include "capture/capture_unit.hpp"
+
+namespace paralog {
+namespace {
+
+EventRecord
+rec(EventType type, RecordId rid, Addr addr = 0)
+{
+    EventRecord r;
+    r.type = type;
+    r.rid = rid;
+    r.addr = addr;
+    r.size = 8;
+    return r;
+}
+
+TEST(LogBuffer, FifoOrder)
+{
+    LogBuffer buf(1024);
+    buf.append(rec(EventType::kLoad, 0));
+    buf.append(rec(EventType::kStore, 1));
+    EXPECT_EQ(buf.pop().rid, 0u);
+    EXPECT_EQ(buf.pop().rid, 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(LogBuffer, ByteAccountingAndFull)
+{
+    LogBuffer buf(4); // tiny: 4 bytes
+    EXPECT_FALSE(buf.full());
+    buf.append(rec(EventType::kLoad, 0));  // 1 byte
+    buf.append(rec(EventType::kLoad, 1));
+    buf.append(rec(EventType::kLoad, 2));
+    EXPECT_FALSE(buf.full());
+    buf.append(rec(EventType::kLoad, 3));
+    EXPECT_TRUE(buf.full());
+    buf.pop();
+    EXPECT_FALSE(buf.full());
+}
+
+TEST(LogBuffer, CompressedSizesByType)
+{
+    EXPECT_EQ(rec(EventType::kLoad, 0).compressedBytes(), 1u);
+    EXPECT_EQ(rec(EventType::kMallocEnd, 0).compressedBytes(), 8u);
+    EventRecord r = rec(EventType::kLoad, 0);
+    r.arcs.push_back(DepArc{1, 5});
+    EXPECT_EQ(r.compressedBytes(), 5u); // 1 + 4 per arc
+}
+
+TEST(LogBuffer, VisibilityLimitHidesRecords)
+{
+    LogBuffer buf(1024);
+    buf.append(rec(EventType::kLoad, 5));
+    EXPECT_EQ(buf.peek(5), nullptr);    // rid 5 >= limit 5: hidden
+    EXPECT_NE(buf.peek(6), nullptr);    // limit 6: visible
+    EXPECT_NE(buf.peek(), nullptr);     // unlimited
+}
+
+TEST(LogBuffer, FindByRid)
+{
+    LogBuffer buf(1024);
+    buf.append(rec(EventType::kLoad, 2));
+    buf.append(rec(EventType::kStore, 7));
+    EXPECT_EQ(buf.findByRid(2)->type, EventType::kLoad);
+    EXPECT_EQ(buf.findByRid(7)->type, EventType::kStore);
+    EXPECT_EQ(buf.findByRid(5), nullptr);
+}
+
+TEST(LogBuffer, InsertBefore)
+{
+    LogBuffer buf(1024);
+    buf.append(rec(EventType::kLoad, 2));
+    buf.append(rec(EventType::kStore, 7));
+    buf.insertBefore(7, rec(EventType::kProduceVersion, 6));
+    EXPECT_EQ(buf.pop().rid, 2u);
+    EXPECT_EQ(buf.pop().type, EventType::kProduceVersion);
+    EXPECT_EQ(buf.pop().rid, 7u);
+}
+
+TEST(ArcReducer, DropsDominatedArcs)
+{
+    ArcReducer red;
+    EXPECT_TRUE(red.shouldRecord(RawArc{1, 10, false}));
+    EXPECT_FALSE(red.shouldRecord(RawArc{1, 10, false})); // duplicate
+    EXPECT_FALSE(red.shouldRecord(RawArc{1, 5, false}));  // dominated
+    EXPECT_TRUE(red.shouldRecord(RawArc{1, 11, false}));  // new info
+    EXPECT_TRUE(red.shouldRecord(RawArc{2, 1, false}));   // other thread
+    EXPECT_EQ(red.kept, 3u);
+    EXPECT_EQ(red.dropped, 2u);
+}
+
+class CaptureUnitTest : public ::testing::Test
+{
+  protected:
+    CaptureUnitTest() : cfg(SimConfig::forAppThreads(2)) {}
+
+    AppEvent
+    appEvent(EventType type, RecordId rid, Addr addr = 0)
+    {
+        AppEvent ev;
+        ev.record = rec(type, rid, addr);
+        ev.record.tid = 0;
+        return ev;
+    }
+
+    SimConfig cfg;
+};
+
+TEST_F(CaptureUnitTest, AppendsWantedRecords)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    EXPECT_TRUE(cu.append(appEvent(EventType::kLoad, 0)));
+    EXPECT_FALSE(cu.consumerEmpty());
+    EXPECT_EQ(cu.pop().type, EventType::kLoad);
+}
+
+TEST_F(CaptureUnitTest, FilterDropsRegOps)
+{
+    EventFilter f;
+    f.regOps = false;
+    CaptureUnit cu(0, cfg, f);
+    EXPECT_FALSE(cu.append(appEvent(EventType::kMovRR, 0)));
+    EXPECT_TRUE(cu.append(appEvent(EventType::kLoad, 1)));
+}
+
+TEST_F(CaptureUnitTest, HeapOnlyFilter)
+{
+    EventFilter f;
+    f.heapOnly = true;
+    f.heapArena = AddrRange{0x1000, 0x2000};
+    CaptureUnit cu(0, cfg, f);
+    EXPECT_TRUE(cu.append(appEvent(EventType::kLoad, 0, 0x1800)));
+    EXPECT_FALSE(cu.append(appEvent(EventType::kLoad, 1, 0x3000)));
+    // High-level events always pass.
+    EXPECT_TRUE(cu.append(appEvent(EventType::kMallocEnd, 2)));
+}
+
+TEST_F(CaptureUnitTest, ArcReductionAppliedOnAppend)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    AppEvent ev = appEvent(EventType::kLoad, 0);
+    ev.arcs.push_back(RawArc{1, 10, false});
+    ev.arcs.push_back(RawArc{1, 8, false}); // dominated by the first
+    cu.append(ev);
+    EventRecord r = cu.pop();
+    ASSERT_EQ(r.arcs.size(), 1u);
+    EXPECT_EQ(r.arcs[0].rid, 10u);
+}
+
+TEST_F(CaptureUnitTest, ArcsOnFilteredRecordCarryForward)
+{
+    EventFilter f;
+    f.regOps = true;
+    f.loads = false; // loads filtered out
+    CaptureUnit cu(0, cfg, f);
+    AppEvent load = appEvent(EventType::kLoad, 0);
+    load.arcs.push_back(RawArc{1, 42, false});
+    EXPECT_FALSE(cu.append(load)); // filtered, arc pending
+    EXPECT_TRUE(cu.append(appEvent(EventType::kMovRR, 1)));
+    EventRecord r = cu.pop();
+    // The ordering survived on the next captured record.
+    ASSERT_EQ(r.arcs.size(), 1u);
+    EXPECT_EQ(r.arcs[0].tid, 1u);
+    EXPECT_EQ(r.arcs[0].rid, 42u);
+}
+
+TEST_F(CaptureUnitTest, ProgressCeilingTracksStream)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.setRetired(10);
+    // Empty stream: everything retired is complete once consumed.
+    EXPECT_EQ(cu.progressCeiling(), 10u);
+    cu.append(appEvent(EventType::kLoad, 4));
+    // A pending record at rid 4 caps the ceiling.
+    EXPECT_EQ(cu.progressCeiling(), 4u);
+    cu.pop();
+    EXPECT_EQ(cu.progressCeiling(), 10u);
+}
+
+TEST_F(CaptureUnitTest, VisibilityLimitCapsCeiling)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.setRetired(20);
+    cu.setVisibilityLimit(15);
+    EXPECT_EQ(cu.progressCeiling(), 15u);
+}
+
+TEST_F(CaptureUnitTest, ConsumeAnnotation)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.append(appEvent(EventType::kLoad, 3, 0x100));
+    VersionTag v{1, 99};
+    EXPECT_TRUE(cu.annotateConsume(3, v));
+    const EventRecord *r = cu.peek();
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->consumesVersion);
+    EXPECT_EQ(r->version, v);
+    // Annotating a consumed record reports failure (benign).
+    cu.pop();
+    EXPECT_FALSE(cu.annotateConsume(3, v));
+}
+
+TEST_F(CaptureUnitTest, ProduceInsertion)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.append(appEvent(EventType::kStore, 5, 0x100));
+    cu.insertProduceBefore(5, VersionTag{2, 7}, 0x100, 8);
+    EXPECT_EQ(cu.pop().type, EventType::kProduceVersion);
+    EXPECT_EQ(cu.pop().type, EventType::kStore);
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,172 @@
+/** @file Unit tests for the common utility module. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "common/interval_set.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace paralog {
+namespace {
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(65));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(Bitops, Align)
+{
+    EXPECT_EQ(alignDown(70, 64), 64u);
+    EXPECT_EQ(alignUp(70, 64), 128u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(IntervalSet, InsertAndContains)
+{
+    IntervalSet s;
+    s.insert(10, 20);
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_TRUE(s.contains(19));
+    EXPECT_FALSE(s.contains(20));
+    EXPECT_FALSE(s.contains(9));
+}
+
+TEST(IntervalSet, MergeAdjacent)
+{
+    IntervalSet s;
+    s.insert(10, 20);
+    s.insert(20, 30);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.covers(10, 30));
+}
+
+TEST(IntervalSet, MergeOverlapping)
+{
+    IntervalSet s;
+    s.insert(10, 25);
+    s.insert(20, 40);
+    s.insert(5, 12);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.covers(5, 40));
+    EXPECT_EQ(s.coveredBytes(), 35u);
+}
+
+TEST(IntervalSet, EraseSplits)
+{
+    IntervalSet s;
+    s.insert(0, 100);
+    s.erase(40, 60);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(39));
+    EXPECT_FALSE(s.contains(40));
+    EXPECT_FALSE(s.contains(59));
+    EXPECT_TRUE(s.contains(60));
+}
+
+TEST(IntervalSet, EraseAcrossRanges)
+{
+    IntervalSet s;
+    s.insert(0, 10);
+    s.insert(20, 30);
+    s.insert(40, 50);
+    s.erase(5, 45);
+    EXPECT_EQ(s.coveredBytes(), 10u);
+    EXPECT_TRUE(s.covers(0, 5));
+    EXPECT_TRUE(s.covers(45, 50));
+}
+
+TEST(IntervalSet, Overlaps)
+{
+    IntervalSet s;
+    s.insert(100, 200);
+    EXPECT_TRUE(s.overlaps(150, 160));
+    EXPECT_TRUE(s.overlaps(50, 101));
+    EXPECT_TRUE(s.overlaps(199, 300));
+    EXPECT_FALSE(s.overlaps(200, 300));
+    EXPECT_FALSE(s.overlaps(0, 100));
+}
+
+TEST(Stats, CounterBasics)
+{
+    StatSet s("x");
+    s.counter("a").inc();
+    s.counter("a").inc(4);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.reset();
+    EXPECT_EQ(s.get("a"), 0u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(100);
+    h.sample(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1101.0 / 4.0);
+}
+
+TEST(AddrRange, Basics)
+{
+    AddrRange r{100, 200};
+    EXPECT_EQ(r.size(), 100u);
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_FALSE(r.contains(200));
+    EXPECT_TRUE(r.overlaps(AddrRange{150, 250}));
+    EXPECT_FALSE(r.overlaps(AddrRange{200, 250}));
+    EXPECT_TRUE(AddrRange{}.empty());
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for order enforcement: progress table, dependence arcs,
+ * ConflictAlert barrier halves, version stalls, range table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deliver/order_enforce.hpp"
+#include "lifeguard/version_store.hpp"
+
+namespace paralog {
+namespace {
+
+TEST(ProgressTable, PublishMonotonic)
+{
+    ProgressTable pt(2);
+    pt.publish(0, 10);
+    pt.publish(0, 5); // may not move backwards
+    EXPECT_EQ(pt.done(0), 10u);
+    pt.publish(0, 20);
+    EXPECT_EQ(pt.done(0), 20u);
+}
+
+TEST(ProgressTable, ArcSatisfaction)
+{
+    ProgressTable pt(2);
+    pt.publish(1, 10);
+    EXPECT_TRUE(pt.satisfied(DepArc{1, 9}));
+    EXPECT_FALSE(pt.satisfied(DepArc{1, 10}));
+    EXPECT_FALSE(pt.satisfied(DepArc{1, 11}));
+}
+
+TEST(ProgressTable, FinishIsInfinite)
+{
+    ProgressTable pt(2);
+    pt.finish(1);
+    EXPECT_TRUE(pt.satisfied(DepArc{1, 1ULL << 60}));
+}
+
+TEST(RangeTable, DetectsOverlap)
+{
+    RangeTable rt;
+    rt.insert(3, AddrRange{0x1000, 0x1100});
+    EXPECT_TRUE(rt.races(0x1000, 8));
+    EXPECT_TRUE(rt.races(0x10F8, 8));
+    EXPECT_FALSE(rt.races(0x1100, 8));
+    rt.remove(3);
+    EXPECT_FALSE(rt.races(0x1000, 8));
+}
+
+TEST(RangeTable, OneEntryPerIssuer)
+{
+    RangeTable rt;
+    rt.insert(1, AddrRange{0x1000, 0x1100});
+    rt.insert(1, AddrRange{0x2000, 0x2100}); // replaces
+    EXPECT_FALSE(rt.races(0x1000, 8));
+    EXPECT_TRUE(rt.races(0x2000, 8));
+}
+
+class EnforceTest : public ::testing::Test
+{
+  protected:
+    EnforceTest()
+        : cfg(SimConfig::forAppThreads(2)), progress(2), ca(2),
+          unit0(0, cfg, EventFilter{}), unit1(1, cfg, EventFilter{}),
+          enf0(0, unit0, progress, ca,
+               [this](const VersionTag &v) {
+                   return versions.available(v);
+               }),
+          enf1(1, unit1, progress, ca, [this](const VersionTag &v) {
+              return versions.available(v);
+          })
+    {
+    }
+
+    AppEvent
+    load(ThreadId tid, RecordId rid, Addr addr = 0x100)
+    {
+        AppEvent ev;
+        ev.record.type = EventType::kLoad;
+        ev.record.tid = tid;
+        ev.record.rid = rid;
+        ev.record.addr = addr;
+        ev.record.size = 8;
+        return ev;
+    }
+
+    SimConfig cfg;
+    ProgressTable progress;
+    CaManager ca;
+    VersionStore versions;
+    CaptureUnit unit0;
+    CaptureUnit unit1;
+    OrderEnforcer enf0;
+    OrderEnforcer enf1;
+};
+
+TEST_F(EnforceTest, EmptyStream)
+{
+    OrderEnforcer::Delivery d;
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kEmpty);
+}
+
+TEST_F(EnforceTest, DeliversWithoutArc)
+{
+    unit0.append(load(0, 0));
+    OrderEnforcer::Delivery d;
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_EQ(d.rec.rid, 0u);
+}
+
+TEST_F(EnforceTest, ArcStallsUntilProgress)
+{
+    AppEvent ev = load(0, 0);
+    ev.arcs.push_back(RawArc{1, 5, false});
+    unit0.append(ev);
+    OrderEnforcer::Delivery d;
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDepStall);
+    progress.publish(1, 5); // done=5 means rid 5 NOT yet complete
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDepStall);
+    progress.publish(1, 6);
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDelivered);
+}
+
+TEST_F(EnforceTest, VersionStallUntilProduced)
+{
+    AppEvent ev = load(0, 0);
+    ev.record.consumesVersion = true;
+    ev.record.version = VersionTag{1, 7};
+    unit0.append(ev);
+    OrderEnforcer::Delivery d;
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kVersionStall);
+    versions.produce(VersionTag{1, 7}, VersionStore::Versioned{1, 0x100, 8});
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDelivered);
+}
+
+TEST_F(EnforceTest, CaBarrierBothHalves)
+{
+    // Thread 0 issues a free at rid 10 with a CA broadcast.
+    unit0.setRetired(10);
+    AppEvent freeEv;
+    freeEv.record.type = EventType::kFreeBegin;
+    freeEv.record.tid = 0;
+    freeEv.record.rid = 10;
+    freeEv.record.range = AddrRange{0x1000, 0x1040};
+    unit0.append(freeEv);
+
+    unit1.setRetired(4); // thread 1 has retired 4 records
+    unit1.append(load(1, 2));
+
+    std::vector<CaptureUnit *> units{&unit0, &unit1};
+    std::vector<bool> alive{true, true};
+    ca.broadcast(0, 10, HighLevelKind::kFreeBegin,
+                 AddrRange{0x1000, 0x1040}, units, alive);
+    unit0.buffer().findByRid(10)->caSeq = 0;
+
+    // Issuer half: thread 0's lifeguard may not process the free until
+    // thread 1 consumed everything before its CA record (arrival = 4).
+    OrderEnforcer::Delivery d;
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kCaStall);
+
+    // Thread 1 processes its pre-CA record and the CA record itself.
+    EXPECT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered); // the load
+    progress.publish(1, 4);
+    EXPECT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered); // CA record
+    EXPECT_EQ(d.rec.type, EventType::kCaBegin);
+
+    // Waiter half: thread 1 now stalls until the issuer processed the
+    // free...
+    EXPECT_EQ(enf1.tryDeliver(d), DeliverStatus::kCaStall);
+
+    // ...which it now can, since thread 1 arrived.
+    EXPECT_EQ(enf0.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_EQ(d.rec.type, EventType::kFreeBegin);
+    progress.publish(0, 11);
+
+    // And thread 1 resumes.
+    unit1.append(load(1, 5));
+    EXPECT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_EQ(ca.liveBroadcasts(), 0u); // broadcast retired
+}
+
+TEST_F(EnforceTest, SyscallCaMaintainsRangeTable)
+{
+    unit0.setRetired(1);
+    std::vector<CaptureUnit *> units{&unit0, &unit1};
+    std::vector<bool> alive{true, true};
+
+    // Thread 0 issues a syscall-begin CA over [0x4000, 0x4040).
+    ca.broadcast(0, 0, HighLevelKind::kSyscallBegin,
+                 AddrRange{0x4000, 0x4040}, units, alive);
+    progress.publish(0, 1); // issuer already processed the begin
+
+    OrderEnforcer::Delivery d;
+    ASSERT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_EQ(d.rec.type, EventType::kCaBegin);
+
+    // A load racing the in-flight syscall range is flagged.
+    unit1.append(load(1, 1, 0x4010));
+    ASSERT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_TRUE(d.racesSyscall);
+
+    // After CA-End the flag clears.
+    ca.broadcast(0, 1, HighLevelKind::kSyscallEnd,
+                 AddrRange{0x4000, 0x4040}, units, alive);
+    progress.publish(0, 2);
+    ASSERT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered); // CA-End
+    unit1.append(load(1, 2, 0x4010));
+    ASSERT_EQ(enf1.tryDeliver(d), DeliverStatus::kDelivered);
+    EXPECT_FALSE(d.racesSyscall);
+}
+
+TEST_F(EnforceTest, CaSkipsDeadThreads)
+{
+    unit0.setRetired(5);
+    std::vector<CaptureUnit *> units{&unit0, &unit1};
+    std::vector<bool> alive{true, false}; // thread 1 exited
+    ca.broadcast(0, 5, HighLevelKind::kFreeBegin, AddrRange{0, 64},
+                 units, alive);
+    const CaBroadcast *b = ca.find(0);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->arrivalRid[1], kInvalidRecord);
+    EXPECT_TRUE(unit1.consumerEmpty()); // no CA record inserted
+}
+
+TEST(VersionStoreTest, ProduceConsume)
+{
+    VersionStore vs;
+    VersionTag v{2, 42};
+    EXPECT_FALSE(vs.available(v));
+    vs.produce(v, VersionStore::Versioned{0x3, 0x100, 8});
+    EXPECT_TRUE(vs.available(v));
+    auto data = vs.consume(v);
+    EXPECT_EQ(data.bits, 0x3u);
+    EXPECT_FALSE(vs.available(v)); // consumed once
+    EXPECT_EQ(vs.size(), 0u);
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Analysis-equivalence tests: for race-free workloads, the lifeguard's
+ * final metadata conclusions must be *identical* across every platform
+ * configuration — parallel vs timesliced, accelerators on vs off,
+ * per-block vs per-core dependence tracking, SC vs TSO. The mechanisms
+ * under test are transparent to the analysis; only performance may
+ * differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+namespace {
+
+/** Hash the tainted state over the workload's global data region. */
+std::uint64_t
+taintFingerprint(const TaintCheck &lg, Addr base, std::uint64_t bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Addr a = base; a < base + bytes; ++a) {
+        h ^= lg.shadow().read(a);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+struct RunCfg
+{
+    MonitorMode mode;
+    bool accel;
+    DepTracking dep;
+    MemoryModel mem;
+    const char *label;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<WorkloadKind>
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    std::uint64_t
+    runFingerprint(const RunCfg &s)
+    {
+        ExperimentOptions o;
+        o.scale = 6000;
+        o.accelerators = s.accel;
+        o.depTracking = s.dep;
+        o.memoryModel = s.mem;
+        PlatformConfig cfg = makeConfig(GetParam(),
+                                        LifeguardKind::kTaintCheck,
+                                        s.mode, 4, o);
+        if (s.mode == MonitorMode::kTimesliced) {
+            cfg.sim.memoryModel = MemoryModel::kSC;
+            Timesliced ts(cfg);
+            ts.run();
+            auto &lg = static_cast<TaintCheck &>(ts.lifeguard());
+            return taintFingerprint(lg, AddressLayout::kGlobalBase,
+                                    1 << 18);
+        }
+        Platform p(cfg);
+        p.run();
+        auto &lg = static_cast<TaintCheck &>(p.lifeguard());
+        return taintFingerprint(lg, AddressLayout::kGlobalBase, 1 << 18);
+    }
+};
+
+TEST_P(EquivalenceTest, AllConfigurationsAgree)
+{
+    const RunCfg setups[] = {
+        {MonitorMode::kParallel, true, DepTracking::kPerBlock,
+         MemoryModel::kSC, "parallel+accel"},
+        {MonitorMode::kParallel, false, DepTracking::kPerBlock,
+         MemoryModel::kSC, "parallel-accel"},
+        {MonitorMode::kParallel, true, DepTracking::kPerCore,
+         MemoryModel::kSC, "parallel+percore"},
+        {MonitorMode::kTimesliced, true, DepTracking::kPerBlock,
+         MemoryModel::kSC, "timesliced"},
+    };
+    std::uint64_t reference = runFingerprint(setups[0]);
+    for (const RunCfg &s : setups) {
+        EXPECT_EQ(runFingerprint(s), reference)
+            << toString(GetParam()) << " config " << s.label
+            << " diverged from parallel+accel";
+    }
+}
+
+// Deterministic, race-free workloads only: racy benchmarks (BARNES's
+// force write-backs) legitimately produce interleaving-dependent
+// metadata, and TSO reorders rack-free... LU/OCEAN/BLACKSCHOLES have a
+// unique data-race-free outcome.
+INSTANTIATE_TEST_SUITE_P(
+    RaceFree, EquivalenceTest,
+    ::testing::Values(WorkloadKind::kLu, WorkloadKind::kOcean,
+                      WorkloadKind::kBlackscholes),
+    [](const ::testing::TestParamInfo<WorkloadKind> &info) {
+        std::string name = toString(info.param);
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(EquivalenceTso, RaceFreeWorkloadsAgreeUnderTso)
+{
+    setQuiet(true);
+    for (WorkloadKind w :
+         {WorkloadKind::kLu, WorkloadKind::kBlackscholes}) {
+        std::uint64_t fp[2];
+        int i = 0;
+        for (MemoryModel m : {MemoryModel::kSC, MemoryModel::kTSO}) {
+            ExperimentOptions o;
+            o.scale = 6000;
+            o.memoryModel = m;
+            PlatformConfig cfg = makeConfig(w, LifeguardKind::kTaintCheck,
+                                            MonitorMode::kParallel, 4, o);
+            Platform p(cfg);
+            p.run();
+            auto &lg = static_cast<TaintCheck &>(p.lifeguard());
+            fp[i++] = taintFingerprint(lg, AddressLayout::kGlobalBase,
+                                       1 << 18);
+        }
+        EXPECT_EQ(fp[0], fp[1]) << toString(w) << ": TSO diverged";
+    }
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Failure-injection tests: disable or distort individual ParaLog
+ * mechanisms and check both that the system stays sound where it must,
+ * and that the mechanisms are observably load-bearing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "lifeguard/addrcheck.hpp"
+
+namespace paralog {
+namespace {
+
+class FailureInjection : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+};
+
+TEST_F(FailureInjection, DisablingConflictAlertsSkipsBarriers)
+{
+    // With CA disabled the platform issues no broadcasts; with CA
+    // enabled swaptions issues one per malloc/free. The barrier time
+    // disappears with them — quantifying what the mechanism costs.
+    ExperimentOptions on;
+    on.scale = 8000;
+    ExperimentOptions off = on;
+    off.conflictAlerts = false;
+
+    PlatformConfig cfg_on = makeConfig(WorkloadKind::kSwaptions,
+                                       LifeguardKind::kAddrCheck,
+                                       MonitorMode::kParallel, 4, on);
+    Platform p_on(cfg_on);
+    RunResult r_on = p_on.run();
+    EXPECT_GT(p_on.caManager().issued(), 0u);
+
+    PlatformConfig cfg_off = makeConfig(WorkloadKind::kSwaptions,
+                                        LifeguardKind::kAddrCheck,
+                                        MonitorMode::kParallel, 4, off);
+    Platform p_off(cfg_off);
+    RunResult r_off = p_off.run();
+    EXPECT_EQ(p_off.caManager().issued(), 0u);
+
+    Cycle ca_on = 0, ca_off = 0;
+    for (const auto &l : r_on.lifeguard)
+        ca_on += l.caStall;
+    for (const auto &l : r_off.lifeguard)
+        ca_off += l.caStall;
+    EXPECT_GT(ca_on, 0u);
+    EXPECT_EQ(ca_off, 0u);
+}
+
+TEST_F(FailureInjection, LogicalRaceInvisibleToCoherence)
+{
+    // The premise of section 4.3: the allocator only touches block
+    // headers, so a free() and an access to the payload interior live
+    // on disjoint cache lines and no coherence message links them.
+    Heap heap(0x1000000, 1 << 20);
+    Addr a = heap.allocate(512);
+    Addr hdr = Heap::headerAddr(a);
+    Addr interior = a + 256;
+    EXPECT_GT(interior - hdr, 64u); // different 64-byte lines
+    heap.release(a);
+
+    // And through the memory system: thread 0 touches the header line,
+    // thread 1 loads the interior — no arc is generated.
+    SimConfig cfg = SimConfig::forAppThreads(2);
+    MemorySystem mem(cfg, 2);
+    mem.bindThread(0, 0);
+    mem.bindThread(1, 1);
+    mem.access(0, hdr, 8, true, AccessTag{0, 1, 0}, true);
+    AccessResult r =
+        mem.access(1, interior, 8, false, AccessTag{1, 1, 1}, true);
+    EXPECT_TRUE(r.arcs.empty());
+}
+
+TEST_F(FailureInjection, CaOrderingKeepsAddrCheckSound)
+{
+    // With the full mechanism, the malloc/free-heavy workload produces
+    // no false AddrCheck violations: the CA barrier orders every free's
+    // metadata update against remote accesses even where no dependence
+    // arc connects them.
+    ExperimentOptions o;
+    o.scale = 8000;
+    RunResult r = runExperiment(WorkloadKind::kSwaptions,
+                                LifeguardKind::kAddrCheck,
+                                MonitorMode::kParallel, 4, o);
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(FailureInjection, WatchdogCatchesRunaway)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ExperimentOptions o;
+    o.scale = 8000;
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, o);
+    cfg.maxCycles = 10; // absurdly small: must trip the watchdog
+    EXPECT_DEATH(
+        {
+            Platform p(cfg);
+            p.run();
+        },
+        "watchdog");
+}
+
+TEST_F(FailureInjection, TinyLogBufferStillCorrect)
+{
+    ExperimentOptions o;
+    o.scale = 4000;
+    o.logBufferBytes = 64; // pathological back-pressure
+    RunResult r = runExperiment(WorkloadKind::kOcean,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 2, o);
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(FailureInjection, ZeroThresholdStillCorrect)
+{
+    // advertiseThreshold = 0 forces constant accelerator flushing:
+    // slower, but never wrong.
+    ExperimentOptions o;
+    o.scale = 4000;
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, o);
+    cfg.sim.accel.advertiseThreshold = 0;
+    Platform p(cfg);
+    RunResult r = p.run();
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(FailureInjection, OneEntryStoreBufferStillCorrectUnderTso)
+{
+    ExperimentOptions o;
+    o.scale = 4000;
+    o.memoryModel = MemoryModel::kTSO;
+    PlatformConfig cfg = makeConfig(WorkloadKind::kOcean,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, o);
+    cfg.sim.storeBufferEntries = 1;
+    Platform p(cfg);
+    RunResult r = p.run();
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+} // namespace
+} // namespace paralog

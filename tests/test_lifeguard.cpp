@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Unit tests for the lifeguards: shadow memory, TaintCheck propagation,
+ * AddrCheck allocation tracking, MemCheck, LockSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lifeguard/addrcheck.hpp"
+#include "lifeguard/lockset.hpp"
+#include "lifeguard/memcheck.hpp"
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+namespace {
+
+// ---------- ShadowMemory ----------
+
+class ShadowParam : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ShadowParam, ReadWriteRoundTrip)
+{
+    ShadowMemory s(GetParam());
+    std::uint8_t max = static_cast<std::uint8_t>((1u << GetParam()) - 1);
+    s.write(0x1000, max);
+    EXPECT_EQ(s.read(0x1000), max);
+    EXPECT_EQ(s.read(0x1001), 0u); // neighbour untouched
+    s.write(0x1000, 0);
+    EXPECT_EQ(s.read(0x1000), 0u);
+}
+
+TEST_P(ShadowParam, PackedAccess)
+{
+    ShadowMemory s(GetParam());
+    for (unsigned i = 0; i < 8; ++i)
+        s.write(0x2000 + i, (i % 2) ? 1 : 0);
+    std::uint64_t bits = s.readPacked(0x2000, 8);
+    for (unsigned i = 0; i < 8; ++i) {
+        std::uint64_t field =
+            (bits >> (i * GetParam())) & ((1u << GetParam()) - 1);
+        EXPECT_EQ(field, (i % 2) ? 1u : 0u);
+    }
+    s.writePacked(0x2000, 8, 0);
+    EXPECT_TRUE(s.rangeAll(AddrRange{0x2000, 0x2008}, 0));
+}
+
+TEST_P(ShadowParam, RangeOps)
+{
+    ShadowMemory s(GetParam());
+    s.fill(AddrRange{0x100, 0x200}, 1);
+    EXPECT_TRUE(s.rangeAll(AddrRange{0x100, 0x200}, 1));
+    EXPECT_FALSE(s.rangeAll(AddrRange{0x100, 0x201}, 1));
+    EXPECT_EQ(s.rangeFindNot(AddrRange{0x100, 0x210}, 1), 0x200u);
+}
+
+TEST_P(ShadowParam, ChunkBoundary)
+{
+    ShadowMemory s(GetParam());
+    Addr b = ShadowMemory::kChunkAppBytes;
+    s.fill(AddrRange{b - 4, b + 4}, 1);
+    EXPECT_TRUE(s.rangeAll(AddrRange{b - 4, b + 4}, 1));
+    EXPECT_GE(s.chunkCount(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ShadowParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ShadowMemory, MetaAddrLayoutAvoidsBitRaces)
+{
+    // Condition 3 of section 5.3: metadata of different 64-byte lines
+    // never shares a byte.
+    ShadowMemory s(1);
+    Addr line_a = 0x1000, line_b = 0x1040;
+    EXPECT_NE(s.metaAddr(line_a) , s.metaAddr(line_b));
+    EXPECT_GE(s.metaAddr(line_b) - s.metaAddr(line_a), 8u);
+}
+
+// ---------- Handler-driving helpers ----------
+
+struct LgHarness
+{
+    explicit LgHarness(std::uint32_t bpb, Lifeguard &lg)
+        : mtlb(64, true), ctx(lg.shadow(), mtlb, versions, nullptr, 0)
+    {
+        (void)bpb;
+    }
+
+    MetadataTlb mtlb;
+    VersionStore versions;
+    LgContext ctx;
+};
+
+LgEvent
+ev(LgEventType type, ThreadId tid = 0, RecordId rid = 0)
+{
+    LgEvent e;
+    e.type = type;
+    e.tid = tid;
+    e.rid = rid;
+    return e;
+}
+
+// ---------- TaintCheck ----------
+
+class TaintTest : public ::testing::Test
+{
+  protected:
+    TaintTest() : lg(2), h(2, lg) {}
+
+    void
+    run(LgEvent e)
+    {
+        h.ctx.beginEvent();
+        lg.handle(e, h.ctx);
+    }
+
+    TaintCheck lg;
+    LgHarness h;
+};
+
+TEST_F(TaintTest, SyscallReadTaintsBuffer)
+{
+    LgEvent e = ev(LgEventType::kSyscallEnd);
+    e.syscall = SyscallKind::kRead;
+    e.range = AddrRange{0x1000, 0x1040};
+    run(e);
+    EXPECT_TRUE(lg.isTainted(0x1000, 8));
+    EXPECT_TRUE(lg.isTainted(0x103F, 1));
+    EXPECT_FALSE(lg.isTainted(0x1040, 1));
+}
+
+TEST_F(TaintTest, LoadStorePropagation)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_TRUE(lg.regTainted(0, 1));
+
+    LgEvent store = ev(LgEventType::kStore);
+    store.src = 1;
+    store.addr = 0x2000;
+    store.size = 8;
+    run(store);
+    EXPECT_TRUE(lg.isTainted(0x2000, 8));
+}
+
+TEST_F(TaintTest, RegisterOps)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+
+    LgEvent mov = ev(LgEventType::kMovRR);
+    mov.dst = 2;
+    mov.src = 1;
+    run(mov);
+    EXPECT_TRUE(lg.regTainted(0, 2));
+
+    LgEvent alu = ev(LgEventType::kAlu);
+    alu.dst = 3;
+    alu.src = 2;
+    run(alu); // r3 (untainted) |= r2 (tainted)
+    EXPECT_TRUE(lg.regTainted(0, 3));
+
+    LgEvent imm = ev(LgEventType::kMovImm);
+    imm.dst = 2;
+    run(imm);
+    EXPECT_FALSE(lg.regTainted(0, 2));
+}
+
+TEST_F(TaintTest, MemToMemUnionOfSources)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent m = ev(LgEventType::kMemToMem);
+    m.addr = 0x3000;
+    m.size = 8;
+    m.nsrcs = 2;
+    m.srcs[0] = MetaSrc{0x2000, 8}; // clean
+    m.srcs[1] = MetaSrc{0x1000, 8}; // tainted
+    run(m);
+    EXPECT_TRUE(lg.isTainted(0x3000, 8));
+}
+
+TEST_F(TaintTest, TaintedJumpViolation)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    LgEvent jmp = ev(LgEventType::kJumpReg);
+    jmp.src = 1;
+    run(jmp);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kTaintedJump), 1u);
+}
+
+TEST_F(TaintTest, CleanJumpNoViolation)
+{
+    LgEvent jmp = ev(LgEventType::kJumpReg);
+    jmp.src = 1;
+    run(jmp);
+    EXPECT_EQ(lg.violations.count(), 0u);
+}
+
+TEST_F(TaintTest, MallocClearsTaint)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1100}, TaintCheck::kTainted);
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1100};
+    run(m);
+    EXPECT_FALSE(lg.isTainted(0x1000, 0x100));
+}
+
+TEST_F(TaintTest, RacingSyscallLoadConservativelyTainted)
+{
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x5000;
+    load.size = 8;
+    load.racesSyscall = true;
+    run(load);
+    EXPECT_TRUE(lg.regTainted(0, 1));
+    EXPECT_EQ(lg.conservativeTaints, 1u);
+}
+
+TEST_F(TaintTest, PerThreadRegisterMetadata)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent load = ev(LgEventType::kLoad, /*tid=*/1);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_TRUE(lg.regTainted(1, 1));
+    EXPECT_FALSE(lg.regTainted(0, 1)); // other thread unaffected
+}
+
+TEST_F(TaintTest, VersionedLoadReadsSnapshot)
+{
+    // Writer-side lifeguard snapshots the old (tainted) metadata...
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent prod = ev(LgEventType::kProduceVersion, 1);
+    prod.addr = 0x1000;
+    prod.size = 8;
+    prod.version = VersionTag{0, 50};
+    run(prod);
+    // ...the memory is then overwritten with clean data...
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kUntainted);
+    // ...but the versioned reader still sees the tainted snapshot.
+    LgEvent load = ev(LgEventType::kLoad, 0, 50);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    load.consumesVersion = true;
+    load.version = VersionTag{0, 50};
+    run(load);
+    EXPECT_TRUE(lg.regTainted(0, 1));
+}
+
+TEST_F(TaintTest, TaintedOutputDetected)
+{
+    lg.shadow().fill(AddrRange{0x1000, 0x1008}, TaintCheck::kTainted);
+    LgEvent out = ev(LgEventType::kSyscallBegin);
+    out.syscall = SyscallKind::kWrite;
+    out.range = AddrRange{0x1000, 0x1008};
+    run(out);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kTaintedOutput), 1u);
+}
+
+// ---------- AddrCheck ----------
+
+class AddrTest : public ::testing::Test
+{
+  protected:
+    AddrTest() : lg(2), h(1, lg) {}
+
+    void
+    run(LgEvent e)
+    {
+        h.ctx.beginEvent();
+        lg.handle(e, h.ctx);
+    }
+
+    AddrCheck lg;
+    LgHarness h;
+};
+
+TEST_F(AddrTest, AccessToUnallocatedViolates)
+{
+    LgEvent load = ev(LgEventType::kLoad);
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kUnallocatedAccess),
+              1u);
+}
+
+TEST_F(AddrTest, MallocThenAccessOk)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_EQ(lg.violations.count(), 0u);
+}
+
+TEST_F(AddrTest, UseAfterFreeDetected)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent f = ev(LgEventType::kFree);
+    f.range = AddrRange{0x1000, 0x1040};
+    run(f);
+    LgEvent store = ev(LgEventType::kStore);
+    store.addr = 0x1020;
+    store.size = 8;
+    run(store);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kUnallocatedAccess),
+              1u);
+}
+
+TEST_F(AddrTest, PartialOverlapViolates)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1004};
+    run(m);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.addr = 0x1000;
+    load.size = 8; // spills past the allocation
+    run(load);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kUnallocatedAccess),
+              1u);
+}
+
+TEST_F(AddrTest, InvalidFreeReported)
+{
+    LgEvent f = ev(LgEventType::kFree);
+    f.range = AddrRange{}; // wrapper found no live block
+    run(f);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kInvalidFree), 1u);
+}
+
+// ---------- MemCheck ----------
+
+class MemCheckTest : public ::testing::Test
+{
+  protected:
+    MemCheckTest() : lg(2), h(1, lg)
+    {
+        lg.setCheckedRange(AddrRange{0x1000, 0x2000});
+    }
+
+    void
+    run(LgEvent e)
+    {
+        h.ctx.beginEvent();
+        lg.handle(e, h.ctx);
+    }
+
+    MemCheck lg;
+    LgHarness h;
+};
+
+TEST_F(MemCheckTest, UninitReadAfterMalloc)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kUninitRead), 1u);
+}
+
+TEST_F(MemCheckTest, StoreInitializes)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent store = ev(LgEventType::kStore);
+    store.src = 1; // registers start initialized
+    store.addr = 0x1000;
+    store.size = 8;
+    run(store);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 2;
+    load.addr = 0x1000;
+    load.size = 8;
+    run(load);
+    EXPECT_EQ(lg.violations.count(), 0u);
+    EXPECT_TRUE(lg.isInitialized(0x1000, 8));
+}
+
+TEST_F(MemCheckTest, UninitPropagatesThroughRegisters)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent load = ev(LgEventType::kLoad);
+    load.dst = 1;
+    load.addr = 0x1008, load.size = 8;
+    run(load); // r1 now undefined (and one violation)
+    LgEvent store = ev(LgEventType::kStore);
+    store.src = 1;
+    store.addr = 0x1010;
+    store.size = 8;
+    run(store);
+    EXPECT_FALSE(lg.isInitialized(0x1010, 8));
+}
+
+TEST_F(MemCheckTest, SyscallReadInitializes)
+{
+    LgEvent m = ev(LgEventType::kMalloc);
+    m.range = AddrRange{0x1000, 0x1040};
+    run(m);
+    LgEvent sys = ev(LgEventType::kSyscallEnd);
+    sys.syscall = SyscallKind::kRead;
+    sys.range = AddrRange{0x1000, 0x1040};
+    run(sys);
+    EXPECT_TRUE(lg.isInitialized(0x1000, 0x40));
+}
+
+// ---------- LockSet ----------
+
+class LockSetTest : public ::testing::Test
+{
+  protected:
+    LockSetTest() : lg(3), h(2, lg) {}
+
+    void
+    run(LgEvent e)
+    {
+        h.ctx.beginEvent();
+        lg.handle(e, h.ctx);
+    }
+
+    void
+    access(ThreadId tid, Addr addr, bool write)
+    {
+        LgEvent e = ev(write ? LgEventType::kStore : LgEventType::kLoad,
+                       tid);
+        e.addr = addr;
+        e.size = 8;
+        run(e);
+    }
+
+    void
+    lock(ThreadId tid, Addr l)
+    {
+        LgEvent e = ev(LgEventType::kLockAcquire, tid);
+        e.addr = l;
+        run(e);
+    }
+
+    void
+    unlock(ThreadId tid, Addr l)
+    {
+        LgEvent e = ev(LgEventType::kLockRelease, tid);
+        e.addr = l;
+        run(e);
+    }
+
+    LockSet lg;
+    LgHarness h;
+};
+
+TEST_F(LockSetTest, ExclusiveThenSharedStates)
+{
+    access(0, 0x1000, true);
+    EXPECT_EQ(lg.state(0x1000), LockSet::kExclusive);
+    access(1, 0x1000, false);
+    EXPECT_EQ(lg.state(0x1000), LockSet::kShared);
+}
+
+TEST_F(LockSetTest, ProperLockingNoRace)
+{
+    for (ThreadId t : {0u, 1u, 2u}) {
+        lock(t, 0x100);
+        access(t, 0x1000, true);
+        unlock(t, 0x100);
+    }
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kDataRace), 0u);
+}
+
+TEST_F(LockSetTest, UnlockedSharedWriteRaces)
+{
+    access(0, 0x1000, true);
+    access(1, 0x1000, true); // second thread, no common lock
+    EXPECT_GE(lg.violations.count(Violation::Kind::kDataRace), 1u);
+}
+
+TEST_F(LockSetTest, DisjointLocksRace)
+{
+    lock(0, 0x100);
+    access(0, 0x1000, true);
+    unlock(0, 0x100);
+    lock(1, 0x200);
+    access(1, 0x1000, true);
+    unlock(1, 0x200);
+    EXPECT_GE(lg.violations.count(Violation::Kind::kDataRace), 1u);
+}
+
+TEST_F(LockSetTest, FastPathAfterRefinement)
+{
+    lock(0, 0x100);
+    access(0, 0x1000, false);
+    unlock(0, 0x100);
+    lock(1, 0x100);
+    access(1, 0x1000, false);
+    std::uint64_t slow_before = lg.slowPathEntries;
+    access(1, 0x1000, false); // repeated read: sync-free fast path
+    unlock(1, 0x100);
+    EXPECT_GT(lg.fastPathHits, 0u);
+    EXPECT_EQ(lg.slowPathEntries, slow_before);
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Integration tests: the full ParaLog platform running real workloads,
+ * checking both performance-model sanity and monitoring correctness
+ * (shadow state consistency, ordering, ConflictAlert effects).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "lifeguard/addrcheck.hpp"
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+namespace {
+
+class PlatformTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    ExperimentOptions
+    opts(std::uint64_t scale = 8000)
+    {
+        ExperimentOptions o;
+        o.scale = scale;
+        return o;
+    }
+};
+
+TEST_F(PlatformTest, NoMonitoringCompletes)
+{
+    RunResult r = runExperiment(WorkloadKind::kLu,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kNoMonitoring, 2, opts());
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_EQ(r.lifeguard.size(), 0u);
+    EXPECT_GT(r.retiredTotal(), 1000u);
+}
+
+TEST_F(PlatformTest, ParallelMonitoringCompletesAndConsumesAll)
+{
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    RunResult r = p.run();
+    EXPECT_GT(r.totalCycles, 0u);
+    ASSERT_EQ(r.lifeguard.size(), 2u);
+    for (ThreadId t = 0; t < 2; ++t) {
+        EXPECT_TRUE(p.capture(t).consumerEmpty())
+            << "lifeguard " << t << " left records unprocessed";
+    }
+    // Lifeguards must have seen the thread-done records.
+    for (const auto &l : r.lifeguard)
+        EXPECT_GT(l.recordsProcessed, 100u);
+}
+
+TEST_F(PlatformTest, MonitoringDoesNotPerturbApplication)
+{
+    // The application must compute the same thing with and without
+    // monitoring: same program instruction counts.
+    RunResult none = runExperiment(WorkloadKind::kOcean,
+                                   LifeguardKind::kTaintCheck,
+                                   MonitorMode::kNoMonitoring, 2, opts());
+    RunResult mon = runExperiment(WorkloadKind::kOcean,
+                                  LifeguardKind::kTaintCheck,
+                                  MonitorMode::kParallel, 2, opts());
+    EXPECT_EQ(none.retiredTotal(), mon.retiredTotal());
+}
+
+TEST_F(PlatformTest, MonitoringAddsBoundedOverhead)
+{
+    RunResult none = runExperiment(WorkloadKind::kLu,
+                                   LifeguardKind::kTaintCheck,
+                                   MonitorMode::kNoMonitoring, 2, opts());
+    RunResult mon = runExperiment(WorkloadKind::kLu,
+                                  LifeguardKind::kTaintCheck,
+                                  MonitorMode::kParallel, 2, opts());
+    EXPECT_GE(mon.totalCycles, none.totalCycles);
+    EXPECT_LT(mon.totalCycles, none.totalCycles * 5);
+}
+
+TEST_F(PlatformTest, ParallelScalesWithThreads)
+{
+    ExperimentOptions o = opts(20000);
+    RunResult r1 = runExperiment(WorkloadKind::kBlackscholes,
+                                 LifeguardKind::kTaintCheck,
+                                 MonitorMode::kParallel, 1, o);
+    RunResult r4 = runExperiment(WorkloadKind::kBlackscholes,
+                                 LifeguardKind::kTaintCheck,
+                                 MonitorMode::kParallel, 4, o);
+    // Strong scaling: 4 threads should be at least 2x faster.
+    EXPECT_LT(r4.totalCycles * 2, r1.totalCycles);
+}
+
+TEST_F(PlatformTest, TaintPropagatesAcrossThreads)
+{
+    // LU: thread 0's syscallRead taints row 0; elimination propagates
+    // pivot-row data into other rows via other threads, so taint must
+    // appear in memory written by threads other than 0.
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    p.run();
+    auto &taint = static_cast<TaintCheck &>(p.lifeguard());
+    // The first matrix row was tainted by the syscall...
+    EXPECT_TRUE(taint.isTainted(AddressLayout::kGlobalBase, 64));
+    // ...and elimination pass 0 copies pivot row 0 into rows > 0,
+    // which are updated by *both* threads.
+    std::uint64_t n = 96;
+    bool propagated = false;
+    for (std::uint64_t i = 1; i < 8 && !propagated; ++i) {
+        Addr row_i = AddressLayout::kGlobalBase + i * n * 8;
+        propagated = taint.isTainted(row_i + 8, 8 * 16);
+    }
+    EXPECT_TRUE(propagated);
+}
+
+TEST_F(PlatformTest, AddrCheckShadowMatchesHeap)
+{
+    PlatformConfig cfg = makeConfig(WorkloadKind::kSwaptions,
+                                    LifeguardKind::kAddrCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    p.run();
+    auto &ac = static_cast<AddrCheck &>(p.lifeguard());
+    // No violations on a correct program.
+    EXPECT_EQ(ac.violations.count(), 0u);
+    // Final shadow state: allocated bytes marked, freed bytes cleared.
+    Heap &heap = p.heap();
+    EXPECT_GT(heap.stats.get("allocs"), 10u);
+}
+
+TEST_F(PlatformTest, CorrectProgramsRaiseNoViolations)
+{
+    for (WorkloadKind w : {WorkloadKind::kOcean, WorkloadKind::kFmm,
+                           WorkloadKind::kRadiosity}) {
+        RunResult r = runExperiment(w, LifeguardKind::kAddrCheck,
+                                    MonitorMode::kParallel, 2, opts());
+        EXPECT_EQ(r.violationCount, 0u) << toString(w);
+    }
+}
+
+TEST_F(PlatformTest, ConflictAlertsIssuedForSwaptions)
+{
+    PlatformConfig cfg = makeConfig(WorkloadKind::kSwaptions,
+                                    LifeguardKind::kAddrCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    p.run();
+    // Every malloc and free broadcasts (AddrCheck subscribes to both).
+    std::uint64_t pairs = p.heap().stats.get("allocs") +
+                          p.heap().stats.get("frees");
+    EXPECT_EQ(p.caManager().issued(), pairs);
+    EXPECT_EQ(p.caManager().liveBroadcasts(), 0u); // all retired
+}
+
+TEST_F(PlatformTest, AddrCheckSkipsSyscallAlerts)
+{
+    // AddrCheck's policy does not subscribe to syscall CAs; LU issues a
+    // syscall but no malloc/frees, so no broadcasts at all.
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kAddrCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    p.run();
+    EXPECT_EQ(p.caManager().issued(), 0u);
+}
+
+TEST_F(PlatformTest, DeterministicAcrossRuns)
+{
+    RunResult a = runExperiment(WorkloadKind::kBarnes,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 2, opts());
+    RunResult b = runExperiment(WorkloadKind::kBarnes,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 2, opts());
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.retiredTotal(), b.retiredTotal());
+    EXPECT_EQ(a.eventsHandledTotal(), b.eventsHandledTotal());
+}
+
+TEST_F(PlatformTest, SeedChangesExecution)
+{
+    ExperimentOptions o1 = opts();
+    ExperimentOptions o2 = opts();
+    o2.seed = 99;
+    RunResult a = runExperiment(WorkloadKind::kBarnes,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 2, o1);
+    RunResult b = runExperiment(WorkloadKind::kBarnes,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 2, o2);
+    EXPECT_NE(a.totalCycles, b.totalCycles);
+}
+
+TEST_F(PlatformTest, AcceleratorsReduceDeliveredEvents)
+{
+    ExperimentOptions with = opts();
+    ExperimentOptions without = opts();
+    without.accelerators = false;
+    RunResult r_with = runExperiment(WorkloadKind::kLu,
+                                     LifeguardKind::kTaintCheck,
+                                     MonitorMode::kParallel, 2, with);
+    RunResult r_without = runExperiment(WorkloadKind::kLu,
+                                        LifeguardKind::kTaintCheck,
+                                        MonitorMode::kParallel, 2,
+                                        without);
+    EXPECT_LT(r_with.eventsHandledTotal() * 2,
+              r_without.eventsHandledTotal());
+    EXPECT_LT(r_with.totalCycles, r_without.totalCycles);
+}
+
+TEST_F(PlatformTest, AcceleratorsPreserveAnalysisResults)
+{
+    // Metadata conclusions must be identical with and without the
+    // accelerators (they are transparent optimizations).
+    for (bool accel : {true, false}) {
+        ExperimentOptions o = opts();
+        o.accelerators = accel;
+        PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                        LifeguardKind::kTaintCheck,
+                                        MonitorMode::kParallel, 2, o);
+        Platform p(cfg);
+        RunResult r = p.run();
+        auto &taint = static_cast<TaintCheck &>(p.lifeguard());
+        EXPECT_TRUE(taint.isTainted(AddressLayout::kGlobalBase, 64));
+        EXPECT_EQ(r.violationCount, 0u);
+    }
+}
+
+TEST_F(PlatformTest, PerCoreTrackingStillCorrect)
+{
+    ExperimentOptions o = opts();
+    o.depTracking = DepTracking::kPerCore;
+    RunResult r = runExperiment(WorkloadKind::kOcean,
+                                LifeguardKind::kTaintCheck,
+                                MonitorMode::kParallel, 4, o);
+    EXPECT_EQ(r.violationCount, 0u);
+    EXPECT_GT(r.totalCycles, 0u);
+}
+
+TEST_F(PlatformTest, LogBufferBackpressure)
+{
+    // A tiny log buffer forces application stalls but not incorrectness.
+    ExperimentOptions o = opts(4000);
+    o.logBufferBytes = 256;
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, o);
+    Platform p(cfg);
+    RunResult r = p.run();
+    Cycle log_stall = 0;
+    for (const auto &a : r.app)
+        log_stall += a.logFullStall;
+    EXPECT_GT(log_stall, 0u);
+    auto &taint = static_cast<TaintCheck &>(p.lifeguard());
+    EXPECT_TRUE(taint.isTainted(AddressLayout::kGlobalBase, 64));
+}
+
+TEST_F(PlatformTest, MemCheckRunsCleanOnInitializingWorkload)
+{
+    PlatformConfig cfg = makeConfig(WorkloadKind::kFmm,
+                                    LifeguardKind::kMemCheck,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    RunResult r = p.run();
+    // FMM initializes its particle arrays before reading them.
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(PlatformTest, LockSetCleanOnLockedWorkload)
+{
+    // Fluidanimate guards every shared cell access with its cell lock.
+    PlatformConfig cfg = makeConfig(WorkloadKind::kFluidanimate,
+                                    LifeguardKind::kLockSet,
+                                    MonitorMode::kParallel, 2, opts());
+    Platform p(cfg);
+    RunResult r = p.run();
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(PlatformTest, LockSetFlagsRacyWorkload)
+{
+    // Barnes performs intentionally racy force write-backs.
+    PlatformConfig cfg = makeConfig(WorkloadKind::kBarnes,
+                                    LifeguardKind::kLockSet,
+                                    MonitorMode::kParallel, 4, opts());
+    Platform p(cfg);
+    RunResult r = p.run();
+    EXPECT_GT(r.violationCount, 0u);
+}
+
+} // namespace
+} // namespace paralog

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * TSO support tests (section 5.5): store buffers, forwarding, the
+ * produce/consume versioned-metadata protocol, and end-to-end TSO runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "capture/store_buffer.hpp"
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "lifeguard/taintcheck.hpp"
+
+namespace paralog {
+namespace {
+
+class RecordingHooks : public TsoHooks
+{
+  public:
+    struct Violation
+    {
+        ThreadId writerTid;
+        RecordId writerRid;
+        Addr addr;
+        VersionRequest reader;
+    };
+
+    void
+    attachArcsToPending(ThreadId tid, RecordId rid,
+                        const std::vector<RawArc> &arcs) override
+    {
+        for (const RawArc &a : arcs)
+            attached.push_back({tid, rid, a});
+    }
+
+    void
+    onScViolation(ThreadId writer_tid, RecordId writer_rid, Addr addr,
+                  std::uint8_t, const VersionRequest &reader) override
+    {
+        violations.push_back({writer_tid, writer_rid, addr, reader});
+    }
+
+    void
+    setVisibilityLimit(ThreadId tid, RecordId limit) override
+    {
+        limits[tid] = limit;
+    }
+
+    struct Attached
+    {
+        ThreadId tid;
+        RecordId rid;
+        RawArc arc;
+    };
+
+    std::vector<Attached> attached;
+    std::vector<Violation> violations;
+    std::map<ThreadId, RecordId> limits;
+};
+
+class TsoTest : public ::testing::Test
+{
+  protected:
+    TsoTest() : cfg(makeCfg()), mem(cfg, 2), dp(cfg, mem, hooks, 2)
+    {
+        mem.bindThread(0, 0);
+        mem.bindThread(1, 1);
+    }
+
+    static SimConfig
+    makeCfg()
+    {
+        SimConfig c = SimConfig::forAppThreads(1);
+        c.memoryModel = MemoryModel::kTSO;
+        c.storeBufferEntries = 4;
+        c.storeDrainDelay = 10;
+        return c;
+    }
+
+    SimConfig cfg;
+    RecordingHooks hooks;
+    MemorySystem mem;
+    TsoDataPath dp;
+};
+
+TEST_F(TsoTest, StoreBuffersAndDrains)
+{
+    dp.store(0, 0x1000, 8, 42, AccessTag{0, 1, 100});
+    EXPECT_EQ(dp.depth(0), 1u);
+    EXPECT_EQ(mem.memory().read(0x1000, 8), 0u); // not yet visible
+    dp.pump(0, 105);                             // before readyAt: no-op
+    EXPECT_EQ(dp.depth(0), 1u);
+    dp.pump(0, 110);
+    EXPECT_EQ(dp.depth(0), 0u);
+    EXPECT_EQ(mem.memory().read(0x1000, 8), 42u);
+}
+
+TEST_F(TsoTest, LoadForwardsFromOwnBuffer)
+{
+    dp.store(0, 0x1000, 8, 0xBEEF, AccessTag{0, 1, 100});
+    auto lr = dp.load(0, 0x1000, 8, AccessTag{0, 2, 101});
+    EXPECT_EQ(lr.value, 0xBEEFu);
+    EXPECT_EQ(dp.depth(0), 1u); // still buffered
+}
+
+TEST_F(TsoTest, LoadSeesStaleRemoteValue)
+{
+    mem.memory().write(0x1000, 8, 1);
+    dp.store(1, 0x1000, 8, 2, AccessTag{1, 1, 100}); // buffered in core 1
+    auto lr = dp.load(0, 0x1000, 8, AccessTag{0, 1, 101});
+    EXPECT_EQ(lr.value, 1u); // TSO: old value visible
+}
+
+TEST_F(TsoTest, FenceDrainsAll)
+{
+    dp.store(0, 0x1000, 8, 1, AccessTag{0, 1, 100});
+    dp.store(0, 0x1008, 8, 2, AccessTag{0, 2, 100});
+    Cycle lat = dp.fence(0);
+    EXPECT_GT(lat, 0u);
+    EXPECT_EQ(dp.depth(0), 0u);
+    EXPECT_EQ(mem.memory().read(0x1008, 8), 2u);
+}
+
+TEST_F(TsoTest, StoreSpaceBounded)
+{
+    for (unsigned i = 0; i < cfg.storeBufferEntries; ++i)
+        dp.store(0, 0x1000 + 64 * i, 8, i, AccessTag{0, i, 100});
+    EXPECT_FALSE(dp.storeSpace(0));
+    dp.fence(0);
+    EXPECT_TRUE(dp.storeSpace(0));
+}
+
+TEST_F(TsoTest, VisibilityTracksOldestStore)
+{
+    dp.store(0, 0x1000, 8, 1, AccessTag{0, 7, 100});
+    dp.store(0, 0x1040, 8, 2, AccessTag{0, 9, 100});
+    EXPECT_EQ(hooks.limits[0], 7u);
+    dp.pump(0, 1000); // drains the first store
+    EXPECT_EQ(hooks.limits[0], 9u);
+    dp.pump(0, 2000);
+    EXPECT_EQ(hooks.limits[0], kInvalidRecord);
+}
+
+TEST_F(TsoTest, ScViolationDetectedAtDrain)
+{
+    // Reader (thread 0) reads 0x1000 at retire cycle 200; the writer's
+    // store retired at cycle 100 but drains at 110 < 200... the read
+    // retired AFTER the write retired yet saw the old value: non-SC.
+    mem.access(0, 0x1000, 8, false, AccessTag{0, 5, 200}, true);
+    dp.store(1, 0x1000, 8, 9, AccessTag{1, 3, 100});
+    dp.pump(1, 500);
+    ASSERT_EQ(hooks.violations.size(), 1u);
+    EXPECT_EQ(hooks.violations[0].writerTid, 1u);
+    EXPECT_EQ(hooks.violations[0].writerRid, 3u);
+    EXPECT_EQ(hooks.violations[0].reader.readerTid, 0u);
+    EXPECT_EQ(hooks.violations[0].reader.readerRid, 5u);
+}
+
+TEST_F(TsoTest, DrainArcsAttachToPendingStore)
+{
+    // Plain WAR (read retired before write): arc attached to the
+    // writer's pending record.
+    mem.access(0, 0x1000, 8, false, AccessTag{0, 5, 50}, true);
+    dp.store(1, 0x1000, 8, 9, AccessTag{1, 3, 100});
+    dp.pump(1, 500);
+    ASSERT_EQ(hooks.attached.size(), 1u);
+    EXPECT_EQ(hooks.attached[0].tid, 1u);
+    EXPECT_EQ(hooks.attached[0].rid, 3u);
+    EXPECT_EQ(hooks.attached[0].arc.rid, 5u);
+}
+
+// ---------- end-to-end TSO runs ----------
+
+class TsoEndToEnd : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    ExperimentOptions
+    opts()
+    {
+        ExperimentOptions o;
+        o.scale = 8000;
+        o.memoryModel = MemoryModel::kTSO;
+        return o;
+    }
+};
+
+TEST_F(TsoEndToEnd, WorkloadsCompleteUnderTso)
+{
+    for (WorkloadKind w : {WorkloadKind::kLu, WorkloadKind::kOcean,
+                           WorkloadKind::kFluidanimate,
+                           WorkloadKind::kSwaptions}) {
+        RunResult r = runExperiment(w, LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 4, opts());
+        EXPECT_GT(r.totalCycles, 0u) << toString(w);
+    }
+}
+
+TEST_F(TsoEndToEnd, AnalysisStillCorrectUnderTso)
+{
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 4, opts());
+    Platform p(cfg);
+    RunResult r = p.run();
+    auto &taint = static_cast<TaintCheck &>(p.lifeguard());
+    EXPECT_TRUE(taint.isTainted(AddressLayout::kGlobalBase, 64));
+    EXPECT_EQ(r.violationCount, 0u);
+}
+
+TEST_F(TsoEndToEnd, VersionStoreDrained)
+{
+    // Every produced version must eventually be consumed (no leaks).
+    PlatformConfig cfg = makeConfig(WorkloadKind::kFluidanimate,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 4, opts());
+    Platform p(cfg);
+    p.run();
+    EXPECT_EQ(p.versions().stats.get("produced"),
+              p.versions().stats.get("consumed"));
+    EXPECT_EQ(p.versions().size(), 0u);
+}
+
+TEST_F(TsoEndToEnd, TsoCostsNoMoreThanBoundedOverhead)
+{
+    ExperimentOptions sc;
+    sc.scale = 8000;
+    RunResult r_sc = runExperiment(WorkloadKind::kOcean,
+                                   LifeguardKind::kTaintCheck,
+                                   MonitorMode::kParallel, 4, sc);
+    RunResult r_tso = runExperiment(WorkloadKind::kOcean,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 4, opts());
+    // TSO should be in the same ballpark as SC (store buffering may
+    // even help); a 2x blowup would indicate an enforcement bug.
+    EXPECT_LT(r_tso.totalCycles, r_sc.totalCycles * 2);
+}
+
+} // namespace
+} // namespace paralog

@@ -9,16 +9,15 @@
 
 #include <cstdio>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "fig_common.hpp"
 
 using namespace paralog;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    std::uint64_t scale = ExperimentOptions::envScale(60000);
+    paralog_bench::initBench(argc, argv);
+    std::uint64_t scale = paralog_bench::benchScale(60000);
 
     std::printf("=== Ablation: ConflictAlert barrier cost (AddrCheck on "
                 "SWAPTIONS, scale=%llu) ===\n\n",
@@ -26,7 +25,7 @@ main()
     std::printf("%3s %12s %16s %12s\n", "thr", "with-CA",
                 "without-CA(!)", "CA overhead");
 
-    for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    for (std::uint32_t threads : paralog_bench::threadCounts()) {
         ExperimentOptions opt;
         opt.scale = scale;
         RunResult base = runExperiment(WorkloadKind::kSwaptions,

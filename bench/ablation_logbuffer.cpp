@@ -7,22 +7,21 @@
 
 #include <cstdio>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "fig_common.hpp"
 
 using namespace paralog;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    std::uint64_t scale = ExperimentOptions::envScale(60000);
-    const std::uint32_t threads = 4;
+    paralog_bench::initBench(argc, argv);
+    std::uint64_t scale = paralog_bench::benchScale(60000);
+    const std::uint32_t threads = paralog_bench::benchThreads(4);
     const WorkloadKind w = WorkloadKind::kBarnes;
 
     std::printf("=== Ablation: log buffer size (TaintCheck on BARNES, "
-                "4 threads, scale=%llu) ===\n\n",
-                (unsigned long long)scale);
+                "%u threads, scale=%llu) ===\n\n",
+                threads, (unsigned long long)scale);
     std::printf("%-10s %10s %14s\n", "buffer", "slowdown",
                 "app log-stall%");
 

@@ -7,21 +7,20 @@
 
 #include <cstdio>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "fig_common.hpp"
 
 using namespace paralog;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
-    std::uint64_t scale = ExperimentOptions::envScale(60000);
-    const std::uint32_t threads = 8;
+    paralog_bench::initBench(argc, argv);
+    std::uint64_t scale = paralog_bench::benchScale(60000);
+    const std::uint32_t threads = paralog_bench::benchThreads(8);
 
     std::printf("=== Ablation: delayed-advertising threshold "
-                "(TaintCheck, 8 threads, scale=%llu) ===\n\n",
-                (unsigned long long)scale);
+                "(TaintCheck, %u threads, scale=%llu) ===\n\n",
+                threads, (unsigned long long)scale);
     std::printf("%-11s", "threshold");
     for (WorkloadKind w :
          {WorkloadKind::kLu, WorkloadKind::kBarnes,

@@ -8,21 +8,21 @@
 
 #include <cstdio>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "fig_common.hpp"
 
 using namespace paralog;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    paralog_bench::initBench(argc, argv);
     ExperimentOptions opt;
-    opt.scale = ExperimentOptions::envScale(120000);
+    opt.scale = paralog_bench::benchScale(120000);
 
     PlatformConfig cfg = makeConfig(WorkloadKind::kSwaptions,
                                     LifeguardKind::kAddrCheck,
-                                    MonitorMode::kParallel, 8, opt);
+                                    MonitorMode::kParallel,
+                                    paralog_bench::benchThreads(8), opt);
     Platform p(cfg);
     p.run();
 

@@ -3,8 +3,9 @@
 #include "fig_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    paralog_bench::initBench(argc, argv);
     paralog_bench::runFig7(paralog::LifeguardKind::kTaintCheck);
     return 0;
 }

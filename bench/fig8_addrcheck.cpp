@@ -10,14 +10,15 @@
 using namespace paralog_bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    initBench(argc, argv);
     ExperimentOptions opt = defaultOptions();
-    const std::uint32_t threads = 8;
+    const std::uint32_t threads = benchThreads(8);
     const LifeguardKind lg = LifeguardKind::kAddrCheck;
 
-    std::printf("=== Figure 8 (AddrCheck): 8-thread slowdowns ===\n");
+    std::printf("=== Figure 8 (AddrCheck): %u-thread slowdowns ===\n",
+                threads);
     std::printf("(scale=%llu)\n\n",
                 static_cast<unsigned long long>(opt.scale));
     std::printf("%-11s %15s %12s  %s\n", "benchmark", "not-accelerated",

@@ -12,14 +12,15 @@
 using namespace paralog_bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    setQuiet(true);
+    initBench(argc, argv);
     ExperimentOptions opt = defaultOptions();
-    const std::uint32_t threads = 8;
+    const std::uint32_t threads = benchThreads(8);
     const LifeguardKind lg = LifeguardKind::kTaintCheck;
 
-    std::printf("=== Figure 8 (TaintCheck): 8-thread slowdowns ===\n");
+    std::printf("=== Figure 8 (TaintCheck): %u-thread slowdowns ===\n",
+                threads);
     std::printf("(scale=%llu)\n\n",
                 static_cast<unsigned long long>(opt.scale));
     std::printf("%-11s %12s %12s %12s  %s\n", "benchmark", "no-accel",

@@ -2,14 +2,19 @@
  * @file
  * Shared helpers for the figure-reproduction benches: runs experiment
  * grids and prints the paper's rows/series. Scale with PARALOG_SCALE
- * (total application work units; default 60000).
+ * (total application work units; default 60000), or pass --smoke for a
+ * seconds-long short-iteration run (used by the CTest tier2 smoke
+ * tests, which execute every bench binary rather than just building it).
  */
 
 #ifndef PARALOG_BENCH_FIG_COMMON_HPP
 #define PARALOG_BENCH_FIG_COMMON_HPP
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -19,13 +24,61 @@ namespace paralog_bench {
 
 using namespace paralog;
 
-inline const std::vector<std::uint32_t> kThreadCounts{1, 2, 4, 8};
+/// Set by initBench() when --smoke is passed: shrink every grid to a
+/// short-iteration run that still exercises the full code path.
+inline bool gSmoke = false;
+
+/** Common bench entry: silence the simulator, detect --smoke. */
+inline void
+initBench(int argc, char **argv)
+{
+    setQuiet(true);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--smoke") {
+            gSmoke = true;
+        } else {
+            // Fail fast: a typo'd --smoke silently running the
+            // full-scale grid costs minutes, not an error message.
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s' (only --smoke is "
+                         "accepted; scale with PARALOG_SCALE)\n",
+                         argv[0], argv[i]);
+            std::exit(2);
+        }
+    }
+    if (gSmoke)
+        std::printf("[--smoke: short-iteration run, numbers are not "
+                    "representative]\n");
+}
+
+/** Bench scale: PARALOG_SCALE wins, then smoke-mode shrink. */
+inline std::uint64_t
+benchScale(std::uint64_t fallback)
+{
+    return ExperimentOptions::envScale(gSmoke ? 1500 : fallback);
+}
+
+/** Fixed thread count for single-point benches (smoke shrinks it). */
+inline std::uint32_t
+benchThreads(std::uint32_t normal)
+{
+    return gSmoke ? std::min(normal, 2u) : normal;
+}
+
+/** Thread-count series for the figure grids. */
+inline const std::vector<std::uint32_t> &
+threadCounts()
+{
+    static const std::vector<std::uint32_t> full{1, 2, 4, 8};
+    static const std::vector<std::uint32_t> smoke{1, 2};
+    return gSmoke ? smoke : full;
+}
 
 inline ExperimentOptions
 defaultOptions()
 {
     ExperimentOptions opt;
-    opt.scale = ExperimentOptions::envScale(60000);
+    opt.scale = benchScale(60000);
     return opt;
 }
 
@@ -60,10 +113,11 @@ runFig6(LifeguardKind lg)
                 "no-mon", "timesliced", "parallel",
                 "parallel-vs-timesliced speedup");
 
-    std::vector<double> speedups2, speedups8;
+    const std::uint32_t max_thr = threadCounts().back();
+    std::vector<double> speedups2, speedups_max;
     for (WorkloadKind w : allWorkloads()) {
         double base1 = 0.0;
-        for (std::uint32_t threads : kThreadCounts) {
+        for (std::uint32_t threads : threadCounts()) {
             RunResult none = runExperiment(
                 w, lg, MonitorMode::kNoMonitoring, threads, opt);
             RunResult ts = runExperiment(
@@ -81,13 +135,13 @@ runFig6(LifeguardKind lg)
                         toString(w), threads, n, t, p, speedup);
             if (threads == 2)
                 speedups2.push_back(speedup);
-            if (threads == 8)
-                speedups8.push_back(speedup);
+            if (threads == max_thr)
+                speedups_max.push_back(speedup);
         }
     }
     std::printf("\nparallel-vs-timesliced speedup: geomean %.1fx at 2 "
-                "threads, %.1fx at 8 threads\n",
-                geomean(speedups2), geomean(speedups8));
+                "threads, %.1fx at %u threads\n",
+                geomean(speedups2), geomean(speedups_max), max_thr);
     std::printf("(paper: TaintCheck 1.5-4.1x @2t, 5.3-85x @8t; AddrCheck "
                 "1.4-3.1x @2t, 5.7-126x @8t)\n");
 }
@@ -110,9 +164,10 @@ runFig7(LifeguardKind lg)
     std::printf("%-11s %3s %9s  %7s %7s %7s\n", "benchmark", "thr",
                 "slowdown", "useful", "dep", "app");
 
-    std::vector<double> slowdown8;
+    const std::uint32_t max_thr = threadCounts().back();
+    std::vector<double> slowdown_max;
     for (WorkloadKind w : allWorkloads()) {
-        for (std::uint32_t threads : kThreadCounts) {
+        for (std::uint32_t threads : threadCounts()) {
             RunResult none = runExperiment(
                 w, lg, MonitorMode::kNoMonitoring, threads, opt);
             RunResult par = runExperiment(
@@ -132,12 +187,12 @@ runFig7(LifeguardKind lg)
                         toString(w), threads, slowdown,
                         100.0 * useful / tot, 100.0 * dep / tot,
                         100.0 * app / tot);
-            if (threads == 8)
-                slowdown8.push_back(slowdown);
+            if (threads == max_thr)
+                slowdown_max.push_back(slowdown);
         }
     }
-    std::printf("\naverage 8-thread overhead: %.0f%%\n",
-                100.0 * (geomean(slowdown8) - 1.0));
+    std::printf("\naverage %u-thread overhead: %.0f%%\n", max_thr,
+                100.0 * (geomean(slowdown_max) - 1.0));
     std::printf("(paper: 51%% TaintCheck, 28%% AddrCheck at 8 threads)\n");
 }
 

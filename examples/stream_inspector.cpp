@@ -39,7 +39,7 @@ main()
         if (shown++ >= 60)
             break;
         const EventRecord &r = tr.rec;
-        char where[40] = "";
+        char where[64] = "";
         if (r.isMemAccess()) {
             std::snprintf(where, sizeof(where), "%#llx",
                           (unsigned long long)r.addr);

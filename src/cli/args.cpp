@@ -1,0 +1,500 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace paralog::cli {
+
+namespace {
+
+/// All values of each list-valued axis, in the order `all` expands to.
+const std::vector<LifeguardKind> kAllLifeguards{
+    LifeguardKind::kAddrCheck,
+    LifeguardKind::kTaintCheck,
+    LifeguardKind::kMemCheck,
+    LifeguardKind::kLockSet,
+};
+
+const std::vector<MonitorMode> kAllModes{
+    MonitorMode::kNoMonitoring,
+    MonitorMode::kTimesliced,
+    MonitorMode::kParallel,
+};
+
+constexpr std::uint32_t kMaxCores = 16;
+
+/** Split "a,b,c" into views; empty pieces are kept (and rejected later). */
+std::vector<std::string_view>
+splitList(std::string_view value)
+{
+    std::vector<std::string_view> out;
+    while (true) {
+        std::size_t comma = value.find(',');
+        out.push_back(value.substr(0, comma));
+        if (comma == std::string_view::npos)
+            return out;
+        value.remove_prefix(comma + 1);
+    }
+}
+
+bool
+parseU64(std::string_view value, std::uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            return false;
+        if (v > (UINT64_MAX - (c - '0')) / 10)
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+/**
+ * Parse a list-valued axis: `all` or comma-separated values, each
+ * resolved by @p parse_one. Returns false with @p err set on failure.
+ */
+template <typename T, typename ParseOne>
+bool
+parseAxis(std::string_view flag, std::string_view value,
+          const std::vector<T> &all, ParseOne parse_one,
+          std::vector<T> &out, std::string &err)
+{
+    if (value == "all") {
+        out = all;
+        return true;
+    }
+    out.clear();
+    for (std::string_view piece : splitList(value)) {
+        T one;
+        if (!parse_one(piece, one)) {
+            err = "invalid value '" + std::string(piece) + "' for " +
+                  std::string(flag);
+            return false;
+        }
+        if (std::find(out.begin(), out.end(), one) == out.end())
+            out.push_back(one);
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+flagName(WorkloadKind w)
+{
+    switch (w) {
+      case WorkloadKind::kBarnes:       return "barnes";
+      case WorkloadKind::kLu:           return "lu";
+      case WorkloadKind::kOcean:        return "ocean";
+      case WorkloadKind::kFmm:          return "fmm";
+      case WorkloadKind::kRadiosity:    return "radiosity";
+      case WorkloadKind::kBlackscholes: return "blackscholes";
+      case WorkloadKind::kFluidanimate: return "fluidanimate";
+      case WorkloadKind::kSwaptions:    return "swaptions";
+    }
+    return "?";
+}
+
+const char *
+flagName(LifeguardKind lg)
+{
+    switch (lg) {
+      case LifeguardKind::kTaintCheck: return "taintcheck";
+      case LifeguardKind::kAddrCheck:  return "addrcheck";
+      case LifeguardKind::kMemCheck:   return "memcheck";
+      case LifeguardKind::kLockSet:    return "lockset";
+    }
+    return "?";
+}
+
+const char *
+flagName(MonitorMode m)
+{
+    switch (m) {
+      case MonitorMode::kNoMonitoring: return "none";
+      case MonitorMode::kTimesliced:   return "timesliced";
+      case MonitorMode::kParallel:     return "parallel";
+    }
+    return "?";
+}
+
+const char *
+flagName(DepTracking d)
+{
+    switch (d) {
+      case DepTracking::kPerBlock: return "per-block";
+      case DepTracking::kPerCore:  return "per-core";
+    }
+    return "?";
+}
+
+const char *
+flagName(MemoryModel m)
+{
+    switch (m) {
+      case MemoryModel::kSC:  return "sc";
+      case MemoryModel::kTSO: return "tso";
+    }
+    return "?";
+}
+
+bool
+parseWorkload(std::string_view name, WorkloadKind &out)
+{
+    for (WorkloadKind w : allWorkloads()) {
+        if (name == flagName(w)) {
+            out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseLifeguard(std::string_view name, LifeguardKind &out)
+{
+    for (LifeguardKind lg : kAllLifeguards) {
+        if (name == flagName(lg)) {
+            out = lg;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseMode(std::string_view name, MonitorMode &out)
+{
+    for (MonitorMode m : kAllModes) {
+        if (name == flagName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseBool(std::string_view value, bool &out)
+{
+    if (value == "on" || value == "true" || value == "1" || value == "yes") {
+        out = true;
+        return true;
+    }
+    if (value == "off" || value == "false" || value == "0" || value == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::vector<Scenario>
+CliOptions::scenarios() const
+{
+    std::vector<Scenario> out;
+    for (WorkloadKind w : workloads) {
+        for (LifeguardKind lg : lifeguards) {
+            for (MonitorMode m : modes) {
+                // The no-monitoring baseline runs no lifeguard: emit it
+                // once per (workload, cores), not once per lifeguard.
+                if (m == MonitorMode::kNoMonitoring &&
+                    lg != lifeguards.front())
+                    continue;
+                for (std::uint32_t c : cores)
+                    out.push_back(Scenario{w, lg, m, c});
+            }
+        }
+    }
+    return out;
+}
+
+ExperimentOptions
+CliOptions::experimentOptions() const
+{
+    ExperimentOptions opt;
+    opt.scale = scale;
+    opt.accelerators = accelerators;
+    opt.depTracking = depTracking;
+    opt.memoryModel = memoryModel;
+    opt.conflictAlerts = conflictAlerts;
+    opt.seed = seed;
+    opt.logBufferBytes = logBufferBytes;
+    return opt;
+}
+
+std::string
+usageText()
+{
+    std::ostringstream os;
+    os << "Usage: paralog [flags]\n"
+       << "\n"
+       << "Run ParaLog monitoring scenarios (the paper's experiment\n"
+       << "matrix) and print per-run statistics. List-valued flags take\n"
+       << "comma-separated values or 'all'; the full cross product runs.\n"
+       << "\n"
+       << "Scenario axes:\n"
+       << "  --workload=LIST   ";
+    for (WorkloadKind w : allWorkloads())
+        os << flagName(w) << (w == allWorkloads().back() ? "" : "|");
+    os << "  (default lu)\n"
+       << "  --lifeguard=LIST  addrcheck|taintcheck|memcheck|lockset"
+       << "  (default taintcheck)\n"
+       << "  --mode=LIST       none|timesliced|parallel  (default parallel)\n"
+       << "  --cores=LIST      application threads, 1.." << kMaxCores
+       << "  (default 4)\n"
+       << "\n"
+       << "Platform knobs (apply to every scenario):\n"
+       << "  --accel=on|off          hardware accelerators (IT/IF/M-TLB)\n"
+       << "  --dep-tracking=per-block|per-core\n"
+       << "  --memory-model=sc|tso   (tso is incompatible with "
+       << "--mode=timesliced\n"
+       << "                           and --lifeguard=lockset)\n"
+       << "  --conflict-alerts=on|off\n"
+       << "  --scale=N               per-thread work units (default 20000)\n"
+       << "  --seed=N                workload RNG seed (default 1)\n"
+       << "  --log-buffer=BYTES      log buffer capacity (default 65536)\n"
+       << "\n"
+       << "Output:\n"
+       << "  --csv        one CSV row per run (header first)\n"
+       << "  --describe   print the Table-1 configuration before each run\n"
+       << "  --verbose    keep simulator warnings on stderr\n"
+       << "  --help       this text\n"
+       << "\n"
+       << "Examples:\n"
+       << "  paralog --workload=lu --lifeguard=taintcheck --mode=parallel "
+       << "--cores=4\n"
+       << "  paralog --workload=all --mode=none,parallel --cores=1,2,4,8 "
+       << "--csv\n"
+       << "  paralog --workload=ocean --memory-model=tso --accel=off\n";
+    return os.str();
+}
+
+namespace {
+
+/// A valued flag: one table entry drives both dispatch and the
+/// "requires a value" diagnostic, so they cannot drift apart.
+struct ValuedFlag
+{
+    const char *name;
+    bool (*parse)(std::string_view flag, std::string_view value,
+                  CliOptions &o, std::string &err);
+};
+
+const ValuedFlag kValuedFlags[] = {
+    {"--workload",
+     [](std::string_view flag, std::string_view value, CliOptions &o,
+        std::string &err) {
+         return parseAxis(flag, value, allWorkloads(), parseWorkload,
+                          o.workloads, err);
+     }},
+    {"--lifeguard",
+     [](std::string_view flag, std::string_view value, CliOptions &o,
+        std::string &err) {
+         return parseAxis(flag, value, kAllLifeguards, parseLifeguard,
+                          o.lifeguards, err);
+     }},
+    {"--mode",
+     [](std::string_view flag, std::string_view value, CliOptions &o,
+        std::string &err) {
+         return parseAxis(flag, value, kAllModes, parseMode, o.modes,
+                          err);
+     }},
+    {"--cores",
+     [](std::string_view flag, std::string_view value, CliOptions &o,
+        std::string &err) {
+         auto parse_one = [](std::string_view v, std::uint32_t &out) {
+             std::uint64_t n = 0;
+             if (!parseU64(v, n) || n < 1 || n > kMaxCores)
+                 return false;
+             out = static_cast<std::uint32_t>(n);
+             return true;
+         };
+         const std::vector<std::uint32_t> all_cores{1, 2, 4, 8};
+         return parseAxis(flag, value, all_cores, parse_one, o.cores,
+                          err);
+     }},
+    {"--accel",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseBool(value, o.accelerators))
+             return true;
+         err = "invalid value '" + std::string(value) +
+               "' for --accel (want on|off)";
+         return false;
+     }},
+    {"--conflict-alerts",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseBool(value, o.conflictAlerts))
+             return true;
+         err = "invalid value '" + std::string(value) +
+               "' for --conflict-alerts (want on|off)";
+         return false;
+     }},
+    {"--dep-tracking",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (value == "per-block") {
+             o.depTracking = DepTracking::kPerBlock;
+             return true;
+         }
+         if (value == "per-core") {
+             o.depTracking = DepTracking::kPerCore;
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --dep-tracking (want per-block|per-core)";
+         return false;
+     }},
+    {"--memory-model",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (value == "sc") {
+             o.memoryModel = MemoryModel::kSC;
+             return true;
+         }
+         if (value == "tso") {
+             o.memoryModel = MemoryModel::kTSO;
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --memory-model (want sc|tso)";
+         return false;
+     }},
+    {"--scale",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseU64(value, o.scale) && o.scale > 0)
+             return true;
+         err = "invalid value '" + std::string(value) +
+               "' for --scale (want a positive integer)";
+         return false;
+     }},
+    {"--seed",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseU64(value, o.seed))
+             return true;
+         err = "invalid value '" + std::string(value) +
+               "' for --seed (want an integer)";
+         return false;
+     }},
+    {"--log-buffer",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseU64(value, o.logBufferBytes) && o.logBufferBytes > 0)
+             return true;
+         err = "invalid value '" + std::string(value) +
+               "' for --log-buffer (want a positive byte count)";
+         return false;
+     }},
+};
+
+/// Flags that take no value, mapped to the CliOptions field they set.
+const std::pair<const char *, bool CliOptions::*> kNoValueFlags[] = {
+    {"--csv", &CliOptions::csv},
+    {"--describe", &CliOptions::describe},
+    {"--verbose", &CliOptions::verbose},
+};
+
+} // namespace
+
+ParseResult
+parseArgs(const std::vector<std::string_view> &args)
+{
+    ParseResult res;
+    CliOptions &o = res.options;
+
+    auto fail = [&res](std::string msg) {
+        res.status = ParseStatus::kError;
+        res.error = std::move(msg);
+        return res;
+    };
+
+    for (std::string_view arg : args) {
+        if (arg == "--help" || arg == "-h") {
+            res.status = ParseStatus::kHelp;
+            return res;
+        }
+        std::size_t eq = arg.find('=');
+        std::string_view flag = arg.substr(0, eq);
+        bool matched = false;
+
+        for (const auto &[name, field] : kNoValueFlags) {
+            if (flag != name)
+                continue;
+            if (eq != std::string_view::npos)
+                return fail("flag '" + std::string(flag) +
+                            "' takes no value");
+            o.*field = true;
+            matched = true;
+            break;
+        }
+        if (matched)
+            continue;
+
+        if (arg.substr(0, 2) != "--")
+            return fail("unexpected argument '" + std::string(arg) + "'");
+        if (eq != std::string_view::npos && flag == "--help")
+            return fail("flag '--help' takes no value");
+
+        for (const ValuedFlag &vf : kValuedFlags) {
+            if (flag != vf.name)
+                continue;
+            if (eq == std::string_view::npos)
+                return fail("flag '" + std::string(flag) +
+                            "' requires a value (" + std::string(flag) +
+                            "=...)");
+            std::string err;
+            if (!vf.parse(flag, arg.substr(eq + 1), o, err))
+                return fail(err);
+            matched = true;
+            break;
+        }
+        if (!matched)
+            return fail("unknown flag '" + std::string(flag) + "'");
+    }
+
+    // Cross-axis validation: the TIMESLICED baseline interleaves all app
+    // threads on one core, which models SC by construction; a TSO run of
+    // it would silently measure the wrong machine.
+    bool timesliced =
+        std::find(o.modes.begin(), o.modes.end(),
+                  MonitorMode::kTimesliced) != o.modes.end();
+    if (timesliced && o.memoryModel == MemoryModel::kTSO)
+        return fail("--mode=timesliced is incompatible with "
+                    "--memory-model=tso (the timesliced baseline is "
+                    "sequentially consistent by construction)");
+
+    // LockSet writes metadata from application *read* handlers (the
+    // locked slow path of section 5.3); under the TSO versioned-metadata
+    // protocol this currently deadlocks the platform, so refuse the
+    // combination instead of hanging (see ROADMAP open items).
+    bool lockset =
+        std::find(o.lifeguards.begin(), o.lifeguards.end(),
+                  LifeguardKind::kLockSet) != o.lifeguards.end();
+    if (lockset && o.memoryModel == MemoryModel::kTSO)
+        return fail("--lifeguard=lockset is incompatible with "
+                    "--memory-model=tso (unsupported: LockSet writes "
+                    "metadata on reads, which the TSO versioning "
+                    "protocol does not yet order)");
+
+    return res;
+}
+
+ParseResult
+parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string_view> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parseArgs(args);
+}
+
+} // namespace paralog::cli

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Command-line parsing for the `paralog` scenario-matrix driver. Every
+ * axis of the experiment space (workload, lifeguard, monitoring mode,
+ * core count, accelerators, dependence tracking, memory model) is a
+ * flag; list-valued flags accept comma-separated values or `all`, and
+ * the driver runs the full cross product.
+ *
+ * Parsing is split from main() so tests can exercise flag handling
+ * without spawning processes.
+ */
+
+#ifndef PARALOG_CLI_ARGS_HPP
+#define PARALOG_CLI_ARGS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "lifeguard/lifeguard.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace paralog::cli {
+
+/** One fully-specified (workload, lifeguard, mode, cores) scenario. */
+struct Scenario
+{
+    WorkloadKind workload;
+    LifeguardKind lifeguard;
+    MonitorMode mode;
+    std::uint32_t cores;
+};
+
+struct CliOptions
+{
+    std::vector<WorkloadKind> workloads{WorkloadKind::kLu};
+    std::vector<LifeguardKind> lifeguards{LifeguardKind::kTaintCheck};
+    std::vector<MonitorMode> modes{MonitorMode::kParallel};
+    std::vector<std::uint32_t> cores{4};
+
+    bool accelerators = true;
+    DepTracking depTracking = DepTracking::kPerBlock;
+    MemoryModel memoryModel = MemoryModel::kSC;
+    bool conflictAlerts = true;
+    std::uint64_t scale = 20000;
+    std::uint64_t seed = 1;
+    std::uint64_t logBufferBytes = 64 * 1024;
+
+    bool csv = false;      ///< machine-readable output
+    bool describe = false; ///< print the Table-1 configuration per run
+    bool verbose = false;  ///< keep warn()/inform() output
+
+    /**
+     * The cross product of the list-valued axes, in flag order —
+     * except that no-monitoring scenarios appear once per
+     * (workload, cores), not once per lifeguard: the baseline attaches
+     * no lifeguard, so those runs would be identical repeats.
+     */
+    std::vector<Scenario> scenarios() const;
+
+    /** Experiment options shared by every scenario. */
+    ExperimentOptions experimentOptions() const;
+};
+
+enum class ParseStatus
+{
+    kOk,       ///< options populated, run the scenarios
+    kHelp,     ///< --help: print usage, exit 0
+    kError,    ///< bad flag/value/combination: print error + usage, exit 2
+};
+
+struct ParseResult
+{
+    ParseStatus status = ParseStatus::kOk;
+    std::string error; ///< set iff status == kError
+    CliOptions options;
+};
+
+/** Parse argv (excluding argv[0]); never exits or prints. */
+ParseResult parseArgs(const std::vector<std::string_view> &args);
+
+/** Convenience overload for main(). */
+ParseResult parseArgs(int argc, const char *const *argv);
+
+/** Full usage text, `--help` style. */
+std::string usageText();
+
+// Individual value parsers (exposed for unit tests). Each returns true
+// and fills @p out on success.
+bool parseWorkload(std::string_view name, WorkloadKind &out);
+bool parseLifeguard(std::string_view name, LifeguardKind &out);
+bool parseMode(std::string_view name, MonitorMode &out);
+bool parseBool(std::string_view value, bool &out);
+
+/** Flag-style (short, lowercase) names, distinct from toString(). */
+const char *flagName(WorkloadKind w);
+const char *flagName(LifeguardKind lg);
+const char *flagName(MonitorMode m);
+const char *flagName(DepTracking d);
+const char *flagName(MemoryModel m);
+
+} // namespace paralog::cli
+
+#endif // PARALOG_CLI_ARGS_HPP

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The `paralog` scenario-matrix driver: runs the cross product of the
+ * requested (workload x lifeguard x mode x cores) scenarios through
+ * runExperiment() and reports per-run statistics as human-readable text
+ * or CSV. Every flag combination the paper evaluates (Figures 6-8,
+ * Table 1) is reachable from here.
+ */
+
+#include <cstdio>
+
+#include "cli/args.hpp"
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+
+namespace paralog::cli {
+namespace {
+
+struct RunRow
+{
+    Scenario scenario;
+    RunResult result;
+};
+
+/** Lifeguard column label; baseline runs attach no lifeguard. */
+const char *
+lifeguardLabel(const Scenario &s)
+{
+    return s.mode == MonitorMode::kNoMonitoring ? "-"
+                                                : flagName(s.lifeguard);
+}
+
+void
+printCsvHeader()
+{
+    std::printf("workload,lifeguard,mode,cores,accel,dep_tracking,"
+                "memory_model,scale,total_cycles,app_exec_cycles,"
+                "retired,records_processed,events_handled,"
+                "lg_useful_cycles,lg_dep_stall,lg_app_stall,violations\n");
+}
+
+void
+printCsvRow(const CliOptions &opt, const RunRow &row)
+{
+    const RunResult &r = row.result;
+    std::uint64_t records = 0, useful = 0, dep = 0, app_stall = 0;
+    for (const auto &l : r.lifeguard) {
+        records += l.recordsProcessed;
+        useful += l.usefulCycles;
+        dep += l.depStallTotal();
+        app_stall += l.appStall;
+    }
+    std::printf("%s,%s,%s,%u,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,"
+                "%llu,%llu,%llu,%llu\n",
+                flagName(row.scenario.workload),
+                lifeguardLabel(row.scenario),
+                flagName(row.scenario.mode), row.scenario.cores,
+                opt.accelerators ? "on" : "off",
+                flagName(opt.depTracking), flagName(opt.memoryModel),
+                static_cast<unsigned long long>(opt.scale),
+                static_cast<unsigned long long>(r.totalCycles),
+                static_cast<unsigned long long>(r.appExecTotal()),
+                static_cast<unsigned long long>(r.retiredTotal()),
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(r.eventsHandledTotal()),
+                static_cast<unsigned long long>(useful),
+                static_cast<unsigned long long>(dep),
+                static_cast<unsigned long long>(app_stall),
+                static_cast<unsigned long long>(r.violationCount));
+}
+
+void
+printTextRow(const CliOptions &opt, const RunRow &row)
+{
+    const RunResult &r = row.result;
+    std::printf("=== %s / %s / %s / %u app thread%s ===\n",
+                flagName(row.scenario.workload),
+                lifeguardLabel(row.scenario),
+                flagName(row.scenario.mode), row.scenario.cores,
+                row.scenario.cores == 1 ? "" : "s");
+    std::printf("  total cycles:      %llu\n",
+                static_cast<unsigned long long>(r.totalCycles));
+    std::printf("  retired micro-ops: %llu\n",
+                static_cast<unsigned long long>(r.retiredTotal()));
+
+    Cycle log_full = 0, lock_stall = 0, barrier_stall = 0;
+    for (const auto &a : r.app) {
+        log_full += a.logFullStall;
+        lock_stall += a.lockStall;
+        barrier_stall += a.barrierStall;
+    }
+    std::printf("  app stalls:        log-full %llu, lock %llu, "
+                "barrier %llu\n",
+                static_cast<unsigned long long>(log_full),
+                static_cast<unsigned long long>(lock_stall),
+                static_cast<unsigned long long>(barrier_stall));
+
+    if (!r.lifeguard.empty()) {
+        std::uint64_t records = 0;
+        Cycle useful = 0, dep = 0, app_stall = 0;
+        for (const auto &l : r.lifeguard) {
+            records += l.recordsProcessed;
+            useful += l.usefulCycles;
+            dep += l.depStallTotal();
+            app_stall += l.appStall;
+        }
+        double tot = static_cast<double>(useful + dep + app_stall);
+        if (tot == 0)
+            tot = 1;
+        std::printf("  records processed: %llu (%llu events after "
+                    "accelerators)\n",
+                    static_cast<unsigned long long>(records),
+                    static_cast<unsigned long long>(
+                        r.eventsHandledTotal()));
+        std::printf("  lifeguard time:    %.1f%% useful, %.1f%% "
+                    "dependence stall, %.1f%% waiting for app\n",
+                    100.0 * static_cast<double>(useful) / tot,
+                    100.0 * static_cast<double>(dep) / tot,
+                    100.0 * static_cast<double>(app_stall) / tot);
+    }
+    std::printf("  violations:        %llu\n",
+                static_cast<unsigned long long>(r.violationCount));
+    if (opt.describe) {
+        ExperimentOptions eopt = opt.experimentOptions();
+        PlatformConfig cfg = makeConfig(
+            row.scenario.workload, row.scenario.lifeguard,
+            row.scenario.mode, row.scenario.cores, eopt);
+        std::printf("%s", cfg.sim.describe().c_str());
+    }
+    std::printf("\n");
+}
+
+int
+runMatrix(const CliOptions &opt)
+{
+    setQuiet(!opt.verbose);
+    ExperimentOptions eopt = opt.experimentOptions();
+
+    if (opt.csv)
+        printCsvHeader();
+    for (const Scenario &s : opt.scenarios()) {
+        RunRow row{s, runExperiment(s.workload, s.lifeguard, s.mode,
+                                    s.cores, eopt)};
+        if (opt.csv)
+            printCsvRow(opt, row);
+        else
+            printTextRow(opt, row);
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace paralog::cli
+
+int
+main(int argc, char **argv)
+{
+    using namespace paralog::cli;
+
+    ParseResult parsed = parseArgs(argc, argv);
+    switch (parsed.status) {
+      case ParseStatus::kHelp:
+        std::printf("%s", usageText().c_str());
+        return 0;
+      case ParseStatus::kError:
+        std::fprintf(stderr, "paralog: %s\n\n%s", parsed.error.c_str(),
+                     usageText().c_str());
+        return 2;
+      case ParseStatus::kOk:
+        break;
+    }
+    return runMatrix(parsed.options);
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared test harness: the quiet-logging fixtures, ExperimentOptions /
+ * PlatformConfig shorthands, and the shadow-memory fingerprint used by
+ * the cross-configuration equivalence suites. Every integration suite
+ * was repeating these; new suites should start from here.
+ */
+
+#ifndef PARALOG_TESTS_HARNESS_PARALOG_TEST_HPP
+#define PARALOG_TESTS_HARNESS_PARALOG_TEST_HPP
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
+#include "lifeguard/shadow_memory.hpp"
+
+namespace paralog::test {
+
+/** ExperimentOptions with just the scale set — the common case. */
+inline ExperimentOptions
+makeOptions(std::uint64_t scale = 8000)
+{
+    ExperimentOptions o;
+    o.scale = scale;
+    return o;
+}
+
+/** makeConfig() shorthand taking a bare scale instead of options. */
+inline PlatformConfig
+makeScaledConfig(WorkloadKind workload, LifeguardKind lifeguard,
+                 MonitorMode mode, std::uint32_t threads,
+                 std::uint64_t scale = 8000)
+{
+    return makeConfig(workload, lifeguard, mode, threads,
+                      makeOptions(scale));
+}
+
+/**
+ * FNV-1a hash of the shadow metadata over [base, base + bytes): the
+ * canonical "did two configurations reach the same analysis
+ * conclusions?" fingerprint. Works for any lifeguard via
+ * Lifeguard::shadow().
+ */
+inline std::uint64_t
+shadowFingerprint(const ShadowMemory &shadow, Addr base,
+                  std::uint64_t bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Addr a = base; a < base + bytes; ++a) {
+        h ^= shadow.read(a);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Base fixture: silences warn()/inform() for the whole suite. */
+class QuietTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    static ExperimentOptions
+    opts(std::uint64_t scale = 8000)
+    {
+        return makeOptions(scale);
+    }
+};
+
+/** Parameterized variant of QuietTest. */
+template <typename Param>
+class QuietTestWithParam : public ::testing::TestWithParam<Param>
+{
+  protected:
+    static void SetUpTestSuite() { setQuiet(true); }
+
+    static ExperimentOptions
+    opts(std::uint64_t scale = 8000)
+    {
+        return makeOptions(scale);
+    }
+};
+
+} // namespace paralog::test
+
+#endif // PARALOG_TESTS_HARNESS_PARALOG_TEST_HPP

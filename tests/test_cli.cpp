@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the `paralog` scenario-matrix CLI: flag parsing units
+ * (args.cpp is linked in directly) plus end-to-end subprocess runs of
+ * the built driver binary, located via the PARALOG_CLI environment
+ * variable that CMake sets on this test.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+
+namespace paralog::cli {
+namespace {
+
+ParseResult
+parse(std::initializer_list<std::string_view> args)
+{
+    return parseArgs(std::vector<std::string_view>(args));
+}
+
+TEST(CliParse, DefaultsToSingleTaintcheckParallelRun)
+{
+    ParseResult r = parse({});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    auto scenarios = r.options.scenarios();
+    ASSERT_EQ(scenarios.size(), 1u);
+    EXPECT_EQ(scenarios[0].workload, WorkloadKind::kLu);
+    EXPECT_EQ(scenarios[0].lifeguard, LifeguardKind::kTaintCheck);
+    EXPECT_EQ(scenarios[0].mode, MonitorMode::kParallel);
+    EXPECT_EQ(scenarios[0].cores, 4u);
+    EXPECT_FALSE(r.options.csv);
+}
+
+TEST(CliParse, HelpShortCircuits)
+{
+    EXPECT_EQ(parse({"--help"}).status, ParseStatus::kHelp);
+    EXPECT_EQ(parse({"-h"}).status, ParseStatus::kHelp);
+    EXPECT_EQ(parse({"--workload=lu", "--help"}).status,
+              ParseStatus::kHelp);
+}
+
+TEST(CliParse, UnknownFlagRejected)
+{
+    ParseResult r = parse({"--bogus=1"});
+    ASSERT_EQ(r.status, ParseStatus::kError);
+    EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+    EXPECT_EQ(parse({"positional"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--csvv"}).status, ParseStatus::kError);
+}
+
+TEST(CliParse, ExistingFlagMisuseGetsSpecificError)
+{
+    // A valued flag without '=' must not claim the flag is unknown.
+    ParseResult missing = parse({"--workload"});
+    ASSERT_EQ(missing.status, ParseStatus::kError);
+    EXPECT_NE(missing.error.find("requires a value"), std::string::npos);
+    // A no-value flag with '=' likewise.
+    ParseResult extra = parse({"--csv=on"});
+    ASSERT_EQ(extra.status, ParseStatus::kError);
+    EXPECT_NE(extra.error.find("takes no value"), std::string::npos);
+}
+
+TEST(CliParse, ValueParsers)
+{
+    WorkloadKind w;
+    EXPECT_TRUE(parseWorkload("ocean", w));
+    EXPECT_EQ(w, WorkloadKind::kOcean);
+    EXPECT_FALSE(parseWorkload("OCEAN", w));
+    EXPECT_FALSE(parseWorkload("", w));
+
+    LifeguardKind lg;
+    EXPECT_TRUE(parseLifeguard("lockset", lg));
+    EXPECT_EQ(lg, LifeguardKind::kLockSet);
+    EXPECT_FALSE(parseLifeguard("valgrind", lg));
+
+    MonitorMode m;
+    EXPECT_TRUE(parseMode("none", m));
+    EXPECT_EQ(m, MonitorMode::kNoMonitoring);
+    EXPECT_TRUE(parseMode("timesliced", m));
+    EXPECT_EQ(m, MonitorMode::kTimesliced);
+
+    bool b;
+    EXPECT_TRUE(parseBool("on", b));
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(parseBool("0", b));
+    EXPECT_FALSE(b);
+    EXPECT_FALSE(parseBool("maybe", b));
+}
+
+TEST(CliParse, CommaListsAndAll)
+{
+    ParseResult r = parse({"--workload=lu,ocean", "--lifeguard=all",
+                           "--mode=none,parallel", "--cores=1,2,4,8"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.workloads.size(), 2u);
+    EXPECT_EQ(r.options.lifeguards.size(), 4u);
+    EXPECT_EQ(r.options.modes.size(), 2u);
+    EXPECT_EQ(r.options.cores.size(), 4u);
+    // Full cross product for parallel (2 * 4 * 4 = 32), but the
+    // no-monitoring baseline runs once per (workload, cores), not once
+    // per lifeguard: + 2 * 4 = 8.
+    EXPECT_EQ(r.options.scenarios().size(), 40u);
+
+    // Duplicates collapse.
+    ParseResult dup = parse({"--workload=lu,lu,lu"});
+    ASSERT_EQ(dup.status, ParseStatus::kOk);
+    EXPECT_EQ(dup.options.workloads.size(), 1u);
+}
+
+TEST(CliParse, NoMonitoringScenariosNotRepeatedPerLifeguard)
+{
+    ParseResult r = parse({"--lifeguard=all", "--mode=none"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    // One baseline run, not four identical ones.
+    EXPECT_EQ(r.options.scenarios().size(), 1u);
+}
+
+TEST(CliParse, BadListValuesRejected)
+{
+    EXPECT_EQ(parse({"--workload=lu,bogus"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--workload="}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--workload=lu,"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--cores=0"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--cores=17"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--cores=two"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--scale=0"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--scale=-5"}).status, ParseStatus::kError);
+}
+
+TEST(CliParse, PlatformKnobs)
+{
+    ParseResult r = parse({"--accel=off", "--dep-tracking=per-core",
+                           "--memory-model=tso", "--conflict-alerts=off",
+                           "--scale=1234", "--seed=7",
+                           "--log-buffer=4096", "--csv"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    ExperimentOptions o = r.options.experimentOptions();
+    EXPECT_FALSE(o.accelerators);
+    EXPECT_EQ(o.depTracking, DepTracking::kPerCore);
+    EXPECT_EQ(o.memoryModel, MemoryModel::kTSO);
+    EXPECT_FALSE(o.conflictAlerts);
+    EXPECT_EQ(o.scale, 1234u);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.logBufferBytes, 4096u);
+    EXPECT_TRUE(r.options.csv);
+}
+
+TEST(CliParse, TimeslicedTsoComboRejected)
+{
+    ParseResult r =
+        parse({"--mode=timesliced", "--memory-model=tso"});
+    ASSERT_EQ(r.status, ParseStatus::kError);
+    EXPECT_NE(r.error.find("incompatible"), std::string::npos);
+    // ... even when timesliced arrives via a list or `all`.
+    EXPECT_EQ(parse({"--mode=all", "--memory-model=tso"}).status,
+              ParseStatus::kError);
+    // Parallel TSO stays legal.
+    EXPECT_EQ(parse({"--mode=parallel", "--memory-model=tso"}).status,
+              ParseStatus::kOk);
+}
+
+TEST(CliParse, LockSetTsoComboRejected)
+{
+    // LockSet under TSO deadlocks the platform (read-handler metadata
+    // writes vs the versioning protocol); the driver must refuse it
+    // rather than hang.
+    ParseResult r = parse({"--lifeguard=lockset", "--memory-model=tso"});
+    ASSERT_EQ(r.status, ParseStatus::kError);
+    EXPECT_NE(r.error.find("incompatible"), std::string::npos);
+    EXPECT_EQ(parse({"--lifeguard=all", "--memory-model=tso"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--lifeguard=lockset", "--memory-model=sc"}).status,
+              ParseStatus::kOk);
+}
+
+// ------------------------------------------------------- end-to-end runs
+
+/** Run the built driver; returns its exit code, fills @p output. */
+int
+runCli(const std::string &flags, std::string &output)
+{
+    const char *bin = std::getenv("PARALOG_CLI");
+    if (!bin) {
+        ADD_FAILURE() << "PARALOG_CLI not set";
+        return -1;
+    }
+    std::string cmd = "'" + std::string(bin) + "' " + flags + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "popen failed for: " << cmd;
+        return -1;
+    }
+    output.clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        output.append(buf, n);
+    int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class CliEndToEnd : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!std::getenv("PARALOG_CLI"))
+            GTEST_SKIP() << "PARALOG_CLI not set (run under CTest)";
+    }
+};
+
+TEST_F(CliEndToEnd, CsvRunPrintsHeaderAndRow)
+{
+    std::string out;
+    int rc = runCli("--workload=lu --lifeguard=taintcheck "
+                    "--mode=parallel --cores=2 --scale=3000 --csv",
+                    out);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("workload,lifeguard,mode,cores"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lu,taintcheck,parallel,2,on,per-block,sc,3000"),
+              std::string::npos)
+        << out;
+}
+
+TEST_F(CliEndToEnd, TextRunPrintsStats)
+{
+    std::string out;
+    int rc = runCli("--workload=blackscholes --mode=none --cores=1 "
+                    "--scale=3000",
+                    out);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("total cycles"), std::string::npos) << out;
+    EXPECT_NE(out.find("blackscholes"), std::string::npos) << out;
+}
+
+TEST_F(CliEndToEnd, HelpExitsZeroWithUsage)
+{
+    std::string out;
+    EXPECT_EQ(runCli("--help", out), 0);
+    EXPECT_NE(out.find("Usage: paralog"), std::string::npos);
+}
+
+TEST_F(CliEndToEnd, InvalidFlagExitsNonZeroWithUsage)
+{
+    std::string out;
+    int rc = runCli("--workload=nosuchbench", out);
+    EXPECT_EQ(rc, 2) << out;
+    EXPECT_NE(out.find("Usage: paralog"), std::string::npos) << out;
+}
+
+TEST_F(CliEndToEnd, InvalidComboExitsNonZeroWithUsage)
+{
+    std::string out;
+    int rc = runCli("--mode=timesliced --memory-model=tso", out);
+    EXPECT_EQ(rc, 2) << out;
+    EXPECT_NE(out.find("incompatible"), std::string::npos) << out;
+}
+
+} // namespace
+} // namespace paralog::cli

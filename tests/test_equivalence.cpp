@@ -10,8 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "harness/paralog_test.hpp"
 #include "lifeguard/taintcheck.hpp"
 
 namespace paralog {
@@ -21,12 +20,7 @@ namespace {
 std::uint64_t
 taintFingerprint(const TaintCheck &lg, Addr base, std::uint64_t bytes)
 {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (Addr a = base; a < base + bytes; ++a) {
-        h ^= lg.shadow().read(a);
-        h *= 1099511628211ULL;
-    }
-    return h;
+    return test::shadowFingerprint(lg.shadow(), base, bytes);
 }
 
 struct RunCfg
@@ -38,11 +32,9 @@ struct RunCfg
     const char *label;
 };
 
-class EquivalenceTest : public ::testing::TestWithParam<WorkloadKind>
+class EquivalenceTest : public test::QuietTestWithParam<WorkloadKind>
 {
   protected:
-    static void SetUpTestSuite() { setQuiet(true); }
-
     std::uint64_t
     runFingerprint(const RunCfg &s)
     {

@@ -7,17 +7,14 @@
 
 #include <gtest/gtest.h>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "harness/paralog_test.hpp"
 #include "lifeguard/addrcheck.hpp"
 
 namespace paralog {
 namespace {
 
-class FailureInjection : public ::testing::Test
+class FailureInjection : public test::QuietTest
 {
-  protected:
-    static void SetUpTestSuite() { setQuiet(true); }
 };
 
 TEST_F(FailureInjection, DisablingConflictAlertsSkipsBarriers)

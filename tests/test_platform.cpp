@@ -7,26 +7,15 @@
 
 #include <gtest/gtest.h>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "harness/paralog_test.hpp"
 #include "lifeguard/addrcheck.hpp"
 #include "lifeguard/taintcheck.hpp"
 
 namespace paralog {
 namespace {
 
-class PlatformTest : public ::testing::Test
+class PlatformTest : public test::QuietTest
 {
-  protected:
-    static void SetUpTestSuite() { setQuiet(true); }
-
-    ExperimentOptions
-    opts(std::uint64_t scale = 8000)
-    {
-        ExperimentOptions o;
-        o.scale = scale;
-        return o;
-    }
 };
 
 TEST_F(PlatformTest, NoMonitoringCompletes)

@@ -221,8 +221,9 @@ TEST_P(HeapProperty, NoOverlapNoLeak)
             ASSERT_TRUE(heap.arena().contains(a));
             ASSERT_GE(heap.blockSize(a), bytes);
             auto next = live.lower_bound(a);
-            if (next != live.end())
+            if (next != live.end()) {
                 ASSERT_LE(a + bytes, next->first);
+            }
             if (next != live.begin()) {
                 auto prev = std::prev(next);
                 ASSERT_LE(prev->first + prev->second, a);

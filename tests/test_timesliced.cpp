@@ -2,25 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include "common/logging.hpp"
-#include "core/experiment.hpp"
+#include "harness/paralog_test.hpp"
 #include "lifeguard/taintcheck.hpp"
 
 namespace paralog {
 namespace {
 
-class TimeslicedTest : public ::testing::Test
+class TimeslicedTest : public test::QuietTest
 {
-  protected:
-    static void SetUpTestSuite() { setQuiet(true); }
-
-    ExperimentOptions
-    opts(std::uint64_t scale = 8000)
-    {
-        ExperimentOptions o;
-        o.scale = scale;
-        return o;
-    }
 };
 
 TEST_F(TimeslicedTest, CompletesAllThreads)
@@ -36,9 +25,10 @@ TEST_F(TimeslicedTest, CompletesAllThreads)
 
 TEST_F(TimeslicedTest, SameAnalysisResultsAsParallel)
 {
-    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
-                                    LifeguardKind::kTaintCheck,
-                                    MonitorMode::kTimesliced, 2, opts());
+    PlatformConfig cfg =
+        test::makeScaledConfig(WorkloadKind::kLu,
+                               LifeguardKind::kTaintCheck,
+                               MonitorMode::kTimesliced, 2);
     Timesliced ts(cfg);
     RunResult r = ts.run();
     EXPECT_EQ(r.violationCount, 0u);
@@ -91,9 +81,10 @@ TEST_F(TimeslicedTest, LockWorkloadMakesProgress)
 
 TEST_F(TimeslicedTest, MallocWorkloadCorrect)
 {
-    PlatformConfig cfg = makeConfig(WorkloadKind::kSwaptions,
-                                    LifeguardKind::kAddrCheck,
-                                    MonitorMode::kTimesliced, 2, opts());
+    PlatformConfig cfg =
+        test::makeScaledConfig(WorkloadKind::kSwaptions,
+                               LifeguardKind::kAddrCheck,
+                               MonitorMode::kTimesliced, 2);
     Timesliced ts(cfg);
     RunResult r = ts.run();
     EXPECT_EQ(r.violationCount, 0u);

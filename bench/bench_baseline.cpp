@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Bench baseline writer / regression checker, driven through the
+ * `paralog --csv` CLI (env PARALOG_CLI, as in test_cli).
+ *
+ * A baseline (BENCH_<name>.json at the repo root) pins a figure grid to
+ * a fixed scale/seed and records
+ *  - the exact CSV rows every invocation must reproduce (simulated
+ *    results are deterministic: any diff is a model change), and
+ *  - the measured wall-clock, with the speedup over the pre-optimization
+ *    build recorded at baseline time.
+ *
+ * `--check` re-runs the pinned grid, requires bit-identical CSV, and
+ * enforces wall-clock <= headroom_factor x the recorded time — loose
+ * enough for slower CI machines, tight enough to catch order-of-
+ * magnitude perf regressions. `--write` re-baselines after an
+ * intentional change (see README, "Performance methodology").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace {
+
+struct Invocation
+{
+    std::string args;
+    std::vector<std::string> csv;
+};
+
+struct Baseline
+{
+    std::string name;
+    double headroomFactor = 4.0;
+    std::uint64_t wallclockBeforeMs = 0; ///< pre-optimization build
+    std::uint64_t wallclockMs = 0;       ///< at baseline time
+    double speedupVsBefore = 0.0;
+    std::vector<Invocation> invocations;
+};
+
+/** The pinned grids. Scales are chosen so a check stays in CTest-friendly
+ *  time while still being dominated by steady-state simulation. */
+std::vector<Invocation>
+grid(const std::string &name)
+{
+    auto inv = [](std::string a) {
+        return Invocation{std::move(a), {}};
+    };
+    const std::string pin = " --seed=1 --csv";
+    if (name == "fig6_addrcheck") {
+        return {inv("--workload=all --lifeguard=addrcheck --mode=all "
+                    "--cores=1,2,4,8 --scale=300000" + pin)};
+    }
+    if (name == "fig6_taintcheck") {
+        return {inv("--workload=all --lifeguard=taintcheck --mode=all "
+                    "--cores=1,2,4,8 --scale=100000" + pin)};
+    }
+    if (name == "fig7_addrcheck") {
+        return {inv("--workload=all --lifeguard=addrcheck "
+                    "--mode=none,parallel --cores=1,2,4,8 "
+                    "--scale=100000" + pin)};
+    }
+    if (name == "fig7_taintcheck") {
+        return {inv("--workload=all --lifeguard=taintcheck "
+                    "--mode=none,parallel --cores=1,2,4,8 "
+                    "--scale=100000" + pin)};
+    }
+    if (name == "fig8_addrcheck") {
+        return {inv("--workload=all --lifeguard=addrcheck "
+                    "--mode=none,parallel --cores=8 --scale=100000" + pin),
+                inv("--workload=all --lifeguard=addrcheck "
+                    "--mode=parallel --cores=8 --accel=off "
+                    "--scale=100000" + pin)};
+    }
+    if (name == "fig8_taintcheck") {
+        return {inv("--workload=all --lifeguard=taintcheck "
+                    "--mode=none,parallel --cores=8 --scale=100000" + pin),
+                inv("--workload=all --lifeguard=taintcheck "
+                    "--mode=parallel --cores=8 --accel=off "
+                    "--scale=100000" + pin)};
+    }
+    return {};
+}
+
+std::string
+cliPath()
+{
+    const char *cli = std::getenv("PARALOG_CLI");
+    if (!cli || !*cli) {
+        std::fprintf(stderr,
+                     "bench_baseline: set PARALOG_CLI to the paralog "
+                     "driver binary\n");
+        std::exit(2);
+    }
+    return cli;
+}
+
+/** Run one CLI invocation, capture stdout lines; exits on failure. */
+std::vector<std::string>
+runCli(const std::string &cli, const std::string &args)
+{
+    // PID-unique temp name: several checks may run concurrently from
+    // the same working directory under ctest -j.
+    std::string tmp = "bench_baseline_out." +
+                      std::to_string(static_cast<long>(getpid())) +
+                      ".tmp";
+    std::string cmd = cli + " " + args + " > " + tmp + " 2>/dev/null";
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::fprintf(stderr, "bench_baseline: '%s' exited with %d\n",
+                     cmd.c_str(), rc);
+        std::exit(1);
+    }
+    std::vector<std::string> lines;
+    std::ifstream in(tmp);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    std::remove(tmp.c_str());
+    return lines;
+}
+
+std::uint64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+// ---- minimal JSON I/O for the baseline shape this tool writes ----
+
+void
+writeBaseline(const Baseline &b, const std::string &path)
+{
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"name\": \"" << b.name << "\",\n";
+    out << "  \"headroom_factor\": " << b.headroomFactor << ",\n";
+    out << "  \"wallclock_before_ms\": " << b.wallclockBeforeMs << ",\n";
+    out << "  \"wallclock_ms\": " << b.wallclockMs << ",\n";
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2f", b.speedupVsBefore);
+    out << "  \"speedup_vs_before\": " << speedup << ",\n";
+    out << "  \"invocations\": [\n";
+    for (std::size_t i = 0; i < b.invocations.size(); ++i) {
+        const Invocation &inv = b.invocations[i];
+        out << "    {\n      \"args\": \"" << inv.args << "\",\n";
+        out << "      \"csv\": [\n";
+        for (std::size_t r = 0; r < inv.csv.size(); ++r) {
+            out << "        \"" << inv.csv[r] << "\""
+                << (r + 1 < inv.csv.size() ? "," : "") << "\n";
+        }
+        out << "      ]\n    }"
+            << (i + 1 < b.invocations.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_baseline: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Extract the (string or numeric) value following "key": . */
+std::string
+jsonValue(const std::string &doc, const std::string &key,
+          std::size_t from = 0)
+{
+    std::string pat = "\"" + key + "\":";
+    std::size_t p = doc.find(pat, from);
+    if (p == std::string::npos) {
+        std::fprintf(stderr, "bench_baseline: missing key %s\n",
+                     key.c_str());
+        std::exit(2);
+    }
+    p += pat.size();
+    while (p < doc.size() && (doc[p] == ' ' || doc[p] == '\n'))
+        ++p;
+    if (doc[p] == '"') {
+        std::size_t e = doc.find('"', p + 1);
+        return doc.substr(p + 1, e - p - 1);
+    }
+    std::size_t e = p;
+    while (e < doc.size() && doc[e] != ',' && doc[e] != '\n' &&
+           doc[e] != '}')
+        ++e;
+    return doc.substr(p, e - p);
+}
+
+Baseline
+parseBaseline(const std::string &path)
+{
+    std::string doc = readFile(path);
+    Baseline b;
+    b.name = jsonValue(doc, "name");
+    b.headroomFactor = std::atof(jsonValue(doc, "headroom_factor").c_str());
+    b.wallclockBeforeMs =
+        std::strtoull(jsonValue(doc, "wallclock_before_ms").c_str(),
+                      nullptr, 10);
+    b.wallclockMs = std::strtoull(jsonValue(doc, "wallclock_ms").c_str(),
+                                  nullptr, 10);
+    b.speedupVsBefore =
+        std::atof(jsonValue(doc, "speedup_vs_before").c_str());
+
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t a = doc.find("\"args\":", pos);
+        if (a == std::string::npos)
+            break;
+        Invocation inv;
+        inv.args = jsonValue(doc, "args", pos);
+        std::size_t c = doc.find("\"csv\":", a);
+        std::size_t end = doc.find(']', c);
+        std::size_t q = doc.find('"', doc.find('[', c));
+        while (q != std::string::npos && q < end) {
+            std::size_t e = doc.find('"', q + 1);
+            inv.csv.push_back(doc.substr(q + 1, e - q - 1));
+            q = doc.find('"', e + 1);
+        }
+        b.invocations.push_back(std::move(inv));
+        pos = end;
+    }
+    return b;
+}
+
+int
+writeMode(const std::string &name, const std::string &path,
+          std::uint64_t before_ms)
+{
+    Baseline b;
+    b.name = name;
+    b.invocations = grid(name);
+    if (b.invocations.empty()) {
+        std::fprintf(stderr, "bench_baseline: unknown bench '%s'\n",
+                     name.c_str());
+        return 2;
+    }
+    std::string cli = cliPath();
+    std::uint64_t t0 = nowMs();
+    for (Invocation &inv : b.invocations)
+        inv.csv = runCli(cli, inv.args);
+    b.wallclockMs = nowMs() - t0;
+    b.wallclockBeforeMs = before_ms;
+    if (before_ms && b.wallclockMs)
+        b.speedupVsBefore = static_cast<double>(before_ms) /
+                            static_cast<double>(b.wallclockMs);
+    writeBaseline(b, path);
+    std::printf("%s: wrote %zu invocation(s), %llu ms", name.c_str(),
+                b.invocations.size(),
+                static_cast<unsigned long long>(b.wallclockMs));
+    if (b.speedupVsBefore > 0)
+        std::printf(" (%.2fx vs before)", b.speedupVsBefore);
+    std::printf(" -> %s\n", path.c_str());
+    return 0;
+}
+
+int
+checkMode(const std::string &path)
+{
+    Baseline b = parseBaseline(path);
+    std::string cli = cliPath();
+    std::uint64_t t0 = nowMs();
+    bool ok = true;
+    for (const Invocation &inv : b.invocations) {
+        std::vector<std::string> got = runCli(cli, inv.args);
+        if (got != inv.csv) {
+            ok = false;
+            std::fprintf(stderr,
+                         "%s: SIMULATED RESULTS CHANGED for '%s'\n",
+                         b.name.c_str(), inv.args.c_str());
+            std::size_t n = std::max(got.size(), inv.csv.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                const char *want =
+                    i < inv.csv.size() ? inv.csv[i].c_str() : "<none>";
+                const char *have =
+                    i < got.size() ? got[i].c_str() : "<none>";
+                if (std::strcmp(want, have) != 0) {
+                    std::fprintf(stderr, "  line %zu\n    want %s\n"
+                                         "    have %s\n",
+                                 i, want, have);
+                }
+            }
+        }
+    }
+    std::uint64_t elapsed = nowMs() - t0;
+    double limit = b.headroomFactor * static_cast<double>(b.wallclockMs);
+    std::printf("%s: %llu ms (baseline %llu ms, limit %.0f ms, "
+                "recorded speedup %.2fx over pre-optimization)\n",
+                b.name.c_str(),
+                static_cast<unsigned long long>(elapsed),
+                static_cast<unsigned long long>(b.wallclockMs), limit,
+                b.speedupVsBefore);
+    if (static_cast<double>(elapsed) > limit) {
+        std::fprintf(stderr,
+                     "%s: WALL-CLOCK REGRESSION: %llu ms exceeds "
+                     "%.1fx headroom over the %llu ms baseline — "
+                     "optimize, or re-baseline with --write if the "
+                     "slowdown is intended\n",
+                     b.name.c_str(),
+                     static_cast<unsigned long long>(elapsed),
+                     b.headroomFactor,
+                     static_cast<unsigned long long>(b.wallclockMs));
+        ok = false;
+    }
+    if (ok)
+        std::printf("%s: OK (simulated results bit-identical)\n",
+                    b.name.c_str());
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto usage = [&] {
+        std::fprintf(
+            stderr,
+            "usage: %s --write <bench-name> <out.json> [before-ms]\n"
+            "       %s --check <baseline.json>\n"
+            "(set PARALOG_CLI to the paralog driver binary)\n",
+            argv[0], argv[0]);
+        return 2;
+    };
+    if (argc >= 4 && std::strcmp(argv[1], "--write") == 0) {
+        std::uint64_t before =
+            (argc >= 5) ? std::strtoull(argv[4], nullptr, 10) : 0;
+        return writeMode(argv[2], argv[3], before);
+    }
+    if (argc == 3 && std::strcmp(argv[1], "--check") == 0)
+        return checkMode(argv[2]);
+    return usage();
+}

@@ -1,30 +1,85 @@
 #include "accel/idempotent_filter.hpp"
 
+#include "common/logging.hpp"
+
 namespace paralog {
+
+IdempotentFilter::IdempotentFilter(std::uint32_t entries)
+    : capacity_(entries), addrs_(entries, 0), sideKeys_(entries, 0),
+      rids_(entries, 0), prev_(entries, kNil), next_(entries, kNil)
+{
+    PARALOG_ASSERT(entries >= 1 && entries < kNil,
+                   "bad IF entry count %u", entries);
+    for (std::uint16_t i = 0; i + 1u < entries; ++i)
+        next_[i] = i + 1;
+    free_ = 0;
+}
+
+void
+IdempotentFilter::unlink(std::uint16_t i)
+{
+    if (prev_[i] != kNil)
+        next_[prev_[i]] = next_[i];
+    else
+        head_ = next_[i];
+    if (next_[i] != kNil)
+        prev_[next_[i]] = prev_[i];
+    else
+        tail_ = prev_[i];
+}
+
+void
+IdempotentFilter::linkFront(std::uint16_t i)
+{
+    prev_[i] = kNil;
+    next_[i] = head_;
+    if (head_ != kNil)
+        prev_[head_] = i;
+    head_ = i;
+    if (tail_ == kNil)
+        tail_ = i;
+}
+
+void
+IdempotentFilter::release(std::uint16_t i)
+{
+    sideKeys_[i] = 0;
+    next_[i] = free_;
+    free_ = i;
+    --used_;
+}
 
 bool
 IdempotentFilter::checkAndInsert(Addr addr, unsigned size, bool is_write,
                                  RecordId rid)
 {
-    Key key{addr, size, is_write};
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-        // Hit: refresh LRU position; keep the *older* rid so delayed
-        // advertising stays conservative for the absorbed event.
-        lru_.erase(it->second.lruIt);
-        lru_.push_front(key);
-        it->second.lruIt = lru_.begin();
-        stats.counter("hits").inc();
-        return true;
+    const std::uint64_t side = sideKey(size, is_write);
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        if (addrs_[i] == addr && sideKeys_[i] == side) {
+            // Hit: refresh LRU position; keep the *older* rid so
+            // delayed advertising stays conservative for the absorbed
+            // event.
+            std::uint16_t n = static_cast<std::uint16_t>(i);
+            unlink(n);
+            linkFront(n);
+            stats.counter("hits").inc();
+            return true;
+        }
     }
-    if (entries_.size() >= capacity_) {
+    if (used_ >= capacity_) {
         // Evict the LRU entry.
-        entries_.erase(lru_.back());
-        lru_.pop_back();
+        std::uint16_t victim = tail_;
+        unlink(victim);
+        release(victim);
         stats.counter("evictions").inc();
     }
-    lru_.push_front(key);
-    entries_.emplace(key, Entry{rid, lru_.begin()});
+    std::uint16_t i = free_;
+    free_ = next_[i];
+    addrs_[i] = addr;
+    sideKeys_[i] = side;
+    rids_[i] = rid;
+    ++used_;
+    linkFront(i);
     stats.counter("misses").inc();
     return false;
 }
@@ -32,23 +87,28 @@ IdempotentFilter::checkAndInsert(Addr addr, unsigned size, bool is_write,
 void
 IdempotentFilter::invalidateAll()
 {
-    entries_.clear();
-    lru_.clear();
+    for (std::uint16_t i = 0; i < capacity_; ++i) {
+        sideKeys_[i] = 0;
+        next_[i] = (i + 1u < capacity_) ? i + 1 : kNil;
+    }
+    free_ = 0;
+    head_ = tail_ = kNil;
+    used_ = 0;
     stats.counter("full_invalidations").inc();
 }
 
 void
 IdempotentFilter::invalidateOverlapping(Addr addr, unsigned size)
 {
-    for (auto it = entries_.begin(); it != entries_.end();) {
-        const Key &k = it->first;
-        if (k.addr < addr + size && addr < k.addr + k.size) {
-            lru_.erase(it->second.lruIt);
-            it = entries_.erase(it);
+    for (std::uint16_t i = head_; i != kNil;) {
+        std::uint16_t nxt = next_[i];
+        std::uint64_t esize = sideKeys_[i] >> 2;
+        if (addrs_[i] < addr + size && addr < addrs_[i] + esize) {
+            unlink(i);
+            release(i);
             stats.counter("entry_invalidations").inc();
-        } else {
-            ++it;
         }
+        i = nxt;
     }
 }
 
@@ -64,10 +124,8 @@ RecordId
 IdempotentFilter::minRid() const
 {
     RecordId min = kInvalidRecord;
-    for (const auto &kv : entries_) {
-        if (kv.second.rid < min)
-            min = kv.second.rid;
-    }
+    for (std::uint16_t i = head_; i != kNil; i = next_[i])
+        min = rids_[i] < min ? rids_[i] : min;
     return min;
 }
 

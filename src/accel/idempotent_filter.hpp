@@ -8,14 +8,19 @@
  * mechanism; whether it is needed depends on the lifeguard). The cache
  * is invalidated by ConflictAlert records (e.g. malloc/free for
  * AddrCheck) and optionally by local stores.
+ *
+ * Modelled as an exact-LRU cache of (addr, size, is_write) keys. The
+ * implementation is a fixed node array with an intrusive LRU list and
+ * linear key search: the entry count is hardware-small (64), so a flat
+ * scan beats a node-based map with its two allocations per miss — this
+ * sits on the once-per-record delivery path.
  */
 
 #ifndef PARALOG_ACCEL_IDEMPOTENT_FILTER_HPP
 #define PARALOG_ACCEL_IDEMPOTENT_FILTER_HPP
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -25,7 +30,7 @@ namespace paralog {
 class IdempotentFilter
 {
   public:
-    explicit IdempotentFilter(std::uint32_t entries) : capacity_(entries) {}
+    explicit IdempotentFilter(std::uint32_t entries);
 
     /**
      * Present a check of [addr, addr+size) (class distinguishes read
@@ -42,38 +47,38 @@ class IdempotentFilter
     /** Minimum record ID of a live entry (delayed advertising). */
     RecordId minRid() const;
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return used_; }
 
     StatSet stats{"if"};
 
   private:
-    struct Key
-    {
-        Addr addr;
-        unsigned size;
-        bool isWrite;
-        bool operator==(const Key &) const = default;
-    };
+    static constexpr std::uint16_t kNil = 0xFFFF;
 
-    struct KeyHash
+    /** (size << 2) | (is_write << 1) | used — 0 for free slots, so a
+     *  single compare rejects both mismatches and unused entries. */
+    static std::uint64_t
+    sideKey(unsigned size, bool is_write)
     {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<Addr>()(k.addr * 2654435761ULL) ^
-                   (k.size << 1) ^ (k.isWrite ? 0x9e37 : 0);
-        }
-    };
+        return (static_cast<std::uint64_t>(size) << 2) |
+               (is_write ? 2u : 0u) | 1u;
+    }
 
-    struct Entry
-    {
-        RecordId rid;
-        std::list<Key>::iterator lruIt;
-    };
+    void unlink(std::uint16_t i);
+    void linkFront(std::uint16_t i);
+    void release(std::uint16_t i);
 
     std::uint32_t capacity_;
-    std::unordered_map<Key, Entry, KeyHash> entries_;
-    std::list<Key> lru_; ///< front = most recent
+    /// Struct-of-arrays: the key scan touches only addrs_/sideKeys_
+    /// (tight, vectorizable); LRU links and rids live apart.
+    std::vector<Addr> addrs_;
+    std::vector<std::uint64_t> sideKeys_;
+    std::vector<RecordId> rids_;
+    std::vector<std::uint16_t> prev_;
+    std::vector<std::uint16_t> next_;
+    std::uint16_t head_ = kNil; ///< most recently used
+    std::uint16_t tail_ = kNil; ///< least recently used
+    std::uint16_t free_ = kNil; ///< free list through next_
+    std::size_t used_ = 0;
 };
 
 } // namespace paralog

@@ -1,6 +1,54 @@
 #include "accel/mtlb.hpp"
 
+#include "common/logging.hpp"
+
 namespace paralog {
+
+MetadataTlb::MetadataTlb(std::uint32_t entries, bool enabled)
+    : capacity_(entries), enabled_(enabled), nodes_(entries)
+{
+    PARALOG_ASSERT(entries >= 1 && entries < kNil,
+                   "bad M-TLB entry count %u", entries);
+    for (std::uint16_t i = 0; i + 1u < entries; ++i)
+        nodes_[i].next = i + 1;
+    free_ = 0;
+}
+
+void
+MetadataTlb::unlink(std::uint16_t i)
+{
+    Node &n = nodes_[i];
+    if (n.prev != kNil)
+        nodes_[n.prev].next = n.next;
+    else
+        head_ = n.next;
+    if (n.next != kNil)
+        nodes_[n.next].prev = n.prev;
+    else
+        tail_ = n.prev;
+}
+
+void
+MetadataTlb::linkFront(std::uint16_t i)
+{
+    Node &n = nodes_[i];
+    n.prev = kNil;
+    n.next = head_;
+    if (head_ != kNil)
+        nodes_[head_].prev = i;
+    head_ = i;
+    if (tail_ == kNil)
+        tail_ = i;
+}
+
+void
+MetadataTlb::release(std::uint16_t i)
+{
+    nodes_[i].used = false;
+    nodes_[i].next = free_;
+    free_ = i;
+    --used_;
+}
 
 std::uint32_t
 MetadataTlb::lookupCost(Addr app_addr)
@@ -8,20 +56,27 @@ MetadataTlb::lookupCost(Addr app_addr)
     if (!enabled_)
         return kMissCost;
     std::uint64_t page = app_addr >> kPageShift;
-    auto it = pages_.find(page);
-    if (it != pages_.end()) {
-        lru_.erase(it->second.lruIt);
-        lru_.push_front(page);
-        it->second.lruIt = lru_.begin();
-        stats.counter("hits").inc();
-        return kHitCost;
+    // MRU-first traversal: metadata touches are page-local, so hits
+    // exit after a hop or two.
+    for (std::uint16_t i = head_; i != kNil; i = nodes_[i].next) {
+        if (nodes_[i].page == page) {
+            unlink(i);
+            linkFront(i);
+            stats.counter("hits").inc();
+            return kHitCost;
+        }
     }
-    if (pages_.size() >= capacity_) {
-        pages_.erase(lru_.back());
-        lru_.pop_back();
+    if (used_ >= capacity_) {
+        std::uint16_t victim = tail_;
+        unlink(victim);
+        release(victim);
     }
-    lru_.push_front(page);
-    pages_.emplace(page, Entry{lru_.begin()});
+    std::uint16_t i = free_;
+    free_ = nodes_[i].next;
+    nodes_[i].page = page;
+    nodes_[i].used = true;
+    ++used_;
+    linkFront(i);
     stats.counter("misses").inc();
     return kMissCost;
 }
@@ -29,8 +84,13 @@ MetadataTlb::lookupCost(Addr app_addr)
 void
 MetadataTlb::flushAll()
 {
-    pages_.clear();
-    lru_.clear();
+    for (std::uint16_t i = 0; i < capacity_; ++i) {
+        nodes_[i].used = false;
+        nodes_[i].next = (i + 1u < capacity_) ? i + 1 : kNil;
+    }
+    free_ = 0;
+    head_ = tail_ = kNil;
+    used_ = 0;
     stats.counter("flushes").inc();
 }
 
@@ -39,13 +99,15 @@ MetadataTlb::flushRange(const AddrRange &range)
 {
     if (range.empty())
         return;
-    for (std::uint64_t page = range.begin >> kPageShift;
-         page <= (range.end - 1) >> kPageShift; ++page) {
-        auto it = pages_.find(page);
-        if (it != pages_.end()) {
-            lru_.erase(it->second.lruIt);
-            pages_.erase(it);
+    std::uint64_t first = range.begin >> kPageShift;
+    std::uint64_t last = (range.end - 1) >> kPageShift;
+    for (std::uint16_t i = head_; i != kNil;) {
+        std::uint16_t next = nodes_[i].next;
+        if (nodes_[i].page >= first && nodes_[i].page <= last) {
+            unlink(i);
+            release(i);
         }
+        i = next;
     }
 }
 

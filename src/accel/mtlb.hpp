@@ -5,14 +5,19 @@
  * the two-level metadata address computation (~6 handler instructions)
  * into a single lookup; misses pay the full software walk and install
  * the mapping.
+ *
+ * Modelled as an exact-LRU table over a fixed node array with an
+ * intrusive LRU list and linear key search (the entry count is
+ * hardware-small), mirroring IdempotentFilter: this sits on the
+ * per-handler metadata-touch path, where node-based containers pay an
+ * allocation per miss.
  */
 
 #ifndef PARALOG_ACCEL_MTLB_HPP
 #define PARALOG_ACCEL_MTLB_HPP
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -28,10 +33,7 @@ class MetadataTlb
     static constexpr std::uint32_t kHitCost = 1;
     static constexpr std::uint32_t kMissCost = 6;
 
-    explicit MetadataTlb(std::uint32_t entries, bool enabled)
-        : capacity_(entries), enabled_(enabled)
-    {
-    }
+    explicit MetadataTlb(std::uint32_t entries, bool enabled);
 
     /**
      * Look up the metadata page for @p app_addr; returns the handler
@@ -47,20 +49,32 @@ class MetadataTlb
     void flushRange(const AddrRange &range);
 
     bool enabled() const { return enabled_; }
-    std::size_t size() const { return pages_.size(); }
+    std::size_t size() const { return used_; }
 
     StatSet stats{"mtlb"};
 
   private:
-    struct Entry
+    static constexpr std::uint16_t kNil = 0xFFFF;
+
+    struct Node
     {
-        std::list<std::uint64_t>::iterator lruIt;
+        std::uint64_t page = 0;
+        bool used = false;
+        std::uint16_t prev = kNil;
+        std::uint16_t next = kNil; ///< LRU order / free list
     };
+
+    void unlink(std::uint16_t i);
+    void linkFront(std::uint16_t i);
+    void release(std::uint16_t i);
 
     std::uint32_t capacity_;
     bool enabled_;
-    std::unordered_map<std::uint64_t, Entry> pages_;
-    std::list<std::uint64_t> lru_;
+    std::vector<Node> nodes_;
+    std::uint16_t head_ = kNil;
+    std::uint16_t tail_ = kNil;
+    std::uint16_t free_ = kNil;
+    std::size_t used_ = 0;
 };
 
 } // namespace paralog

@@ -41,10 +41,40 @@ microHeader(Op op, std::uint64_t which)
 Interpreter::Interpreter(const SimConfig &cfg, DataPath &dp,
                          MemorySystem &mem, Heap &heap, LockManager &locks,
                          BarrierManager &barriers, PlatformHooks &hooks)
-    : cfg_(cfg), dp_(dp), mem_(mem), heap_(heap), locks_(locks),
-      barriers_(barriers), hooks_(hooks)
+    : cfg_(cfg),
+      emitRecords_(cfg.mode != MonitorMode::kNoMonitoring), dp_(dp),
+      mem_(mem), heap_(heap), locks_(locks), barriers_(barriers),
+      hooks_(hooks)
 {
 }
+
+namespace {
+
+/** Field-wise EventRecord reset, equivalent to a fresh default-
+ *  constructed record but reusing the arcs vector's storage. */
+void
+resetRecord(EventRecord &r)
+{
+    r.type = EventType::kNone;
+    r.tid = kInvalidThread;
+    r.rid = kInvalidRecord;
+    r.dst = 0;
+    r.src = 0;
+    r.size = 0;
+    r.addr = 0;
+    r.value = 0;
+    r.range = AddrRange{};
+    r.syscall = SyscallKind::kNone;
+    r.caKind = HighLevelKind::kMallocEnd;
+    r.caSeq = kNoCaSeq;
+    r.arcs.clear();
+    r.version = VersionTag{};
+    r.consumesVersion = false;
+    r.wrapper = false;
+    r.chargedBytes = 0;
+}
+
+} // namespace
 
 AccessTag
 Interpreter::tagFor(const ThreadContext &tc, Cycle now) const
@@ -59,29 +89,28 @@ Interpreter::effectiveAddr(const ThreadContext &tc, const Inst &inst)
                                     : tc.regs[inst.addrReg] + inst.addr;
 }
 
-Interpreter::StepOutcome
-Interpreter::blocked(ThreadContext &tc, const Inst &inst, BlockReason reason)
+void
+Interpreter::blocked(ThreadContext &tc, const Inst &inst, BlockReason reason,
+                     StepOutcome &out)
 {
     tc.retry(inst);
     tc.blockReason = reason;
-    StepOutcome out;
     out.kind = StepOutcome::Kind::kBlocked;
     out.latency = cfg_.retryInterval;
-    return out;
 }
 
-Interpreter::StepOutcome
-Interpreter::step(ThreadContext &tc, CoreId core, Cycle now)
+void
+Interpreter::step(ThreadContext &tc, CoreId core, Cycle now,
+                  StepOutcome &out)
 {
     tc.blockReason = BlockReason::kNone;
     Inst inst;
     if (tc.done() || !tc.fetch(inst)) {
-        StepOutcome out;
         out.kind = StepOutcome::Kind::kDone;
         out.latency = 0;
-        return out;
+        return;
     }
-    return execute(tc, core, now, inst);
+    execute(tc, core, now, inst, out);
 }
 
 void
@@ -150,14 +179,19 @@ Interpreter::expandSyscall(ThreadContext &tc, const Inst &inst)
     tc.pushMicroOp(end);
 }
 
-Interpreter::StepOutcome
+void
 Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
-                     const Inst &inst)
+                     const Inst &inst, StepOutcome &out)
 {
-    StepOutcome out;
     out.kind = StepOutcome::Kind::kRetired;
     out.latency = 1;
+    out.event.arcs.clear();
+    out.event.versionRequests.clear();
+    out.event.caBroadcast = false;
+    out.event.caKind = HighLevelKind::kMallocEnd;
     EventRecord &rec = out.event.record;
+    if (emitRecords_)
+        resetRecord(rec);
     rec.tid = tc.tid();
     rec.rid = tc.retired;
     AccessTag tag = tagFor(tc, now);
@@ -182,7 +216,7 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
       case Op::kStore: {
         Addr ea = effectiveAddr(tc, inst);
         if (!dp_.storeSpace(core))
-            return blocked(tc, inst, BlockReason::kStoreBuffer);
+            return blocked(tc, inst, BlockReason::kStoreBuffer, out);
         auto ar = dp_.store(core, ea, inst.size, tc.regs[inst.src], tag);
         out.latency = std::max<Cycle>(1, ar.latency);
         out.event.arcs = std::move(ar.arcs);
@@ -248,10 +282,10 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
         // A fence first: acquiring a lock drains the TSO store buffer.
         Cycle drain = dp_.fence(core);
         if (!locks_.tryAcquire(inst.addr, tc.tid())) {
-            StepOutcome b = blocked(tc, inst, BlockReason::kLock);
-            b.latency += drain;
+            blocked(tc, inst, BlockReason::kLock, out);
+            out.latency += drain;
             stats.counter("lock_spins").inc();
-            return b;
+            return;
         }
         auto ar = dp_.store(core, inst.addr, 8, tc.tid() + 1, tag);
         out.latency = std::max<Cycle>(1, ar.latency) + drain;
@@ -293,7 +327,7 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
             stats.counter("barrier_arrivals").inc();
         } else {
             if (!barriers_.isReleased(inst.addr, tc.tid()))
-                return blocked(tc, inst, BlockReason::kBarrier);
+                return blocked(tc, inst, BlockReason::kBarrier, out);
             barriers_.depart(inst.addr, tc.tid());
             // Read the barrier word: the coherence arc from the last
             // arriver's store orders every lifeguard after the release.
@@ -366,7 +400,7 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
         if (r.empty())
             break;
         if (!dp_.storeSpace(core))
-            return blocked(tc, inst, BlockReason::kStoreBuffer);
+            return blocked(tc, inst, BlockReason::kStoreBuffer, out);
         auto ar = dp_.store(core, Heap::headerAddr(r.begin), 8,
                             r.size(), tag);
         out.latency = std::max<Cycle>(1, ar.latency);
@@ -412,7 +446,7 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
       case Op::kDrainWait:
         if (!hooks_.lifeguardDrained(tc.tid())) {
             stats.counter("drain_stalls").inc();
-            return blocked(tc, inst, BlockReason::kDrain);
+            return blocked(tc, inst, BlockReason::kDrain, out);
         }
         break;
 
@@ -433,8 +467,7 @@ Interpreter::execute(ThreadContext &tc, CoreId core, Cycle now,
         panic("unhandled op %d", static_cast<int>(inst.op));
     }
 
-    stats.counter("retired").inc();
-    return out;
+    retiredCtr_.inc();
 }
 
 } // namespace paralog

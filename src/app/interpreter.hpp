@@ -55,16 +55,31 @@ class Interpreter
      * Execute the next micro-op of @p tc on @p core at cycle @p now.
      * On kRetired the caller must append event.record (if type != kNone)
      * to the thread's stream and advance tc.retired.
+     *
+     * @p out is a caller-owned scratch reused across steps (this is the
+     * per-instruction fast path: reuse avoids a StepOutcome construct /
+     * destruct pair per micro-op). Only the fields defined for the
+     * returned kind are valid; in no-monitoring runs the event payload
+     * is not populated at all.
      */
-    StepOutcome step(ThreadContext &tc, CoreId core, Cycle now);
+    void step(ThreadContext &tc, CoreId core, Cycle now, StepOutcome &out);
+
+    /** Convenience by-value wrapper (tests). */
+    StepOutcome
+    step(ThreadContext &tc, CoreId core, Cycle now)
+    {
+        StepOutcome out;
+        step(tc, core, now, out);
+        return out;
+    }
 
     StatSet stats{"interp"};
 
   private:
-    StepOutcome execute(ThreadContext &tc, CoreId core, Cycle now,
-                        const Inst &inst);
-    StepOutcome blocked(ThreadContext &tc, const Inst &inst,
-                        BlockReason reason);
+    void execute(ThreadContext &tc, CoreId core, Cycle now,
+                 const Inst &inst, StepOutcome &out);
+    void blocked(ThreadContext &tc, const Inst &inst, BlockReason reason,
+                 StepOutcome &out);
 
     AccessTag tagFor(const ThreadContext &tc, Cycle now) const;
     static Addr effectiveAddr(const ThreadContext &tc, const Inst &inst);
@@ -73,6 +88,11 @@ class Interpreter
     void expandSyscall(ThreadContext &tc, const Inst &inst);
 
     const SimConfig &cfg_;
+    /// Record payloads are only populated when someone consumes them
+    /// (capture enabled); no-monitoring runs skip the per-instruction
+    /// event reset entirely.
+    bool emitRecords_;
+    Counter &retiredCtr_{stats.counter("retired")};
     DataPath &dp_;
     MemorySystem &mem_;
     Heap &heap_;

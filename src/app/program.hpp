@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "isa/inst.hpp"
 
@@ -29,6 +30,24 @@ class ThreadProgram
 
     /** Produce the next instruction; std::nullopt terminates the thread. */
     virtual std::optional<Inst> next(ThreadContext &tc) = 0;
+
+    /**
+     * Bulk variant of next() used by the fetch fast path: append the
+     * next batch of instructions to @p out; appending nothing
+     * terminates the thread. The default forwards to next() one
+     * instruction at a time (identical cadence for simple generators);
+     * ScriptProgram overrides it to hand over a whole refill at once,
+     * skipping the per-instruction virtual call and copies.
+     */
+    virtual std::size_t
+    take(std::vector<Inst> &out, ThreadContext &tc)
+    {
+        if (std::optional<Inst> inst = next(tc)) {
+            out.push_back(*inst);
+            return 1;
+        }
+        return 0;
+    }
 };
 
 using ThreadProgramPtr = std::unique_ptr<ThreadProgram>;

@@ -7,24 +7,32 @@ namespace paralog {
 bool
 ThreadContext::fetch(Inst &out)
 {
-    if (!microOps_.empty()) {
-        out = microOps_.front();
-        microOps_.pop_front();
+    if (microHead_ < microOps_.size()) {
+        out = microOps_[microHead_++];
+        if (microHead_ == microOps_.size()) {
+            microOps_.clear();
+            microHead_ = 0;
+        }
         return true;
     }
     if (programExhausted_ || done_)
         return false;
-    std::optional<Inst> inst = program_ ? program_->next(*this)
-                                        : std::nullopt;
-    if (!inst) {
-        programExhausted_ = true;
-        out = Inst::done();
-        return true;
+    if (progHead_ >= progBuf_.size()) {
+        progBuf_.clear();
+        progHead_ = 0;
+        if (program_)
+            program_->take(progBuf_, *this);
+        if (progBuf_.empty()) {
+            programExhausted_ = true;
+            out = Inst::done();
+            return true;
+        }
     }
-    PARALOG_ASSERT(!isInternalOp(inst->op),
+    const Inst &inst = progBuf_[progHead_++];
+    PARALOG_ASSERT(!isInternalOp(inst.op),
                    "program emitted internal micro-op");
     ++programInsts;
-    out = *inst;
+    out = inst;
     return true;
 }
 

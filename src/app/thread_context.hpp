@@ -9,7 +9,7 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "app/program.hpp"
 #include "common/types.hpp"
@@ -50,7 +50,17 @@ class ThreadContext
     void pushMicroOp(const Inst &op) { microOps_.push_back(op); }
 
     /** Re-execute the current op later (blocked). */
-    void retry(const Inst &op) { microOps_.push_front(op); }
+    void
+    retry(const Inst &op)
+    {
+        // The op was just fetched: if it came off the queue, the slot in
+        // front of the cursor is free again; otherwise prepend (rare,
+        // and the queue is empty or tiny then).
+        if (microHead_ > 0)
+            microOps_[--microHead_] = op;
+        else
+            microOps_.insert(microOps_.begin(), op);
+    }
 
     bool done() const { return done_; }
     void markDone() { done_ = true; }
@@ -69,7 +79,14 @@ class ThreadContext
   private:
     ThreadId tid_;
     ThreadProgramPtr program_;
-    std::deque<Inst> microOps_;
+    /// Micro-op queue as a flat vector + cursor (per-instruction fetch
+    /// fast path); recycled in place whenever it drains.
+    std::vector<Inst> microOps_;
+    std::size_t microHead_ = 0;
+    /// Program-instruction buffer filled in bulk via
+    /// ThreadProgram::take(), consumed with one copy per fetch.
+    std::vector<Inst> progBuf_;
+    std::size_t progHead_ = 0;
     bool done_ = false;
     bool programExhausted_ = false;
 };

@@ -39,25 +39,35 @@ CaptureUnit::append(const AppEvent &ev)
     // the order-capturing hardware operates below the event mux. Arcs on
     // filtered records are then re-attached to the next captured record,
     // so no ordering information is lost.
-    std::vector<DepArc> arcs = pendingArcsCarry_;
+    bool wanted = filter_.wants(ev.record);
+    if (!wanted && ev.arcs.empty()) {
+        // Common fast path (e.g. AddrCheck's heap-only filter): nothing
+        // to capture and no arcs to carry — skip the record copy and
+        // the arc-list staging entirely.
+        filteredCtr_.inc();
+        return false;
+    }
+
+    std::vector<DepArc> arcs = std::move(pendingArcsCarry_);
     pendingArcsCarry_.clear();
     for (const RawArc &raw : ev.arcs) {
         if (reducer_.shouldRecord(raw))
             arcs.push_back(DepArc{raw.tid, raw.rid});
     }
 
-    EventRecord rec = ev.record;
-    if (!filter_.wants(rec)) {
+    if (!wanted) {
         // Carry surviving arcs forward so a later captured record
         // still enforces the ordering (conservative).
         pendingArcsCarry_ = std::move(arcs);
-        stats.counter("filtered").inc();
+        filteredCtr_.inc();
         return false;
     }
+
+    EventRecord rec = ev.record;
     rec.arcs = std::move(arcs);
-    stats.counter("records").inc();
+    recordsCtr_.inc();
     if (!rec.arcs.empty())
-        stats.counter("records_with_arcs").inc();
+        recordsWithArcsCtr_.inc();
     std::uint32_t bytes = compressor_.encode(rec);
     if (trace_)
         trace_->append(rec);

@@ -43,7 +43,10 @@ class CaptureUnit
 {
   public:
     CaptureUnit(ThreadId tid, const SimConfig &cfg, EventFilter filter)
-        : tid_(tid), filter_(filter), buf_(cfg.logBufferBytes)
+        : tid_(tid), filter_(filter), buf_(cfg.logBufferBytes),
+          filteredCtr_(stats.counter("filtered")),
+          recordsCtr_(stats.counter("records")),
+          recordsWithArcsCtr_(stats.counter("records_with_arcs"))
     {
     }
 
@@ -88,6 +91,8 @@ class CaptureUnit
 
     const EventRecord *peek() const { return buf_.peek(visLimit_); }
     EventRecord pop() { return buf_.pop(); }
+    /** Discard the head after in-place processing (batch delivery). */
+    void dropFront() { buf_.dropFront(); }
     bool consumerEmpty() const { return peek() == nullptr; }
 
     /**
@@ -118,6 +123,12 @@ class CaptureUnit
     /// Arcs that survived reduction but whose record was filtered out;
     /// re-attached to the next captured record (conservative ordering).
     std::vector<DepArc> pendingArcsCarry_;
+
+    // Cached references into `stats` for the once-per-retired-event
+    // sites (string-keyed map lookups are too slow there).
+    Counter &filteredCtr_;
+    Counter &recordsCtr_;
+    Counter &recordsWithArcsCtr_;
 };
 
 } // namespace paralog

@@ -39,6 +39,17 @@ LogBuffer::pop()
     return rec;
 }
 
+void
+LogBuffer::dropFront()
+{
+    PARALOG_ASSERT(!records_.empty(), "dropFront from empty log buffer");
+    const EventRecord &rec = records_.front();
+    PARALOG_ASSERT(bytes_ >= rec.chargedBytes,
+                   "log buffer byte accounting underflow");
+    bytes_ -= rec.chargedBytes;
+    records_.pop_front();
+}
+
 EventRecord *
 LogBuffer::findByRid(RecordId rid)
 {

@@ -49,6 +49,14 @@ class LogBuffer
     /** Remove and return the head (must be visible per caller's check). */
     EventRecord pop();
 
+    /**
+     * Batch-pop half of the delivery fast path: the consumer processes
+     * the head in place via peek() and then discards it. Unlike pop()
+     * no record is moved out, so draining N records costs N deque
+     * bookkeeping updates and nothing else.
+     */
+    void dropFront();
+
     /** Find a pending record by rid (TSO consume-version annotation). */
     EventRecord *findByRid(RecordId rid);
 

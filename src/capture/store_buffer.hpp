@@ -69,6 +69,19 @@ class TsoDataPath : public DataPath
      */
     void pump(CoreId core, Cycle now);
 
+    /**
+     * Earliest cycle at which pump() would drain a store for @p core,
+     * or Cycle max if its buffer is empty. Feeds the platform's
+     * solo-horizon batching rule: a pending drain is a simulated actor
+     * the lifeguard batch window must not cross.
+     */
+    Cycle
+    nextDrainReady(CoreId core) const
+    {
+        const auto &buf = buffers_[core];
+        return buf.empty() ? ~Cycle{0} : buf.front().readyAt;
+    }
+
     /** Buffered stores for a core (tests). */
     std::size_t depth(CoreId core) const { return buffers_[core].size(); }
 

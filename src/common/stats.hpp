@@ -72,6 +72,37 @@ class StatSet
     Counter &counter(const std::string &name) { return counters_[name]; }
     Histogram &histogram(const std::string &name) { return histograms_[name]; }
 
+    /**
+     * Fast-path overloads for string literals (every instrumentation
+     * site): the literal's address is memoized, so the steady-state
+     * cost is a short pointer scan instead of a std::string
+     * construction plus a map walk — the difference matters at
+     * once-per-simulated-event call sites.
+     */
+    Counter &
+    counter(const char *name)
+    {
+        for (const auto &e : counterMemo_) {
+            if (e.first == name)
+                return *e.second;
+        }
+        Counter &c = counters_[name];
+        counterMemo_.emplace_back(name, &c);
+        return c;
+    }
+
+    Histogram &
+    histogram(const char *name)
+    {
+        for (const auto &e : histogramMemo_) {
+            if (e.first == name)
+                return *e.second;
+        }
+        Histogram &h = histograms_[name];
+        histogramMemo_.emplace_back(name, &h);
+        return h;
+    }
+
     std::uint64_t get(const std::string &name) const;
     bool has(const std::string &name) const;
 
@@ -93,6 +124,10 @@ class StatSet
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> histograms_;
+    /// Literal-address memo for the const char* fast paths. Map node
+    /// references are stable, so the cached pointers never dangle.
+    std::vector<std::pair<const char *, Counter *>> counterMemo_;
+    std::vector<std::pair<const char *, Histogram *>> histogramMemo_;
 };
 
 } // namespace paralog

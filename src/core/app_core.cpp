@@ -29,7 +29,8 @@ AppCore::step(Cycle now)
         return;
     }
 
-    Interpreter::StepOutcome out = interp_.step(*tc_, core_, now);
+    interp_.step(*tc_, core_, now, out_);
+    Interpreter::StepOutcome &out = out_;
 
     switch (out.kind) {
       case Interpreter::StepOutcome::Kind::kDone:

@@ -53,6 +53,7 @@ class AppCore
     std::unique_ptr<ThreadContext> tc_;
     CaptureUnit *capture_; ///< may be shared (timesliced) or null
     Interpreter &interp_;
+    Interpreter::StepOutcome out_; ///< scratch, reused across steps
     MemorySystem &mem_;
     const SimConfig &cfg_;
     bool monitoringEnabled_;

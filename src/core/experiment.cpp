@@ -34,6 +34,13 @@ makeConfig(WorkloadKind workload, LifeguardKind lifeguard, MonitorMode mode,
     cfg.lifeguard = lifeguard;
     cfg.workload = workload;
     cfg.scale = opt.scale;
+    // Host-side delivery batch override (wall-clock A/B experiments;
+    // results are identical for any value >= 1).
+    if (const char *b = std::getenv("PARALOG_DELIVER_BATCH")) {
+        std::uint64_t v = std::strtoull(b, nullptr, 10);
+        if (v > 0)
+            cfg.sim.deliverBatchMax = static_cast<std::uint32_t>(v);
+    }
     return cfg;
 }
 

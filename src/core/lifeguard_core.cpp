@@ -88,13 +88,13 @@ LifeguardCore::handleStallFlush(Cycle now)
 }
 
 void
-LifeguardCore::step(Cycle now)
+LifeguardCore::step(Cycle now, Cycle batch_horizon)
 {
     if (finished())
         return;
 
-    OrderEnforcer::Delivery d;
-    DeliverStatus st = enforcer_.tryDeliver(d);
+    OrderEnforcer::BatchItem d;
+    DeliverStatus st = enforcer_.tryDeliverBatch(d, false);
 
     switch (st) {
       case DeliverStatus::kEmpty:
@@ -135,35 +135,71 @@ LifeguardCore::step(Cycle now)
 
     emptyStreak_ = 0;
     stallStreak_ = 0;
-    ++stats.recordsProcessed;
-    lastProcessed_ = d.rec.rid;
 
-    events_.clear();
-    accel_.maybeThresholdFlush(lastProcessed_, events_);
-    accel_.process(d.rec, d.racesSyscall, events_);
+    // Batched delivery: drain consecutive no-stall records in one step,
+    // processing each borrowed record in place. Per-record costs
+    // accumulate exactly as single-pop delivery would (record i starts
+    // at the running total, which is where busyUntil would have landed
+    // after i-1 single-pop steps), and the batch extends only while
+    // that start time stays strictly below batch_horizon — the earliest
+    // time any other actor runs. Inside that window this core is the
+    // only actor, so delivery checks see exactly the state the
+    // unbatched engine would have seen, and the deferred progress
+    // publish is in place before anyone can read it: simulated results
+    // are bit-identical, only host wall-clock changes.
+    Cycle cost = 0;
+    std::uint32_t delivered = 0;
+    for (;;) {
+        ++delivered;
+        ++stats.recordsProcessed;
+        lastProcessed_ = d.rec->rid;
 
-    Cycle cost;
-    if (events_.empty()) {
-        // Fully absorbed in hardware: the delivery engine retires
-        // compressed ~1-byte records at two per cycle.
-        cost = (++absorbedTick_ & 1) ? 0 : 1;
-    } else {
-        cost = 1 + runHandlers(events_);
+        events_.clear();
+        accel_.maybeThresholdFlush(lastProcessed_, events_);
+        accel_.process(*d.rec, d.racesSyscall, events_);
+
+        Cycle c;
+        if (events_.empty()) {
+            // Fully absorbed in hardware: the delivery engine retires
+            // compressed ~1-byte records at two per cycle.
+            c = (++absorbedTick_ & 1) ? 0 : 1;
+        } else {
+            c = 1 + runHandlers(events_);
+        }
+
+        // Versioned reads of metadata-irrelevant words (lock/barrier
+        // records) leave their snapshot unconsumed by any handler;
+        // discard it so the version store drains.
+        if (d.rec->consumesVersion &&
+            ctx_.versions().available(d.rec->version))
+            ctx_.versions().consume(d.rec->version);
+
+        bool was_done = (d.rec->type == EventType::kThreadDone);
+        enforcer_.commitDelivered();
+        cost += c;
+        stats.usefulCycles += c;
+
+        if (was_done && finished()) {
+            progress_.finish(tid_);
+            stats.doneAt = now + cost;
+            busyUntil = now + cost;
+            return;
+        }
+        if (delivered >= cfg_.deliverBatchMax ||
+            now + cost >= batch_horizon)
+            break;
+        if (enforcer_.tryDeliverBatch(d, true) != DeliverStatus::kDelivered)
+            break;
+        // The ThreadDone that finishes this core must start its own
+        // step: the run's reported cycle count is the time that step
+        // begins, so batching it would compress the simulated total.
+        // (Delivery without commit has no side effects; the next step
+        // re-delivers it at exactly this batch's end time.)
+        if (d.rec->type == EventType::kThreadDone &&
+            doneSeen_ + 1 >= doneNeeded_)
+            break;
     }
-
-    // Versioned reads of metadata-irrelevant words (lock/barrier
-    // records) leave their snapshot unconsumed by any handler; discard
-    // it so the version store drains.
-    if (d.rec.consumesVersion && ctx_.versions().available(d.rec.version))
-        ctx_.versions().consume(d.rec.version);
-    stats.usefulCycles += cost;
-
-    if (d.rec.type == EventType::kThreadDone && finished()) {
-        progress_.finish(tid_);
-        stats.doneAt = now + cost;
-    } else {
-        publishProgress();
-    }
+    publishProgress();
     busyUntil = now + cost;
 }
 

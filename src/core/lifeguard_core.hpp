@@ -28,8 +28,17 @@ class LifeguardCore
                   CaManager &ca, Lifeguard &lifeguard, MemorySystem *mem,
                   VersionStore &versions, std::uint32_t done_records_needed);
 
-    /** Process at most one record (plus accelerator flush fallout). */
-    void step(Cycle now);
+    /**
+     * Pull and process records. @p batch_horizon is the earliest
+     * simulated time any *other* actor (application core, other
+     * lifeguard core, pending TSO store drain) can run: the batched
+     * delivery fast path keeps draining records only while the running
+     * cost stays strictly inside that window, so batching is invisible
+     * — every batched record is processed, and every side effect
+     * published, in an interval no other core observes. Pass
+     * @p batch_horizon = now to disable batching (single-pop step).
+     */
+    void step(Cycle now, Cycle batch_horizon);
 
     /** All kThreadDone records consumed (timesliced needs several). */
     bool finished() const { return doneSeen_ >= doneNeeded_; }

@@ -229,7 +229,31 @@ Platform::run()
     Cycle now = 0;
     Cycle last_now = 0;
     std::uint64_t same_now_iters = 0;
-    while (!allDone()) {
+
+    // The scheduler loop runs once per simulated event; keep its scans
+    // over flat raw-pointer arrays.
+    std::vector<AppCore *> apps;
+    std::vector<LifeguardCore *> lgs;
+    apps.reserve(appCores_.size());
+    lgs.reserve(lgCores_.size());
+    for (auto &c : appCores_)
+        apps.push_back(c.get());
+    for (auto &c : lgCores_)
+        lgs.push_back(c.get());
+
+    auto all_done = [&apps, &lgs] {
+        for (const AppCore *c : apps) {
+            if (c->active())
+                return false;
+        }
+        for (const LifeguardCore *c : lgs) {
+            if (!c->finished())
+                return false;
+        }
+        return true;
+    };
+
+    while (!all_done()) {
         // Livelock detector: simulated time must advance.
         if (now == last_now) {
             if (++same_now_iters > 20'000'000) {
@@ -243,11 +267,11 @@ Platform::run()
         }
         // Event-driven advance: jump to the earliest ready core.
         Cycle next = kInvalidRecord;
-        for (const auto &c : appCores_) {
+        for (AppCore *c : apps) {
             if (c->active())
                 next = std::min(next, c->busyUntil);
         }
-        for (const auto &c : lgCores_) {
+        for (LifeguardCore *c : lgs) {
             if (!c->finished())
                 next = std::min(next, c->busyUntil);
         }
@@ -261,7 +285,7 @@ Platform::run()
                   static_cast<unsigned long long>(cfg_.maxCycles));
         }
 
-        for (auto &c : appCores_) {
+        for (AppCore *c : apps) {
             if (c->active() && c->busyUntil <= now)
                 c->step(now);
         }
@@ -269,9 +293,43 @@ Platform::run()
             for (CoreId core = 0; core < cfg_.sim.appThreads; ++core)
                 tsoPath_->pump(core, now);
         }
-        for (auto &c : lgCores_) {
-            if (!c->finished() && c->busyUntil <= now)
-                c->step(now);
+
+        // Solo-horizon for lifeguard delivery batching: the earliest
+        // time any application core or pending TSO store drain can act.
+        // (One drain retires per loop iteration, so a ready drain pins
+        // the horizon to `now` and keeps the iteration cadence exact.)
+        // Computed lazily: most iterations step no lifeguard core.
+        Cycle actor_horizon = 0;
+        bool horizon_valid = false;
+        for (std::size_t i = 0; i < lgs.size(); ++i) {
+            LifeguardCore *c = lgs[i];
+            if (c->finished() || c->busyUntil > now)
+                continue;
+            if (!horizon_valid) {
+                actor_horizon = ~Cycle{0};
+                for (const AppCore *a : apps) {
+                    if (a->active())
+                        actor_horizon =
+                            std::min(actor_horizon, a->busyUntil);
+                }
+                if (tsoPath_) {
+                    for (CoreId core = 0; core < cfg_.sim.appThreads;
+                         ++core) {
+                        actor_horizon = std::min(
+                            actor_horizon, tsoPath_->nextDrainReady(core));
+                    }
+                }
+                horizon_valid = true;
+            }
+            // Other lifeguard cores are actors too: a peer that is
+            // ready (or becomes ready inside the window) bounds the
+            // batch so same-cycle interleaving stays exact.
+            Cycle horizon = actor_horizon;
+            for (std::size_t j = 0; j < lgs.size(); ++j) {
+                if (j != i && !lgs[j]->finished())
+                    horizon = std::min(horizon, lgs[j]->busyUntil);
+            }
+            c->step(now, horizon);
         }
     }
 

@@ -123,7 +123,8 @@ Timesliced::stepApp(Cycle now)
         return;
     }
 
-    Interpreter::StepOutcome out = interp_->step(tc, 0, now);
+    interp_->step(tc, 0, now, stepScratch_);
+    Interpreter::StepOutcome &out = stepScratch_;
 
     switch (out.kind) {
       case Interpreter::StepOutcome::Kind::kDone:
@@ -202,8 +203,12 @@ Timesliced::run()
 
         if (!appAllDone() && appBusyUntil_ <= now)
             stepApp(now);
-        if (!lgCore_->finished() && lgCore_->busyUntil <= now)
-            lgCore_->step(now);
+        if (!lgCore_->finished() && lgCore_->busyUntil <= now) {
+            // Solo-horizon batching: the timesliced application core is
+            // the only other actor (no TSO, one lifeguard).
+            lgCore_->step(now,
+                          appAllDone() ? ~Cycle{0} : appBusyUntil_);
+        }
     }
 
     RunResult result;

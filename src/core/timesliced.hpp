@@ -52,6 +52,7 @@ class Timesliced : public PlatformHooks
     BarrierManager barriers_;
     std::unique_ptr<DataPath> dataPath_;
     std::unique_ptr<Interpreter> interp_;
+    Interpreter::StepOutcome stepScratch_; ///< reused across stepApp calls
 
     std::unique_ptr<Lifeguard> lifeguard_;
     std::unique_ptr<ProgressTable> progress_;

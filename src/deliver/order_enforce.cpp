@@ -8,7 +8,14 @@ OrderEnforcer::OrderEnforcer(ThreadId tid, CaptureUnit &unit,
                              ProgressTable &progress, CaManager &ca,
                              VersionAvailable version_available)
     : tid_(tid), unit_(unit), progress_(progress), ca_(ca),
-      versionAvailable_(std::move(version_available))
+      versionAvailable_(std::move(version_available)),
+      deliveredCtr_(stats.counter("delivered")),
+      depStallsCtr_(stats.counter("dep_stalls")),
+      caWaitCtr_(stats.counter("ca_wait_cycles")),
+      caIssuerCtr_(stats.counter("ca_issuer_stalls")),
+      versionStallsCtr_(stats.counter("version_stalls")),
+      syscallRacesCtr_(stats.counter("syscall_races")),
+      stallGapHist_(stats.histogram("stall_gap"))
 {
 }
 
@@ -29,14 +36,15 @@ OrderEnforcer::issuerBarrierSatisfied(const CaBroadcast &b) const
 }
 
 DeliverStatus
-OrderEnforcer::tryDeliver(Delivery &out)
+OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
 {
     // Waiter half of a ConflictAlert barrier: after consuming the CA
     // record (accelerators flushed), stall until the issuing thread's
     // lifeguard has processed the high-level event itself.
     if (waitingForIssuer_) {
         if (progress_.done(waitIssuer_) <= waitIssuerRid_) {
-            stats.counter("ca_wait_cycles").inc();
+            if (!continuation)
+                caWaitCtr_.inc();
             return DeliverStatus::kCaStall;
         }
         waitingForIssuer_ = false;
@@ -50,9 +58,11 @@ OrderEnforcer::tryDeliver(Delivery &out)
     // Inter-thread dependence arcs (the core ordering mechanism).
     for (const DepArc &arc : rec->arcs) {
         if (!progress_.satisfied(arc)) {
-            stats.counter("dep_stalls").inc();
-            stats.histogram("stall_gap")
-                .sample(arc.rid + 1 - progress_.done(arc.tid));
+            if (!continuation) {
+                depStallsCtr_.inc();
+                stallGapHist_.sample(arc.rid + 1 -
+                                     progress_.done(arc.tid));
+            }
             return DeliverStatus::kDepStall;
         }
     }
@@ -60,7 +70,8 @@ OrderEnforcer::tryDeliver(Delivery &out)
     // TSO: a read annotated with a consume-version must wait until the
     // writer's lifeguard produced the versioned metadata.
     if (rec->consumesVersion && !versionAvailable_(rec->version)) {
-        stats.counter("version_stalls").inc();
+        if (!continuation)
+            versionStallsCtr_.inc();
         return DeliverStatus::kVersionStall;
     }
 
@@ -70,25 +81,26 @@ OrderEnforcer::tryDeliver(Delivery &out)
     if (rec->caSeq != kNoCaSeq) {
         const CaBroadcast *b = ca_.find(rec->caSeq);
         if (b && !issuerBarrierSatisfied(*b)) {
-            stats.counter("ca_issuer_stalls").inc();
+            if (!continuation)
+                caIssuerCtr_.inc();
             return DeliverStatus::kCaStall;
         }
         if (b)
             noteIssuerDelivered(rec->caSeq);
     }
 
-    out.rec = unit_.pop();
+    out.rec = rec;
     out.racesSyscall = false;
 
-    if (out.rec.type == EventType::kCaBegin ||
-        out.rec.type == EventType::kCaEnd) {
-        const CaBroadcast *b = ca_.find(out.rec.value);
+    if (rec->type == EventType::kCaBegin ||
+        rec->type == EventType::kCaEnd) {
+        const CaBroadcast *b = ca_.find(rec->value);
         ThreadId issuer = b ? b->issuer : kInvalidThread;
         // Maintain the hardware range table for remote syscalls.
-        if (out.rec.caKind == HighLevelKind::kSyscallBegin &&
+        if (rec->caKind == HighLevelKind::kSyscallBegin &&
             issuer != kInvalidThread) {
-            ranges_.insert(issuer, out.rec.range);
-        } else if (out.rec.caKind == HighLevelKind::kSyscallEnd &&
+            ranges_.insert(issuer, rec->range);
+        } else if (rec->caKind == HighLevelKind::kSyscallEnd &&
                    issuer != kInvalidThread) {
             ranges_.remove(issuer);
         }
@@ -100,14 +112,33 @@ OrderEnforcer::tryDeliver(Delivery &out)
         } else if (b) {
             noteWaiterPassed(b->seq);
         }
-    } else if (out.rec.isMemAccess()) {
-        out.racesSyscall = ranges_.races(out.rec.addr, out.rec.size);
+    } else if (rec->isMemAccess()) {
+        out.racesSyscall = ranges_.races(rec->addr, rec->size);
         if (out.racesSyscall)
-            stats.counter("syscall_races").inc();
+            syscallRacesCtr_.inc();
     }
 
-    stats.counter("delivered").inc();
     return DeliverStatus::kDelivered;
+}
+
+void
+OrderEnforcer::commitDelivered()
+{
+    unit_.dropFront();
+    deliveredCtr_.inc();
+}
+
+DeliverStatus
+OrderEnforcer::tryDeliver(Delivery &out)
+{
+    BatchItem item;
+    DeliverStatus st = tryDeliverBatch(item, false);
+    if (st != DeliverStatus::kDelivered)
+        return st;
+    out.racesSyscall = item.racesSyscall;
+    out.rec = unit_.pop();
+    deliveredCtr_.inc();
+    return st;
 }
 
 void

@@ -47,6 +47,37 @@ class OrderEnforcer
 
     DeliverStatus tryDeliver(Delivery &out);
 
+    /** One record of a delivery batch, borrowed from the log buffer:
+     *  process in place, then commitDelivered(). */
+    struct BatchItem
+    {
+        const EventRecord *rec = nullptr;
+        bool racesSyscall = false;
+    };
+
+    /**
+     * Batch delivery fast path: deliver the next record *without*
+     * removing it from the stream. The caller processes @p out.rec in
+     * place, calls commitDelivered(), and keeps calling with
+     * @p continuation = true to drain consecutive records in one
+     * LifeguardCore::step, amortizing per-record step dispatch, retry
+     * bookkeeping and progress publishes.
+     *
+     * The check logic is identical to tryDeliver in both modes;
+     * @p continuation = true only suppresses stall accounting, because
+     * a continuation stall is not a modelled stall: it merely ends the
+     * batch, and the next step() re-runs the authoritative check at
+     * exactly the simulated time the unbatched engine would have
+     * reached the record. The caller guarantees (via the platform's
+     * solo-horizon rule, see LifeguardCore::step) that no other
+     * simulated actor runs inside the batch window, so every check
+     * observes exactly the state the unbatched engine would have seen.
+     */
+    DeliverStatus tryDeliverBatch(BatchItem &out, bool continuation);
+
+    /** Drop the record last delivered by tryDeliverBatch. */
+    void commitDelivered();
+
     /** The thread's hardware range table (remote in-flight syscalls). */
     RangeTable &rangeTable() { return ranges_; }
 
@@ -63,6 +94,16 @@ class OrderEnforcer
     CaManager &ca_;
     VersionAvailable versionAvailable_;
     RangeTable ranges_;
+
+    // Cached references into `stats`: counter()/histogram() lookups are
+    // string-keyed map walks, far too slow for once-per-record sites.
+    Counter &deliveredCtr_;
+    Counter &depStallsCtr_;
+    Counter &caWaitCtr_;
+    Counter &caIssuerCtr_;
+    Counter &versionStallsCtr_;
+    Counter &syscallRacesCtr_;
+    Histogram &stallGapHist_;
 
     /// After consuming a CA record we stall until the issuer's lifeguard
     /// processes the associated high-level event.

@@ -1,9 +1,18 @@
 #include "lifeguard/shadow_memory.hpp"
 
-#include "common/bitops.hpp"
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "common/logging.hpp"
 
 namespace paralog {
+
+// The packed/word-scan fast paths memcpy 64-bit words of the metadata
+// byte array; the per-byte slow paths use little-endian bit shifts.
+// Both must agree on byte order.
+static_assert(std::endian::native == std::endian::little,
+              "ShadowMemory word paths assume a little-endian host");
 
 ShadowMemory::ShadowMemory(std::uint32_t bits_per_byte)
     : bitsPerByte_(bits_per_byte)
@@ -12,48 +21,72 @@ ShadowMemory::ShadowMemory(std::uint32_t bits_per_byte)
                        bits_per_byte == 4 || bits_per_byte == 8,
                    "unsupported metadata ratio %u", bits_per_byte);
     valueMask_ = static_cast<std::uint8_t>((1u << bits_per_byte) - 1);
+    chunkMetaBytes_ = kChunkAppBytes * bitsPerByte_ / 8;
+}
+
+ShadowMemory::Chunk *
+ShadowMemory::lookupChunk(Addr app_addr) const
+{
+    std::uint64_t idx = app_addr / kChunkAppBytes;
+    if (idx == cachedIdx_)
+        return cachedChunk_;
+    const std::unique_ptr<Chunk> *slot = chunks_.find(idx);
+    if (!slot)
+        return nullptr;
+    cachedIdx_ = idx;
+    cachedChunk_ = slot->get();
+    return cachedChunk_;
 }
 
 ShadowMemory::Chunk &
-ShadowMemory::chunkFor(Addr app_addr)
+ShadowMemory::ensureChunk(Addr app_addr)
 {
     std::uint64_t idx = app_addr / kChunkAppBytes;
-    auto it = chunks_.find(idx);
-    if (it == chunks_.end()) {
-        auto chunk = std::make_unique<Chunk>(
-            kChunkAppBytes * bitsPerByte_ / 8, 0);
-        it = chunks_.emplace(idx, std::move(chunk)).first;
-    }
-    return *it->second;
+    if (idx == cachedIdx_)
+        return *cachedChunk_;
+    std::unique_ptr<Chunk> &slot = chunks_[idx];
+    if (!slot)
+        slot = std::make_unique<Chunk>(chunkMetaBytes_, 0);
+    cachedIdx_ = idx;
+    cachedChunk_ = slot.get();
+    return *cachedChunk_;
 }
 
-const ShadowMemory::Chunk *
-ShadowMemory::chunkForConst(Addr app_addr) const
+std::uint8_t
+ShadowMemory::patternByte(std::uint8_t value) const
 {
-    auto it = chunks_.find(app_addr / kChunkAppBytes);
-    return it == chunks_.end() ? nullptr : it->second.get();
+    // Replicate the (masked) value across all metadata groups of one
+    // backing byte: 0xFF / valueMask_ is 0xFF, 0x55, 0x11, 0x01 for
+    // ratios 1, 2, 4, 8.
+    return static_cast<std::uint8_t>((value & valueMask_) *
+                                     (0xFFu / valueMask_));
 }
 
 std::uint8_t
 ShadowMemory::read(Addr app_addr) const
 {
-    const Chunk *c = chunkForConst(app_addr);
+    const Chunk *c = lookupChunk(app_addr);
     if (!c)
         return 0;
-    std::uint64_t off = app_addr % kChunkAppBytes;
-    std::uint64_t bit = off * bitsPerByte_;
-    std::uint8_t byte = (*c)[bit / 8];
-    return (byte >> (bit % 8)) & valueMask_;
+    std::uint64_t bit = (app_addr % kChunkAppBytes) * bitsPerByte_;
+    return ((*c)[bit >> 3] >> (bit & 7)) & valueMask_;
 }
 
 void
 ShadowMemory::write(Addr app_addr, std::uint8_t value)
 {
-    Chunk &c = chunkFor(app_addr);
-    std::uint64_t off = app_addr % kChunkAppBytes;
-    std::uint64_t bit = off * bitsPerByte_;
-    std::uint8_t &byte = c[bit / 8];
-    std::uint8_t shift = bit % 8;
+    Chunk *c = lookupChunk(app_addr);
+    if (!c) {
+        // Chunks are zero-initialized: writing 0 to unmapped space is a
+        // no-op, so e.g. clearing the metadata of untouched heap
+        // allocates nothing.
+        if ((value & valueMask_) == 0)
+            return;
+        c = &ensureChunk(app_addr);
+    }
+    std::uint64_t bit = (app_addr % kChunkAppBytes) * bitsPerByte_;
+    std::uint8_t &byte = (*c)[bit >> 3];
+    unsigned shift = bit & 7;
     byte = static_cast<std::uint8_t>(
         (byte & ~(valueMask_ << shift)) | ((value & valueMask_) << shift));
 }
@@ -61,8 +94,39 @@ ShadowMemory::write(Addr app_addr, std::uint8_t value)
 std::uint64_t
 ShadowMemory::readPacked(Addr app_addr, unsigned bytes) const
 {
+    if (bytes > 8)
+        bytes = 8;
+    if (bytes == 0)
+        return 0;
+    std::uint64_t off = app_addr % kChunkAppBytes;
+    if (off + bytes <= kChunkAppBytes) {
+        const Chunk *c = lookupChunk(app_addr);
+        if (!c)
+            return 0;
+        // One unaligned 64-bit load covers the whole packed value: the
+        // field is bytes * bitsPerByte_ <= 64 bits wide and starts at a
+        // sub-byte shift of at most 8 - bitsPerByte_, which never
+        // pushes it past the loaded word.
+        std::uint64_t bit = off * bitsPerByte_;
+        std::uint64_t byte_idx = bit >> 3;
+        if (byte_idx + 8 <= chunkMetaBytes_) {
+            std::uint64_t word;
+            std::memcpy(&word, c->data() + byte_idx, 8);
+            word >>= (bit & 7);
+            unsigned width = bytes * bitsPerByte_;
+            std::uint64_t mask =
+                (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+            return word & mask;
+        }
+    }
+    return readPackedSlow(app_addr, bytes);
+}
+
+std::uint64_t
+ShadowMemory::readPackedSlow(Addr app_addr, unsigned bytes) const
+{
     std::uint64_t bits = 0;
-    for (unsigned i = 0; i < bytes && i < 8; ++i)
+    for (unsigned i = 0; i < bytes; ++i)
         bits |= static_cast<std::uint64_t>(read(app_addr + i))
                 << (i * bitsPerByte_);
     return bits;
@@ -71,7 +135,40 @@ ShadowMemory::readPacked(Addr app_addr, unsigned bytes) const
 void
 ShadowMemory::writePacked(Addr app_addr, unsigned bytes, std::uint64_t bits)
 {
-    for (unsigned i = 0; i < bytes && i < 8; ++i) {
+    if (bytes > 8)
+        bytes = 8;
+    if (bytes == 0)
+        return;
+    std::uint64_t off = app_addr % kChunkAppBytes;
+    if (off + bytes <= kChunkAppBytes) {
+        unsigned width = bytes * bitsPerByte_;
+        std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+        bits &= mask;
+        Chunk *c = lookupChunk(app_addr);
+        if (!c) {
+            if (bits == 0)
+                return; // zero-write elision, as in write()
+            c = &ensureChunk(app_addr);
+        }
+        std::uint64_t bit = off * bitsPerByte_;
+        std::uint64_t byte_idx = bit >> 3;
+        if (byte_idx + 8 <= chunkMetaBytes_) {
+            unsigned shift = bit & 7;
+            std::uint64_t word;
+            std::memcpy(&word, c->data() + byte_idx, 8);
+            word = (word & ~(mask << shift)) | (bits << shift);
+            std::memcpy(c->data() + byte_idx, &word, 8);
+            return;
+        }
+    }
+    writePackedSlow(app_addr, bytes, bits);
+}
+
+void
+ShadowMemory::writePackedSlow(Addr app_addr, unsigned bytes,
+                              std::uint64_t bits)
+{
+    for (unsigned i = 0; i < bytes; ++i) {
         write(app_addr + i, static_cast<std::uint8_t>(
                                 (bits >> (i * bitsPerByte_)) & valueMask_));
     }
@@ -86,9 +183,85 @@ ShadowMemory::rangeAll(const AddrRange &range, std::uint8_t value) const
 Addr
 ShadowMemory::rangeFindNot(const AddrRange &range, std::uint8_t value) const
 {
-    for (Addr a = range.begin; a < range.end; ++a) {
-        if (read(a) != value)
-            return a;
+    if (range.empty())
+        return kInvalidAddr;
+    // Stored metadata is always masked, so an out-of-range comparison
+    // value matches nothing.
+    if (value & ~valueMask_)
+        return range.begin;
+    const std::uint8_t pat = patternByte(value);
+    const std::uint64_t pat64 = pat * 0x0101010101010101ULL;
+    const unsigned gpb = 8 / bitsPerByte_; // metadata groups per byte
+
+    Addr a = range.begin;
+    while (a < range.end) {
+        const Addr chunk_base = (a / kChunkAppBytes) * kChunkAppBytes;
+        const Addr seg_end =
+            std::min<Addr>(range.end, chunk_base + kChunkAppBytes);
+        const Chunk *c = lookupChunk(a);
+        if (!c) {
+            // Unmapped space reads as 0 everywhere.
+            if (value != 0)
+                return a;
+            a = seg_end;
+            continue;
+        }
+        const std::uint8_t *d = c->data();
+        const std::uint64_t bit0 = (a - chunk_base) * bitsPerByte_;
+        const std::uint64_t bit1 = (seg_end - chunk_base) * bitsPerByte_;
+        std::uint64_t b0 = bit0 >> 3;
+        const std::uint64_t b1 = bit1 >> 3;
+        const unsigned s0 = bit0 & 7, s1 = bit1 & 7;
+
+        // First mismatching group in groups [g_lo, g_hi) of byte
+        // byte_idx, as an app address (kInvalidAddr if none).
+        auto scanByte = [&](std::uint64_t byte_idx, unsigned g_lo,
+                            unsigned g_hi) -> Addr {
+            for (unsigned g = g_lo; g < g_hi; ++g) {
+                std::uint8_t got =
+                    (d[byte_idx] >> (g * bitsPerByte_)) & valueMask_;
+                if (got != value)
+                    return chunk_base + byte_idx * gpb + g;
+            }
+            return kInvalidAddr;
+        };
+
+        if (b0 == b1) {
+            // Segment confined to one backing byte.
+            Addr hit =
+                scanByte(b0, s0 / bitsPerByte_, s1 / bitsPerByte_);
+            if (hit != kInvalidAddr)
+                return hit;
+            a = seg_end;
+            continue;
+        }
+        if (s0) {
+            Addr hit = scanByte(b0, s0 / bitsPerByte_, gpb);
+            if (hit != kInvalidAddr)
+                return hit;
+            ++b0;
+        }
+        std::uint64_t b = b0;
+        for (; b + 8 <= b1; b += 8) {
+            std::uint64_t word;
+            std::memcpy(&word, d + b, 8);
+            if (word != pat64) {
+                for (unsigned k = 0; k < 8; ++k) {
+                    if (d[b + k] != pat)
+                        return scanByte(b + k, 0, gpb);
+                }
+            }
+        }
+        for (; b < b1; ++b) {
+            if (d[b] != pat)
+                return scanByte(b, 0, gpb);
+        }
+        if (s1) {
+            Addr hit = scanByte(b1, 0, s1 / bitsPerByte_);
+            if (hit != kInvalidAddr)
+                return hit;
+        }
+        a = seg_end;
     }
     return kInvalidAddr;
 }
@@ -96,8 +269,52 @@ ShadowMemory::rangeFindNot(const AddrRange &range, std::uint8_t value) const
 void
 ShadowMemory::fill(const AddrRange &range, std::uint8_t value)
 {
-    for (Addr a = range.begin; a < range.end; ++a)
-        write(a, value);
+    if (range.empty())
+        return;
+    const std::uint8_t v = value & valueMask_;
+    const std::uint8_t pat = patternByte(v);
+
+    Addr a = range.begin;
+    while (a < range.end) {
+        const Addr chunk_base = (a / kChunkAppBytes) * kChunkAppBytes;
+        const Addr seg_end =
+            std::min<Addr>(range.end, chunk_base + kChunkAppBytes);
+        Chunk *c = lookupChunk(a);
+        if (!c) {
+            if (v == 0) { // zero-fill over untouched space: no-op
+                a = seg_end;
+                continue;
+            }
+            c = &ensureChunk(a);
+        }
+        std::uint8_t *d = c->data();
+        const std::uint64_t bit0 = (a - chunk_base) * bitsPerByte_;
+        const std::uint64_t bit1 = (seg_end - chunk_base) * bitsPerByte_;
+        std::uint64_t b0 = bit0 >> 3;
+        const std::uint64_t b1 = bit1 >> 3;
+        const unsigned s0 = bit0 & 7, s1 = bit1 & 7;
+
+        if (b0 == b1) {
+            // Sub-byte segment: mask-merge bits [s0, s1).
+            std::uint8_t m =
+                static_cast<std::uint8_t>(((1u << (s1 - s0)) - 1) << s0);
+            d[b0] = (d[b0] & ~m) | (pat & m);
+            a = seg_end;
+            continue;
+        }
+        if (s0) {
+            std::uint8_t m = static_cast<std::uint8_t>(0xFFu << s0);
+            d[b0] = (d[b0] & ~m) | (pat & m);
+            ++b0;
+        }
+        if (b1 > b0)
+            std::memset(d + b0, pat, b1 - b0);
+        if (s1) {
+            std::uint8_t m = static_cast<std::uint8_t>((1u << s1) - 1);
+            d[b1] = (d[b1] & ~m) | (pat & m);
+        }
+        a = seg_end;
+    }
 }
 
 } // namespace paralog

@@ -13,6 +13,19 @@
  * The layout satisfies condition 3 of section 5.3 (no bit-manipulation
  * races): metadata bytes covering different 64-byte application lines
  * never share a byte, because 64 app bytes map to >= 8 metadata bytes.
+ *
+ * Hot-path design (this is the most-executed data structure in the
+ * simulator):
+ *  - the chunk table is consulted once per access/range, not once per
+ *    byte, and the most recent chunk is cached so sequential access
+ *    streams skip the hash lookup entirely;
+ *  - packed accesses load/store one 64-bit word of metadata directly;
+ *  - fill() writes whole bytes via std::memset (with masked edge bytes
+ *    for sub-byte ratios) instead of per-byte read-modify-write;
+ *  - rangeFindNot()/rangeAll() scan 64-bit words;
+ *  - writes of metadata value 0 to an unmapped chunk are elided: chunks
+ *    are zero-initialized, so fill(range, 0) over untouched address
+ *    space allocates nothing.
  */
 
 #ifndef PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
@@ -20,9 +33,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace paralog {
@@ -66,15 +79,41 @@ class ShadowMemory
 
     std::size_t chunkCount() const { return chunks_.size(); }
 
+    /** Backing-store bytes actually allocated for metadata chunks
+     *  (observes the zero-write elision: filling untouched space with
+     *  value 0 allocates nothing). */
+    std::uint64_t bytesAllocated() const
+    {
+        return chunks_.size() * chunkMetaBytes_;
+    }
+
   private:
     using Chunk = std::vector<std::uint8_t>;
 
-    Chunk &chunkFor(Addr app_addr);
-    const Chunk *chunkForConst(Addr app_addr) const;
+    /** The mapped chunk covering @p app_addr, or nullptr. Refreshes the
+     *  last-chunk cache on a hash-table hit. */
+    Chunk *lookupChunk(Addr app_addr) const;
+
+    /** The chunk covering @p app_addr, allocating (and caching) it. */
+    Chunk &ensureChunk(Addr app_addr);
+
+    /** Replicate a metadata value across one backing byte. */
+    std::uint8_t patternByte(std::uint8_t value) const;
+
+    std::uint64_t readPackedSlow(Addr app_addr, unsigned bytes) const;
+    void writePackedSlow(Addr app_addr, unsigned bytes, std::uint64_t bits);
 
     std::uint32_t bitsPerByte_;
     std::uint8_t valueMask_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> chunks_;
+    std::uint64_t chunkMetaBytes_;
+    FlatAddrMap<std::unique_ptr<Chunk>> chunks_;
+
+    /// Last-chunk cache: chunk storage is stable (vectors never resize,
+    /// unique_ptr targets never move), so a cached pointer stays valid
+    /// for the lifetime of the ShadowMemory. Mutable so const readers
+    /// benefit from the sequential-access common case too.
+    mutable std::uint64_t cachedIdx_ = ~0ULL;
+    mutable Chunk *cachedChunk_ = nullptr;
 };
 
 } // namespace paralog

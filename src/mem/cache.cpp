@@ -14,6 +14,7 @@ Cache::Cache(const CacheParams &params, std::string name)
                    "size/assoc mismatch in cache %s", name_.c_str());
     numSets_ = static_cast<std::uint32_t>(lines_total / params_.assoc);
     PARALOG_ASSERT(isPowerOf2(numSets_), "set count must be 2^k");
+    lineShift_ = floorLog2(params_.lineBytes);
     lineMask_ = params_.lineBytes - 1;
     lines_.resize(lines_total);
 }
@@ -22,7 +23,7 @@ std::uint32_t
 Cache::setIndex(Addr addr) const
 {
     return static_cast<std::uint32_t>(
-        (addr / params_.lineBytes) & (numSets_ - 1));
+        (addr >> lineShift_) & (numSets_ - 1));
 }
 
 CacheLine *

@@ -102,6 +102,7 @@ class Cache
     CacheParams params_;
     std::string name_;
     std::uint32_t numSets_;
+    unsigned lineShift_; ///< log2(lineBytes): setIndex must not divide
     Addr lineMask_;
     std::uint64_t lruClock_ = 0;
     std::vector<CacheLine> lines_; // numSets_ * assoc, set-major

@@ -11,8 +11,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace paralog {
@@ -41,7 +41,13 @@ class MainMemory
     Page &pageFor(Addr addr);
     const Page *pageForConst(Addr addr) const;
 
-    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    FlatAddrMap<std::unique_ptr<Page>> pages_;
+
+    /// Last-page cache (the simulator's access streams are strongly
+    /// page-local). Page storage is stable, so the pointer stays valid;
+    /// mutable so const readers share the fast path.
+    mutable std::uint64_t cachedPn_ = ~0ULL;
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace paralog

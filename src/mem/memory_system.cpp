@@ -40,7 +40,7 @@ MemorySystem::access(CoreId core, Addr addr, unsigned size, bool is_write,
          la += l1s_[core]->lineBytes()) {
         accessLine(core, la, is_write, tag, capture_arcs, result);
     }
-    stats.counter(is_write ? "writes" : "reads").inc();
+    (is_write ? writesCtr_ : readsCtr_).inc();
     return result;
 }
 
@@ -101,13 +101,12 @@ MemorySystem::fillFromBelow(Addr line_addr)
         // last-writer tag is preserved: losing it would silently drop
         // dependence arcs for long-lived communication lines (the
         // happens-before validator catches exactly this).
-        auto it = directory_.find(victim.lineAddr);
-        if (it != directory_.end()) {
+        if (DirEntry *de = directory_.find(victim.lineAddr)) {
             for (std::uint32_t c = 0; c < numCores_; ++c) {
-                if (it->second.sharers & (1u << c))
+                if (de->sharers & (1u << c))
                     l1s_[c]->invalidate(victim.lineAddr);
             }
-            it->second.sharers = 0;
+            de->sharers = 0;
         }
     }
     return cfg_.memLatency;
@@ -195,9 +194,8 @@ MemorySystem::accessLine(CoreId core, Addr line_addr, bool is_write,
             fill_state = LineState::kShared;
         line = &l1.insert(line_addr, fill_state, &victim);
         if (victim.valid) {
-            auto it = directory_.find(victim.lineAddr);
-            if (it != directory_.end())
-                it->second.sharers &= ~(1u << core);
+            if (DirEntry *de = directory_.find(victim.lineAddr))
+                de->sharers &= ~(1u << core);
         }
         dir.sharers |= (1u << core);
     }
@@ -225,14 +223,13 @@ MemorySystem::kernelWrite(Addr addr, unsigned size, std::uint64_t value)
     Addr first_line = l2_->lineAddr(addr);
     Addr last_line = l2_->lineAddr(addr + size - 1);
     for (Addr la = first_line; la <= last_line; la += l2_->lineBytes()) {
-        auto it = directory_.find(la);
-        if (it != directory_.end()) {
+        if (DirEntry *de = directory_.find(la)) {
             for (std::uint32_t c = 0; c < numCores_; ++c) {
-                if (it->second.sharers & (1u << c))
+                if (de->sharers & (1u << c))
                     l1s_[c]->invalidate(la);
             }
-            it->second.sharers = 0;
-            it->second.lastWriter = BlockTag{}; // OS writes carry no tag
+            de->sharers = 0;
+            de->lastWriter = BlockTag{}; // OS writes carry no tag
         }
         l2_->invalidate(la);
     }
@@ -243,8 +240,9 @@ void
 MemorySystem::flushL1(CoreId core)
 {
     l1s_[core]->flushAll();
-    for (auto &kv : directory_)
-        kv.second.sharers &= ~(1u << core);
+    directory_.forEach([core](std::uint64_t, DirEntry &de) {
+        de.sharers &= ~(1u << core);
+    });
 }
 
 LineState

@@ -21,9 +21,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
@@ -123,10 +123,12 @@ class MemorySystem
 
     const SimConfig &cfg_;
     std::uint32_t numCores_;
+    Counter &readsCtr_{stats.counter("reads")};
+    Counter &writesCtr_{stats.counter("writes")};
     MainMemory memory_;
     std::vector<std::unique_ptr<Cache>> l1s_;
     std::unique_ptr<Cache> l2_;
-    std::unordered_map<Addr, DirEntry> directory_;
+    FlatAddrMap<DirEntry> directory_;
     std::vector<RecordId> coreCounter_;
     std::vector<ThreadId> coreThread_;
 

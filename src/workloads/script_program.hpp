@@ -9,7 +9,7 @@
 #ifndef PARALOG_WORKLOADS_SCRIPT_PROGRAM_HPP
 #define PARALOG_WORKLOADS_SCRIPT_PROGRAM_HPP
 
-#include <deque>
+#include <vector>
 
 #include "app/program.hpp"
 #include "app/thread_context.hpp"
@@ -19,28 +19,60 @@ namespace paralog {
 class ScriptProgram : public ThreadProgram
 {
   public:
+    /** Fetch fast path: hand a whole refill() batch to the caller's
+     *  buffer in one virtual call. Mirrors next() exactly: one refill
+     *  attempt, and an empty result terminates the thread. */
+    std::size_t
+    take(std::vector<Inst> &out, ThreadContext &tc) override
+    {
+        std::size_t before = out.size();
+        if (head_ < queue_.size()) {
+            // Drain instructions buffered by an earlier next() call.
+            out.insert(out.end(), queue_.begin() + head_, queue_.end());
+            queue_.clear();
+            head_ = 0;
+            return out.size() - before;
+        }
+        if (done_)
+            return 0;
+        sink_ = &out;
+        if (!refill(tc))
+            done_ = true;
+        sink_ = nullptr;
+        return out.size() - before;
+    }
+
     std::optional<Inst>
     next(ThreadContext &tc) override
     {
-        if (queue_.empty() && !done_) {
+        if (head_ >= queue_.size() && !done_) {
+            queue_.clear();
+            head_ = 0;
             if (!refill(tc))
                 done_ = true;
         }
-        if (queue_.empty())
+        if (head_ >= queue_.size())
             return std::nullopt;
-        Inst i = queue_.front();
-        queue_.pop_front();
-        return i;
+        return queue_[head_++];
     }
 
   protected:
     /** Emit more instructions; return false when the program is over. */
     virtual bool refill(ThreadContext &tc) = 0;
 
-    void emit(const Inst &i) { queue_.push_back(i); }
+    void
+    emit(const Inst &i)
+    {
+        if (sink_)
+            sink_->push_back(i);
+        else
+            queue_.push_back(i);
+    }
 
   private:
-    std::deque<Inst> queue_;
+    std::vector<Inst> queue_; ///< only used via the legacy next() path
+    std::size_t head_ = 0;
+    std::vector<Inst> *sink_ = nullptr; ///< refill target during take()
     bool done_ = false;
 };
 

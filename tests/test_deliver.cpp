@@ -1,11 +1,16 @@
 /**
  * @file
  * Unit tests for order enforcement: progress table, dependence arcs,
- * ConflictAlert barrier halves, version stalls, range table.
+ * ConflictAlert barrier halves, version stalls, range table, and the
+ * batched delivery fast path (must match single-pop exactly).
  */
+
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
 #include "deliver/order_enforce.hpp"
 #include "lifeguard/version_store.hpp"
 
@@ -222,6 +227,99 @@ TEST_F(EnforceTest, CaSkipsDeadThreads)
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(b->arrivalRid[1], kInvalidRecord);
     EXPECT_TRUE(unit1.consumerEmpty()); // no CA record inserted
+}
+
+TEST_F(EnforceTest, BatchMatchesSinglePop)
+{
+    // Identical streams on both units: plain loads with a satisfied arc
+    // in the middle and an unsatisfiable arc near the end.
+    progress.publish(1, 3);
+    progress.publish(0, 3);
+    auto build = [this](CaptureUnit &unit, ThreadId tid,
+                        ThreadId arc_tid) {
+        for (RecordId r = 0; r < 12; ++r) {
+            AppEvent ev = load(tid, r, 0x100 + 8 * r);
+            if (r == 5)
+                ev.arcs.push_back(RawArc{arc_tid, 2, false}); // satisfied
+            if (r == 9)
+                ev.arcs.push_back(RawArc{arc_tid, 50, false}); // stalls
+            unit.append(ev);
+        }
+    };
+    build(unit0, 0, 1);
+    build(unit1, 1, 0);
+
+    // Drain unit0 single-pop, unit1 via the batch fast path.
+    std::vector<RecordId> single, batched;
+    OrderEnforcer::Delivery d;
+    while (enf0.tryDeliver(d) == DeliverStatus::kDelivered)
+        single.push_back(d.rec.rid);
+
+    OrderEnforcer::BatchItem item;
+    bool continuation = false;
+    while (enf1.tryDeliverBatch(item, continuation) ==
+           DeliverStatus::kDelivered) {
+        batched.push_back(item.rec->rid);
+        enf1.commitDelivered();
+        continuation = true;
+    }
+
+    EXPECT_EQ(single, batched);
+    EXPECT_EQ(single.size(), 9u); // rids 0..8; rid 9 stalls on its arc
+    // Identical delivery accounting and progress-publish inputs: the
+    // value a lifeguard would publish is the unit's progress ceiling.
+    EXPECT_EQ(enf0.stats.get("delivered"), enf1.stats.get("delivered"));
+    EXPECT_EQ(unit0.progressCeiling(), unit1.progressCeiling());
+    // The batch ended on the unsatisfied arc without accounting a
+    // modelled stall; the authoritative (first, non-continuation) check
+    // is the one that records it.
+    EXPECT_EQ(enf1.stats.get("dep_stalls"), 0u);
+    EXPECT_EQ(enf1.tryDeliverBatch(item, false), DeliverStatus::kDepStall);
+    EXPECT_EQ(enf1.stats.get("dep_stalls"), 1u);
+}
+
+TEST(BatchDeliveryEquivalence, RunsIdenticalAcrossBatchSizes)
+{
+    // End-to-end guarantee of the batched fast path: every simulated
+    // statistic is bit-identical for any deliverBatchMax, including the
+    // published progress interleavings it amortizes.
+    setQuiet(true);
+    ExperimentOptions opt;
+    opt.scale = 6000;
+    auto run = [&](const char *batch, WorkloadKind w, MonitorMode m) {
+        setenv("PARALOG_DELIVER_BATCH", batch, 1);
+        RunResult r = runExperiment(w, LifeguardKind::kAddrCheck, m, 2,
+                                    opt);
+        unsetenv("PARALOG_DELIVER_BATCH");
+        return r;
+    };
+    for (WorkloadKind w : {WorkloadKind::kSwaptions, WorkloadKind::kFmm}) {
+        for (MonitorMode m :
+             {MonitorMode::kParallel, MonitorMode::kTimesliced}) {
+            RunResult a = run("1", w, m);
+            RunResult b = run("64", w, m);
+            EXPECT_EQ(a.totalCycles, b.totalCycles);
+            EXPECT_EQ(a.violationCount, b.violationCount);
+            ASSERT_EQ(a.lifeguard.size(), b.lifeguard.size());
+            for (std::size_t i = 0; i < a.lifeguard.size(); ++i) {
+                EXPECT_EQ(a.lifeguard[i].usefulCycles,
+                          b.lifeguard[i].usefulCycles);
+                EXPECT_EQ(a.lifeguard[i].depStall,
+                          b.lifeguard[i].depStall);
+                EXPECT_EQ(a.lifeguard[i].appStall,
+                          b.lifeguard[i].appStall);
+                EXPECT_EQ(a.lifeguard[i].recordsProcessed,
+                          b.lifeguard[i].recordsProcessed);
+                EXPECT_EQ(a.lifeguard[i].eventsHandled,
+                          b.lifeguard[i].eventsHandled);
+                EXPECT_EQ(a.lifeguard[i].doneAt, b.lifeguard[i].doneAt);
+            }
+            for (std::size_t i = 0; i < a.app.size(); ++i) {
+                EXPECT_EQ(a.app[i].logFullStall, b.app[i].logFullStall);
+                EXPECT_EQ(a.app[i].retired, b.app[i].retired);
+            }
+        }
+    }
 }
 
 TEST(VersionStoreTest, ProduceConsume)

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Randomized differential suite for the word-wise ShadowMemory fast
+ * paths: every operation is checked against a naive per-byte reference
+ * model (the semantics of the original implementation) across all four
+ * metadata ratios, unaligned ranges, chunk-boundary crossings and the
+ * zero-write elision.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lifeguard/shadow_memory.hpp"
+
+namespace paralog {
+namespace {
+
+/** Naive reference: one masked metadata value per app byte. */
+class RefShadow
+{
+  public:
+    explicit RefShadow(std::uint32_t bpb)
+        : bpb_(bpb), mask_(static_cast<std::uint8_t>((1u << bpb) - 1))
+    {
+    }
+
+    std::uint8_t
+    read(Addr a) const
+    {
+        auto it = bytes_.find(a);
+        return it == bytes_.end() ? 0 : it->second;
+    }
+
+    void write(Addr a, std::uint8_t v) { bytes_[a] = v & mask_; }
+
+    std::uint64_t
+    readPacked(Addr a, unsigned n) const
+    {
+        std::uint64_t bits = 0;
+        for (unsigned i = 0; i < n && i < 8; ++i)
+            bits |= static_cast<std::uint64_t>(read(a + i)) << (i * bpb_);
+        return bits;
+    }
+
+    void
+    writePacked(Addr a, unsigned n, std::uint64_t bits)
+    {
+        for (unsigned i = 0; i < n && i < 8; ++i)
+            write(a + i, static_cast<std::uint8_t>((bits >> (i * bpb_)) &
+                                                   mask_));
+    }
+
+    void
+    fill(const AddrRange &r, std::uint8_t v)
+    {
+        for (Addr a = r.begin; a < r.end; ++a)
+            write(a, v);
+    }
+
+    Addr
+    rangeFindNot(const AddrRange &r, std::uint8_t v) const
+    {
+        for (Addr a = r.begin; a < r.end; ++a) {
+            if (read(a) != v)
+                return a;
+        }
+        return kInvalidAddr;
+    }
+
+  private:
+    std::uint32_t bpb_;
+    std::uint8_t mask_;
+    std::map<Addr, std::uint8_t> bytes_;
+};
+
+class ShadowFastPath : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+/// Address pool biased toward interesting spots: chunk boundaries,
+/// byte-subgroup offsets, and plain interior addresses.
+Addr
+pickAddr(Rng &rng)
+{
+    constexpr Addr kChunk = ShadowMemory::kChunkAppBytes;
+    switch (rng.below(4)) {
+      case 0: // near the first chunk boundary
+        return kChunk - 16 + rng.below(32);
+      case 1: // near a later chunk boundary
+        return 3 * kChunk - 16 + rng.below(32);
+      case 2: // small addresses (first chunk)
+        return rng.below(512);
+      default: // anywhere in a 4-chunk window
+        return rng.below(4 * kChunk);
+    }
+}
+
+TEST_P(ShadowFastPath, RandomizedDifferential)
+{
+    const std::uint32_t bpb = GetParam();
+    ShadowMemory s(bpb);
+    RefShadow ref(bpb);
+    Rng rng(0xC0FFEE ^ bpb);
+
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = pickAddr(rng);
+        switch (rng.below(6)) {
+          case 1: {
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(256));
+            s.write(a, v);
+            ref.write(a, v);
+            break;
+          }
+          case 2: {
+            unsigned n = static_cast<unsigned>(rng.range(1, 8));
+            std::uint64_t bits = rng.next();
+            s.writePacked(a, n, bits);
+            ref.writePacked(a, n, bits);
+            break;
+          }
+          case 3: {
+            std::uint64_t len = rng.range(0, 300);
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(4));
+            s.fill(AddrRange{a, a + len}, v);
+            ref.fill(AddrRange{a, a + len}, v);
+            break;
+          }
+          case 4: {
+            unsigned n = static_cast<unsigned>(rng.range(1, 8));
+            ASSERT_EQ(s.readPacked(a, n), ref.readPacked(a, n))
+                << "readPacked @" << a << " n=" << n;
+            break;
+          }
+          case 5: {
+            std::uint64_t len = rng.range(0, 300);
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(4));
+            AddrRange r{a, a + len};
+            ASSERT_EQ(s.rangeFindNot(r, v), ref.rangeFindNot(r, v))
+                << "rangeFindNot @" << a << " len=" << len;
+            ASSERT_EQ(s.rangeAll(r, v),
+                      ref.rangeFindNot(r, v) == kInvalidAddr);
+            break;
+          }
+          default:
+            ASSERT_EQ(s.read(a), ref.read(a)) << "read @" << a;
+            break;
+        }
+    }
+
+    // Full sweep at the end: every byte of the exercised window agrees.
+    for (Addr a = 0; a < 600; ++a)
+        ASSERT_EQ(s.read(a), ref.read(a)) << "sweep @" << a;
+    constexpr Addr kChunk = ShadowMemory::kChunkAppBytes;
+    for (Addr a = kChunk - 64; a < kChunk + 64; ++a)
+        ASSERT_EQ(s.read(a), ref.read(a)) << "boundary sweep @" << a;
+}
+
+TEST_P(ShadowFastPath, LargeFillMatchesReference)
+{
+    const std::uint32_t bpb = GetParam();
+    ShadowMemory s(bpb);
+    RefShadow ref(bpb);
+
+    // A multi-chunk unaligned fill followed by unaligned re-fills.
+    constexpr Addr kChunk = ShadowMemory::kChunkAppBytes;
+    AddrRange big{kChunk - 1000, 2 * kChunk + 1000};
+    s.fill(big, 1);
+    ref.fill(big, 1);
+    AddrRange inner{kChunk - 3, kChunk + 5};
+    s.fill(inner, 0);
+    ref.fill(inner, 0);
+
+    EXPECT_EQ(s.rangeFindNot(big, 1), ref.rangeFindNot(big, 1));
+    for (Addr a = big.begin - 8; a < big.begin + 16; ++a)
+        ASSERT_EQ(s.read(a), ref.read(a));
+    for (Addr a = kChunk - 8; a < kChunk + 8; ++a)
+        ASSERT_EQ(s.read(a), ref.read(a));
+    for (Addr a = big.end - 16; a < big.end + 8; ++a)
+        ASSERT_EQ(s.read(a), ref.read(a));
+}
+
+TEST_P(ShadowFastPath, ZeroWriteElision)
+{
+    ShadowMemory s(GetParam());
+    EXPECT_EQ(s.bytesAllocated(), 0u);
+
+    // Zero writes and zero fills over untouched space allocate nothing.
+    s.write(0x5000, 0);
+    s.writePacked(0x6000, 8, 0);
+    s.fill(AddrRange{0, 4 * ShadowMemory::kChunkAppBytes}, 0);
+    EXPECT_EQ(s.chunkCount(), 0u);
+    EXPECT_EQ(s.bytesAllocated(), 0u);
+    EXPECT_TRUE(s.rangeAll(AddrRange{0x5000, 0x7000}, 0));
+
+    // A non-zero write allocates exactly one chunk...
+    s.write(0x5000, 1);
+    EXPECT_EQ(s.chunkCount(), 1u);
+    std::uint64_t one = s.bytesAllocated();
+    EXPECT_EQ(one, ShadowMemory::kChunkAppBytes * GetParam() / 8);
+
+    // ...and zero writes into a *mapped* chunk really clear metadata.
+    s.write(0x5000, 0);
+    EXPECT_EQ(s.read(0x5000), 0u);
+    EXPECT_EQ(s.bytesAllocated(), one);
+}
+
+TEST_P(ShadowFastPath, OutOfMaskComparisonNeverMatches)
+{
+    const std::uint32_t bpb = GetParam();
+    if (bpb == 8)
+        GTEST_SKIP() << "all 8-bit values are in-mask";
+    ShadowMemory s(bpb);
+    s.fill(AddrRange{0x100, 0x140}, 1);
+    // Stored metadata is masked, so comparing against an out-of-range
+    // value reports the first byte (legacy per-byte semantics).
+    std::uint8_t big = static_cast<std::uint8_t>((1u << bpb));
+    EXPECT_EQ(s.rangeFindNot(AddrRange{0x100, 0x140}, big), 0x100u);
+    EXPECT_FALSE(s.rangeAll(AddrRange{0x100, 0x140}, big));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ShadowFastPath,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace paralog

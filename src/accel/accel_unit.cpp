@@ -58,16 +58,24 @@ AccelUnit::process(const EventRecord &rec, bool races_syscall,
         if (itEnabled_)
             absorbed = it_.process(rec, out);
 
-        if (!absorbed && ifEnabled_ && rec.isMemAccess() &&
-            !rec.consumesVersion) {
-            bool is_write = (rec.type == EventType::kStore);
-            bool filterable = is_write ? policy_.ifFilterStores
-                                       : policy_.ifFilterLoads;
-            if (policy_.ifInvalidateOnLocalWrite && is_write)
-                if_.invalidateOverlapping(rec.addr, rec.size);
-            if (filterable &&
-                if_.checkAndInsert(rec.addr, rec.size, is_write, rec.rid))
-                absorbed = true;
+        if (!absorbed && ifEnabled_ && rec.isMemAccess()) {
+            if (rec.consumesVersion) {
+                // Versioned access: never absorbed (the check is not
+                // idempotent across the conflict), and any cached
+                // check of these bytes is stale — a hit would absorb a
+                // post-conflict check against pre-conflict state.
+                if_.invalidateVersioned(rec.addr, rec.size);
+            } else {
+                bool is_write = (rec.type == EventType::kStore);
+                bool filterable = is_write ? policy_.ifFilterStores
+                                           : policy_.ifFilterLoads;
+                if (policy_.ifInvalidateOnLocalWrite && is_write)
+                    if_.invalidateOverlapping(rec.addr, rec.size);
+                if (filterable &&
+                    if_.checkAndInsert(rec.addr, rec.size, is_write,
+                                       rec.rid))
+                    absorbed = true;
+            }
         }
 
         if (!absorbed) {

@@ -120,6 +120,13 @@ IdempotentFilter::invalidateRange(const AddrRange &range)
                               static_cast<unsigned>(range.size()));
 }
 
+void
+IdempotentFilter::invalidateVersioned(Addr addr, unsigned size)
+{
+    stats.counter("version_invalidations").inc();
+    invalidateOverlapping(addr, size);
+}
+
 RecordId
 IdempotentFilter::minRid() const
 {

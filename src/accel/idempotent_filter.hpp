@@ -44,6 +44,16 @@ class IdempotentFilter
     void invalidateOverlapping(Addr addr, unsigned size);
     void invalidateRange(const AddrRange &range);
 
+    /**
+     * Invalidate checks made stale by a TSO versioned access: the
+     * consume-version annotation proves a concurrent conflicting
+     * writer, so a cached check of these bytes predates the conflict
+     * and must not absorb later ones. Counted separately
+     * ("version_invalidations") so TSO livelock diagnosis can tell
+     * version traffic from allocation traffic.
+     */
+    void invalidateVersioned(Addr addr, unsigned size);
+
     /** Minimum record ID of a live entry (delayed advertising). */
     RecordId minRid() const;
 

@@ -116,9 +116,16 @@ CaptureUnit::attachArcs(RecordId rid, const std::vector<RawArc> &arcs)
 bool
 CaptureUnit::annotateConsume(RecordId rid, const VersionTag &v)
 {
-    EventRecord *rec = buf_.findByRid(rid);
+    EventRecord *rec = buf_.findByRidPreferMemAccess(rid);
     if (!rec)
         return false; // already consumed: reader saw pre-write metadata
+    if (rec->consumesVersion && rec->version == v) {
+        // A line-crossing store racing a line-crossing load raises one
+        // version request per cache line with the identical tag; a
+        // second produce record for it would double-produce the entry.
+        stats.counter("consume_duplicates").inc();
+        return false;
+    }
     rec->consumesVersion = true;
     rec->version = v;
     stats.counter("consume_versions").inc();
@@ -132,10 +139,27 @@ CaptureUnit::insertProduceBefore(RecordId store_rid, const VersionTag &v,
     EventRecord rec;
     rec.type = EventType::kProduceVersion;
     rec.tid = tid_;
-    rec.rid = (store_rid == 0) ? 0 : store_rid - 1;
+    // The produce record shares the store's rid: it may be placed after
+    // a same-rid CA record (CA records reuse the retire counter), and a
+    // smaller rid there would break the sorted-by-rid invariant every
+    // lower_bound-based buffer lookup depends on. Equal-rid sharing is
+    // already the CA convention; findStoreByRid disambiguates by type.
+    rec.rid = store_rid;
     rec.addr = addr;
     rec.size = size;
     rec.version = v;
+    // The consuming lifeguard core matches this against the store's own
+    // record to learn whether the writer's handler ran before the
+    // consumer (read-side-writer rule).
+    rec.value = store_rid;
+    // The snapshot must observe every remote handler the store itself
+    // is ordered after: the produce record inherits the store's
+    // drain-time arcs (delivery is in order, so checking them one
+    // record early enforces the same waits).
+    if (EventRecord *store = buf_.findStoreByRid(store_rid)) {
+        rec.arcs = std::move(store->arcs);
+        store->arcs.clear();
+    }
     buf_.insertBefore(store_rid, std::move(rec));
     stats.counter("produce_versions").inc();
 }

@@ -50,31 +50,65 @@ LogBuffer::dropFront()
     records_.pop_front();
 }
 
+std::deque<EventRecord>::iterator
+LogBuffer::firstAtOrAfter(RecordId rid)
+{
+    return std::lower_bound(
+        records_.begin(), records_.end(), rid,
+        [](const EventRecord &r, RecordId v) { return r.rid < v; });
+}
+
 EventRecord *
 LogBuffer::findByRid(RecordId rid)
 {
-    // Records are rid-ordered; binary search for the first >= rid.
-    auto it = std::lower_bound(
-        records_.begin(), records_.end(), rid,
-        [](const EventRecord &r, RecordId v) { return r.rid < v; });
+    auto it = firstAtOrAfter(rid);
     if (it == records_.end() || it->rid != rid)
         return nullptr;
     return &*it;
 }
 
+EventRecord *
+LogBuffer::findByRidPreferMemAccess(RecordId rid)
+{
+    EventRecord *any = nullptr;
+    for (auto it = firstAtOrAfter(rid);
+         it != records_.end() && it->rid == rid; ++it) {
+        if (it->isMemAccess())
+            return &*it;
+        if (!any)
+            any = &*it;
+    }
+    return any;
+}
+
+EventRecord *
+LogBuffer::findStoreByRid(RecordId rid)
+{
+    for (auto it = firstAtOrAfter(rid);
+         it != records_.end() && it->rid == rid; ++it) {
+        if (it->type == EventType::kStore)
+            return &*it;
+    }
+    return nullptr;
+}
+
 void
 LogBuffer::insertBefore(RecordId before_rid, EventRecord rec)
 {
-    auto it = std::lower_bound(
-        records_.begin(), records_.end(), before_rid,
-        [](const EventRecord &r, RecordId v) { return r.rid < v; });
-    PARALOG_ASSERT(it != records_.end() && it->rid == before_rid,
-                   "insertBefore: record %llu not pending",
-                   static_cast<unsigned long long>(before_rid));
+    auto pos = firstAtOrAfter(before_rid);
+    // Prefer the exact store record so the snapshot is taken as late as
+    // possible (after any same-rid CA record's accelerator flushes).
+    for (auto it = pos; it != records_.end() && it->rid == before_rid;
+         ++it) {
+        if (it->type == EventType::kStore) {
+            pos = it;
+            break;
+        }
+    }
     rec.chargedBytes = rec.compressedBytes();
     bytes_ += rec.chargedBytes;
     ++appended_;
-    records_.insert(it, std::move(rec));
+    records_.insert(pos, std::move(rec));
 }
 
 } // namespace paralog

@@ -60,9 +60,26 @@ class LogBuffer
     /** Find a pending record by rid (TSO consume-version annotation). */
     EventRecord *findByRid(RecordId rid);
 
+    /** Find the pending *store* record with exactly @p rid, skipping
+     *  same-rid bookkeeping records (CA records reuse the retire
+     *  counter as their rid). */
+    EventRecord *findStoreByRid(RecordId rid);
+
+    /** Find the pending record with exactly @p rid, preferring a
+     *  memory-access record when several share the rid (consume-version
+     *  annotations must land on the racing load, not on a CA record
+     *  that borrowed its rid; a non-access match is still returned so
+     *  sync/bookkeeping readers take the discard path). */
+    EventRecord *findByRidPreferMemAccess(RecordId rid);
+
     /**
-     * Insert @p rec immediately before the pending record with id
-     * @p before_rid (TSO produce-version annotation). Panics if absent.
+     * Insert @p rec as close as possible before the pending store with
+     * id @p before_rid (TSO produce-version records): directly before
+     * the exact store record when it is still pending, otherwise before
+     * the first record with rid >= @p before_rid, otherwise at the tail
+     * (the store was filtered out at capture and everything pending
+     * precedes it — the tail still orders the insert before any record
+     * the application appends later).
      */
     void insertBefore(RecordId before_rid, EventRecord rec);
 
@@ -70,6 +87,10 @@ class LogBuffer
     std::uint64_t appended() const { return appended_; }
 
   private:
+    /** First pending record with rid >= @p rid (records are
+     *  rid-sorted; every by-rid lookup starts here). */
+    std::deque<EventRecord>::iterator firstAtOrAfter(RecordId rid);
+
     std::deque<EventRecord> records_;
     std::uint64_t capacityBytes_;
     std::uint64_t bytes_ = 0;

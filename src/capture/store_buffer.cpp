@@ -96,6 +96,7 @@ TsoDataPath::drainOne(CoreId core)
     if (!ar.arcs.empty())
         hooks_.attachArcsToPending(e.tag.tid, e.tag.rid, ar.arcs);
     for (const VersionRequest &req : ar.versionRequests) {
+        stats.counter("version_requests").inc();
         hooks_.onScViolation(e.tag.tid, e.tag.rid, e.addr,
                              static_cast<std::uint8_t>(e.size), req);
     }

@@ -253,8 +253,7 @@ usageText()
        << "  --accel=on|off          hardware accelerators (IT/IF/M-TLB)\n"
        << "  --dep-tracking=per-block|per-core\n"
        << "  --memory-model=sc|tso   (tso is incompatible with "
-       << "--mode=timesliced\n"
-       << "                           and --lifeguard=lockset)\n"
+       << "--mode=timesliced)\n"
        << "  --conflict-alerts=on|off\n"
        << "  --scale=N               per-thread work units (default 20000)\n"
        << "  --seed=N                workload RNG seed (default 1)\n"
@@ -471,19 +470,6 @@ parseArgs(const std::vector<std::string_view> &args)
         return fail("--mode=timesliced is incompatible with "
                     "--memory-model=tso (the timesliced baseline is "
                     "sequentially consistent by construction)");
-
-    // LockSet writes metadata from application *read* handlers (the
-    // locked slow path of section 5.3); under the TSO versioned-metadata
-    // protocol this currently deadlocks the platform, so refuse the
-    // combination instead of hanging (see ROADMAP open items).
-    bool lockset =
-        std::find(o.lifeguards.begin(), o.lifeguards.end(),
-                  LifeguardKind::kLockSet) != o.lifeguards.end();
-    if (lockset && o.memoryModel == MemoryModel::kTSO)
-        return fail("--lifeguard=lockset is incompatible with "
-                    "--memory-model=tso (unsupported: LockSet writes "
-                    "metadata on reads, which the TSO versioning "
-                    "protocol does not yet order)");
 
     return res;
 }

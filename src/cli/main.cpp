@@ -36,7 +36,8 @@ printCsvHeader()
     std::printf("workload,lifeguard,mode,cores,accel,dep_tracking,"
                 "memory_model,scale,total_cycles,app_exec_cycles,"
                 "retired,records_processed,events_handled,"
-                "lg_useful_cycles,lg_dep_stall,lg_app_stall,violations\n");
+                "lg_useful_cycles,lg_dep_stall,lg_app_stall,violations,"
+                "versions_produced,versions_consumed,version_stalls\n");
 }
 
 void
@@ -51,7 +52,7 @@ printCsvRow(const CliOptions &opt, const RunRow &row)
         app_stall += l.appStall;
     }
     std::printf("%s,%s,%s,%u,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,"
-                "%llu,%llu,%llu,%llu\n",
+                "%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
                 flagName(row.scenario.workload),
                 lifeguardLabel(row.scenario),
                 flagName(row.scenario.mode), row.scenario.cores,
@@ -66,7 +67,10 @@ printCsvRow(const CliOptions &opt, const RunRow &row)
                 static_cast<unsigned long long>(useful),
                 static_cast<unsigned long long>(dep),
                 static_cast<unsigned long long>(app_stall),
-                static_cast<unsigned long long>(r.violationCount));
+                static_cast<unsigned long long>(r.violationCount),
+                static_cast<unsigned long long>(r.versionsProduced),
+                static_cast<unsigned long long>(r.versionsConsumed),
+                static_cast<unsigned long long>(r.versionStallRetries));
 }
 
 void
@@ -117,6 +121,14 @@ printTextRow(const CliOptions &opt, const RunRow &row)
                     100.0 * static_cast<double>(useful) / tot,
                     100.0 * static_cast<double>(dep) / tot,
                     100.0 * static_cast<double>(app_stall) / tot);
+    }
+    if (opt.memoryModel == MemoryModel::kTSO && !r.lifeguard.empty()) {
+        std::printf("  versions:          produced %llu, consumed %llu, "
+                    "stall retries %llu\n",
+                    static_cast<unsigned long long>(r.versionsProduced),
+                    static_cast<unsigned long long>(r.versionsConsumed),
+                    static_cast<unsigned long long>(
+                        r.versionStallRetries));
     }
     std::printf("  violations:        %llu\n",
                 static_cast<unsigned long long>(r.violationCount));

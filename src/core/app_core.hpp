@@ -43,6 +43,7 @@ class AppCore
     Cycle busyUntil = 0;
 
     ThreadContext &tc() { return *tc_; }
+    const ThreadContext &tc() const { return *tc_; }
     CaptureUnit *capture() { return capture_; }
     CoreId core() const { return core_; }
 

@@ -1,5 +1,7 @@
 #include "core/lifeguard_core.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace paralog {
@@ -88,6 +90,64 @@ LifeguardCore::handleStallFlush(Cycle now)
 }
 
 void
+LifeguardCore::enforceVersionProtocol(const EventRecord &rec)
+{
+    VersionStore &vs = ctx_.versions();
+
+    if (rec.type == EventType::kProduceVersion) {
+        // Liveness backstop: a lifeguard that does not implement the
+        // produce handler (it never writes application metadata, or it
+        // is a user lifeguard written against the porting contract)
+        // must still satisfy the consumer's version wait. The snapshot
+        // is exactly the current shadow contents.
+        if (!vs.available(rec.version)) {
+            std::uint64_t bits =
+                lifeguard_.shadow().readPacked(rec.addr, rec.size);
+            if (vs.produce(rec.version,
+                           VersionStore::Versioned{bits, rec.addr,
+                                                   rec.size, false}))
+                vs.stats.counter("produced_backstop").inc();
+        }
+        // Opportunistic prune: entries whose version was already
+        // consumed can never be marked (the consumer ran first).
+        if (pendingWriterStores_.size() >= 16) {
+            pendingWriterStores_.erase(
+                std::remove_if(pendingWriterStores_.begin(),
+                               pendingWriterStores_.end(),
+                               [&vs](const auto &p) {
+                                   return !vs.available(p.first);
+                               }),
+                pendingWriterStores_.end());
+        }
+        if (vs.available(rec.version))
+            pendingWriterStores_.emplace_back(rec.version, rec.value);
+        return;
+    }
+
+    // The producing store's own handler just ran: a consumer arriving
+    // later must not clobber its metadata (read-side-writer rule).
+    if (rec.type == EventType::kStore && !pendingWriterStores_.empty()) {
+        auto match = [&rec](const std::pair<VersionTag, RecordId> &p) {
+            return p.second == rec.rid;
+        };
+        for (const auto &p : pendingWriterStores_) {
+            if (match(p))
+                vs.markWriterDone(p.first);
+        }
+        pendingWriterStores_.erase(
+            std::remove_if(pendingWriterStores_.begin(),
+                           pendingWriterStores_.end(), match),
+            pendingWriterStores_.end());
+    }
+
+    // Versioned reads of metadata-irrelevant words (lock/barrier
+    // records) leave their snapshot unconsumed by any handler; discard
+    // it so the version store drains.
+    if (rec.consumesVersion && vs.available(rec.version))
+        vs.consume(rec.version);
+}
+
+void
 LifeguardCore::step(Cycle now, Cycle batch_horizon)
 {
     if (finished())
@@ -167,12 +227,7 @@ LifeguardCore::step(Cycle now, Cycle batch_horizon)
             c = 1 + runHandlers(events_);
         }
 
-        // Versioned reads of metadata-irrelevant words (lock/barrier
-        // records) leave their snapshot unconsumed by any handler;
-        // discard it so the version store drains.
-        if (d.rec->consumesVersion &&
-            ctx_.versions().available(d.rec->version))
-            ctx_.versions().consume(d.rec->version);
+        enforceVersionProtocol(*d.rec);
 
         bool was_done = (d.rec->type == EventType::kThreadDone);
         enforcer_.commitDelivered();

@@ -56,6 +56,11 @@ class LifeguardCore
     void publishProgress();
     Cycle maybeStallFlush(Cycle now);
     Cycle handleStallFlush(Cycle now);
+    /** Platform-owned halves of the TSO versioning protocol (section
+     *  5.5 + read-side-writer rule): guarantee the snapshot exists after
+     *  a produce record, discard unconsumed snapshots, and mark
+     *  writer-handler completion on the producing store. */
+    void enforceVersionProtocol(const EventRecord &rec);
 
     CoreId core_;
     ThreadId tid_;
@@ -73,6 +78,10 @@ class LifeguardCore
     std::uint64_t stallStreak_ = 0;
     std::uint64_t absorbedTick_ = 0;
     std::vector<LgEvent> events_; ///< scratch, reused across steps
+    /// Versions produced by this stream whose producing store record
+    /// (identified by rid) has not been processed yet; used to mark
+    /// VersionStore entries writerDone (read-side-writer rule).
+    std::vector<std::pair<VersionTag, RecordId>> pendingWriterStores_;
 };
 
 } // namespace paralog

@@ -179,12 +179,17 @@ Platform::dumpStuckState() const
         const AppCore &ac = *appCores_[t];
         std::fprintf(stderr,
                      "app %u: active=%d retired=%llu reason=%d "
-                     "busyUntil=%llu\n",
+                     "busyUntil=%llu",
                      t, ac.active() ? 1 : 0,
                      static_cast<unsigned long long>(
                          appCores_[t]->tc().retired),
                      static_cast<int>(appCores_[t]->tc().blockReason),
                      static_cast<unsigned long long>(ac.busyUntil));
+        if (tsoPath_) {
+            std::fprintf(stderr, " storeBuf=%zu",
+                         tsoPath_->depth(static_cast<CoreId>(t)));
+        }
+        std::fprintf(stderr, "\n");
         if (!captures_[t])
             continue;
         std::fprintf(stderr,
@@ -193,6 +198,15 @@ Platform::dumpStuckState() const
                      static_cast<unsigned long long>(
                          captures_[t]->visibilityLimit()),
                      static_cast<unsigned long long>(progress_->done(t)));
+        if (t < lgCores_.size() && lgCores_[t]) {
+            const OrderEnforcer &oe = lgCores_[t]->enforcer();
+            std::fprintf(
+                stderr, "  wait: %s sameRecordRetries=%llu busyUntil=%llu\n",
+                toString(oe.lastStatus()),
+                static_cast<unsigned long long>(
+                    oe.sameRecordStallRetries()),
+                static_cast<unsigned long long>(lgCores_[t]->busyUntil));
+        }
         const EventRecord *front = captures_[t]->buffer().peek();
         if (front) {
             std::fprintf(stderr, "  front: type=%s rid=%llu arcs=[",
@@ -207,6 +221,18 @@ Platform::dumpStuckState() const
                          front->consumesVersion ? 1 : 0);
         }
     }
+    std::fprintf(stderr, "version store: %zu live entr%s\n",
+                 versions_.size(), versions_.size() == 1 ? "y" : "ies");
+    versions_.forEach([](const VersionTag &tag,
+                         const VersionStore::Versioned &v) {
+        std::fprintf(stderr,
+                     "  (tid=%u rid=%llu): addr=0x%llx size=%u "
+                     "writerDone=%d bits=0x%llx\n",
+                     tag.tid, static_cast<unsigned long long>(tag.rid),
+                     static_cast<unsigned long long>(v.addr), v.size,
+                     v.writerDone ? 1 : 0,
+                     static_cast<unsigned long long>(v.bits));
+    });
 }
 
 bool
@@ -253,6 +279,29 @@ Platform::run()
         return true;
     };
 
+    // Progress watchdog: a deadlocked versioning/ordering protocol shows
+    // up as a retry loop that keeps simulated time advancing forever, so
+    // neither the livelock detector nor maxCycles catches it in useful
+    // time. Hash global forward progress every iteration; if nothing
+    // moves for stallWatchdogIters iterations, panic with the full
+    // wait-state dump instead of grinding toward maxCycles.
+    // Sampled every 64 iterations so the signature never shows up in
+    // the scheduler loop's profile.
+    ProgressWatchdog stall_watchdog(cfg_.stallWatchdogIters / 64 + 1);
+    std::uint64_t watchdog_tick = 0;
+    Counter &produced_ctr = versions_.stats.counter("produced");
+    Counter &consumed_ctr = versions_.stats.counter("consumed");
+    auto progress_signature = [&] {
+        std::uint64_t sig = produced_ctr.value() + consumed_ctr.value();
+        for (const AppCore *c : apps)
+            sig += c->tc().retired;
+        for (const LifeguardCore *c : lgs)
+            sig += c->stats.recordsProcessed;
+        for (ThreadId t = 0; t < progress_->size(); ++t)
+            sig += progress_->done(t);
+        return sig;
+    };
+
     while (!all_done()) {
         // Livelock detector: simulated time must advance.
         if (now == last_now) {
@@ -264,6 +313,16 @@ Platform::run()
         } else {
             last_now = now;
             same_now_iters = 0;
+        }
+        if ((++watchdog_tick & 63) == 0 &&
+            stall_watchdog.poll(progress_signature())) {
+            dumpStuckState();
+            panic("progress watchdog: no forward progress in %llu "
+                  "scheduler iterations at cycle %llu (protocol "
+                  "deadlock)",
+                  static_cast<unsigned long long>(
+                      cfg_.stallWatchdogIters),
+                  static_cast<unsigned long long>(now));
         }
         // Event-driven advance: jump to the earliest ready core.
         Cycle next = kInvalidRecord;
@@ -339,8 +398,13 @@ Platform::run()
         c->stats.programInsts = c->tc().programInsts;
         result.app.push_back(c->stats);
     }
-    for (auto &c : lgCores_)
+    for (auto &c : lgCores_) {
         result.lifeguard.push_back(c->stats);
+        result.versionStallRetries +=
+            c->enforcer().stats.get("version_stalls");
+    }
+    result.versionsProduced = produced_ctr.value();
+    result.versionsConsumed = consumed_ctr.value();
     if (lifeguard_)
         result.violationCount = lifeguard_->violations.count();
     return result;

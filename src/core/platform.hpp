@@ -44,10 +44,49 @@ struct PlatformConfig
     /// against the Lifeguard API).
     std::function<LifeguardPtr(std::uint32_t)> customLifeguard;
     std::uint64_t scale = 10000;          ///< total work units
-    std::uint64_t maxCycles = 1ULL << 36; ///< watchdog
+    std::uint64_t maxCycles = 1ULL << 36; ///< simulated-time watchdog
+    /// Progress watchdog: scheduler iterations without any global
+    /// progress (no retirement, no record delivered, no published
+    /// progress, no version activity) before the run is declared stuck
+    /// and panics with a full wait-state dump. Unlike `maxCycles` this
+    /// catches retry loops that keep simulated time advancing; the
+    /// default is far above any legitimate stall (a retry is >= 4
+    /// simulated cycles, so 2M idle iterations is ~8M cycles in which
+    /// no actor did anything).
+    std::uint64_t stallWatchdogIters = 2'000'000;
     /// Tee all captured records into Platform::trace() for offline
     /// happens-before validation (SC runs).
     bool traceCapture = false;
+};
+
+/**
+ * Detects a wedged simulation: feed a cheap signature of global
+ * progress every scheduler iteration; fires once the signature has not
+ * changed for `limit` consecutive polls. Pure bookkeeping (no time
+ * source), so runs stay deterministic.
+ */
+class ProgressWatchdog
+{
+  public:
+    explicit ProgressWatchdog(std::uint64_t limit) : limit_(limit) {}
+
+    bool
+    poll(std::uint64_t signature)
+    {
+        if (signature != last_) {
+            last_ = signature;
+            same_ = 0;
+            return false;
+        }
+        return ++same_ >= limit_;
+    }
+
+    std::uint64_t idlePolls() const { return same_; }
+
+  private:
+    std::uint64_t limit_;
+    std::uint64_t last_ = ~0ULL;
+    std::uint64_t same_ = 0;
 };
 
 /** Default simulated address layout. */

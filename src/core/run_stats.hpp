@@ -54,6 +54,15 @@ struct RunResult
     std::vector<LifeguardThreadStats> lifeguard;
     std::uint64_t violationCount = 0;
 
+    // TSO versioning protocol counters (zero under SC): snapshots
+    // produced / consumed through the VersionStore and the number of
+    // delivery retries spent waiting for a version. A hang diagnosis
+    // starts here: produced != consumed means a leaked snapshot,
+    // exploding version_stalls means a starved consumer.
+    std::uint64_t versionsProduced = 0;
+    std::uint64_t versionsConsumed = 0;
+    std::uint64_t versionStallRetries = 0;
+
     Cycle
     appExecTotal() const
     {

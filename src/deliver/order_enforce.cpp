@@ -4,6 +4,19 @@
 
 namespace paralog {
 
+const char *
+toString(DeliverStatus st)
+{
+    switch (st) {
+      case DeliverStatus::kDelivered:    return "delivered";
+      case DeliverStatus::kEmpty:        return "empty";
+      case DeliverStatus::kDepStall:     return "dep-stall";
+      case DeliverStatus::kCaStall:      return "ca-stall";
+      case DeliverStatus::kVersionStall: return "version-stall";
+    }
+    return "?";
+}
+
 OrderEnforcer::OrderEnforcer(ThreadId tid, CaptureUnit &unit,
                              ProgressTable &progress, CaManager &ca,
                              VersionAvailable version_available)
@@ -38,6 +51,30 @@ OrderEnforcer::issuerBarrierSatisfied(const CaBroadcast &b) const
 DeliverStatus
 OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
 {
+    // Wait-state bookkeeping for the platform's progress watchdog.
+    // Continuation checks are not authoritative (they merely end a
+    // batch), so only the per-step check updates it.
+    auto note = [this, continuation](DeliverStatus st,
+                                     const EventRecord *r) {
+        if (continuation)
+            return st;
+        lastStatus_ = st;
+        if (st == DeliverStatus::kDelivered ||
+            st == DeliverStatus::kEmpty) {
+            stallRid_ = kInvalidRecord;
+            stallRetries_ = 0;
+        } else {
+            RecordId rid = r ? r->rid : kInvalidRecord;
+            if (rid == stallRid_) {
+                ++stallRetries_;
+            } else {
+                stallRid_ = rid;
+                stallRetries_ = 1;
+            }
+        }
+        return st;
+    };
+
     // Waiter half of a ConflictAlert barrier: after consuming the CA
     // record (accelerators flushed), stall until the issuing thread's
     // lifeguard has processed the high-level event itself.
@@ -45,7 +82,7 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
         if (progress_.done(waitIssuer_) <= waitIssuerRid_) {
             if (!continuation)
                 caWaitCtr_.inc();
-            return DeliverStatus::kCaStall;
+            return note(DeliverStatus::kCaStall, nullptr);
         }
         waitingForIssuer_ = false;
         noteWaiterPassed(waitSeq_);
@@ -53,7 +90,7 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
 
     const EventRecord *rec = unit_.peek();
     if (!rec)
-        return DeliverStatus::kEmpty;
+        return note(DeliverStatus::kEmpty, nullptr);
 
     // Inter-thread dependence arcs (the core ordering mechanism).
     for (const DepArc &arc : rec->arcs) {
@@ -63,16 +100,18 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
                 stallGapHist_.sample(arc.rid + 1 -
                                      progress_.done(arc.tid));
             }
-            return DeliverStatus::kDepStall;
+            return note(DeliverStatus::kDepStall, rec);
         }
     }
 
     // TSO: a read annotated with a consume-version must wait until the
-    // writer's lifeguard produced the versioned metadata.
+    // writer's lifeguard produced the versioned metadata. (Produce
+    // records themselves never wait here: they carry the producing
+    // store's arcs instead, checked above.)
     if (rec->consumesVersion && !versionAvailable_(rec->version)) {
         if (!continuation)
             versionStallsCtr_.inc();
-        return DeliverStatus::kVersionStall;
+        return note(DeliverStatus::kVersionStall, rec);
     }
 
     // Issuer half of a ConflictAlert barrier: the high-level event may
@@ -83,12 +122,13 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
         if (b && !issuerBarrierSatisfied(*b)) {
             if (!continuation)
                 caIssuerCtr_.inc();
-            return DeliverStatus::kCaStall;
+            return note(DeliverStatus::kCaStall, rec);
         }
         if (b)
             noteIssuerDelivered(rec->caSeq);
     }
 
+    note(DeliverStatus::kDelivered, rec);
     out.rec = rec;
     out.racesSyscall = false;
 

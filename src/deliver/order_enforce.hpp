@@ -31,6 +31,8 @@ enum class DeliverStatus : std::uint8_t
     kVersionStall, ///< waiting for versioned metadata (TSO)
 };
 
+const char *toString(DeliverStatus st);
+
 class OrderEnforcer
 {
   public:
@@ -81,6 +83,12 @@ class OrderEnforcer
     /** The thread's hardware range table (remote in-flight syscalls). */
     RangeTable &rangeTable() { return ranges_; }
 
+    // Wait-state diagnostics for the platform's progress watchdog: the
+    // last authoritative (non-continuation) delivery status, and how
+    // many consecutive retries have stalled on the same front record.
+    DeliverStatus lastStatus() const { return lastStatus_; }
+    std::uint64_t sameRecordStallRetries() const { return stallRetries_; }
+
     StatSet stats{"enforce"};
 
   private:
@@ -104,6 +112,10 @@ class OrderEnforcer
     Counter &versionStallsCtr_;
     Counter &syscallRacesCtr_;
     Histogram &stallGapHist_;
+
+    DeliverStatus lastStatus_ = DeliverStatus::kEmpty;
+    RecordId stallRid_ = kInvalidRecord;
+    std::uint64_t stallRetries_ = 0;
 
     /// After consuming a CA record we stall until the issuer's lifeguard
     /// processes the associated high-level event.

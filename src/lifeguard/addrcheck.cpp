@@ -5,7 +5,15 @@ namespace paralog {
 void
 AddrCheck::checkAccess(const LgEvent &ev, LgContext &ctx)
 {
-    std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
+    std::uint64_t bits;
+    VersionStore::Versioned ver;
+    if (ctx.consumeVersioned(ev, ver)) {
+        // TSO: check against the allocation state the application
+        // actually raced with (pre-overwrite snapshot).
+        bits = ctx.versionedPacked(ver, ev.addr, ev.size);
+    } else {
+        bits = ctx.loadMeta(ev.addr, ev.size);
+    }
     ctx.charge(2);
     // Every accessed byte must be allocated: with 1 bit/byte the packed
     // value must have all ev.size low bits set.
@@ -44,6 +52,13 @@ AddrCheck::handle(const LgEvent &ev, LgContext &ctx)
             break;
         }
         ctx.fillMeta(ev.range, kUnallocated);
+        break;
+
+      case LgEventType::kProduceVersion:
+        // Stores never change allocation state, so the snapshot equals
+        // live metadata — but the reader's version wait must still be
+        // satisfied.
+        ctx.produceSnapshot(ev);
         break;
 
       default:

@@ -111,6 +111,62 @@ LgContext::metaAllEqual(const MetaSrc *srcs, unsigned n, std::uint8_t value)
     return all;
 }
 
+bool
+LgContext::consumeVersioned(const LgEvent &ev, VersionStore::Versioned &out)
+{
+    if (!ev.consumesVersion || !versions_.available(ev.version))
+        return false;
+    out = versions_.consume(ev.version);
+    // Version buffer read: cheaper than a metadata cache miss, dearer
+    // than a register (matches the kProduceVersion handler charges).
+    instrs_ += 4;
+    return true;
+}
+
+std::uint8_t
+LgContext::versionedByte(const VersionStore::Versioned &v, Addr addr)
+{
+    if (addr >= v.addr && addr < v.addr + v.size) {
+        unsigned off = static_cast<unsigned>(addr - v.addr);
+        unsigned shift = off * shadow_.bitsPerByte();
+        std::uint64_t mask = (1ULL << shadow_.bitsPerByte()) - 1;
+        return static_cast<std::uint8_t>((v.bits >> shift) & mask);
+    }
+    // Snapshot does not cover this byte: the conflicting store wrote a
+    // different part of the cache line, so live metadata is current.
+    return static_cast<std::uint8_t>(loadMeta(addr, 1));
+}
+
+std::uint64_t
+LgContext::versionedPacked(const VersionStore::Versioned &v, Addr addr,
+                           unsigned bytes)
+{
+    unsigned bpb = shadow_.bitsPerByte();
+    if (addr >= v.addr && addr + bytes <= v.addr + v.size) {
+        unsigned width = bytes * bpb;
+        std::uint64_t mask =
+            (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+        return (v.bits >> ((addr - v.addr) * bpb)) & mask;
+    }
+    if (addr + bytes <= v.addr || addr >= v.addr + v.size)
+        return loadMeta(addr, bytes);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        bits |= static_cast<std::uint64_t>(versionedByte(v, addr + i))
+                << (i * bpb);
+    }
+    return bits;
+}
+
+void
+LgContext::produceSnapshot(const LgEvent &ev)
+{
+    std::uint64_t bits = loadMeta(ev.addr, ev.size);
+    versions_.produce(ev.version,
+                      VersionStore::Versioned{bits, ev.addr, ev.size});
+    charge(4);
+}
+
 void
 LgContext::fillMeta(const AddrRange &range, std::uint8_t value)
 {

@@ -117,6 +117,34 @@ class LgContext
      */
     void atomicSlowPath() { memCycles_ += kAtomicCost; ++slowPaths_; }
 
+    /**
+     * TSO consume helper: when @p ev carries a consume-version
+     * annotation whose snapshot is live, take it (charging the version
+     * buffer access) and return true. The order-enforcing component
+     * guarantees availability at delivery time, so a false return means
+     * the event simply was not versioned.
+     */
+    bool consumeVersioned(const LgEvent &ev, VersionStore::Versioned &out);
+
+    /**
+     * The snapshot byte for @p addr, or the live metadata when the
+     * snapshot does not cover it (version requests are cache-line
+     * granular: the conflicting store may cover different bytes than
+     * the reader's access).
+     */
+    std::uint8_t versionedByte(const VersionStore::Versioned &v, Addr addr);
+
+    /** Packed variant of versionedByte for [addr, addr + bytes). */
+    std::uint64_t versionedPacked(const VersionStore::Versioned &v,
+                                  Addr addr, unsigned bytes);
+
+    /** Standard kProduceVersion handler body: snapshot the event's
+     *  byte range and publish it under its tag, charging the metadata
+     *  read plus the version-buffer write. Lifeguards whose metadata
+     *  geometry differs from the store's byte range (LockSet's granule
+     *  states) implement their own snapshot instead. */
+    void produceSnapshot(const LgEvent &ev);
+
     static constexpr Cycle kAtomicCost = 130;
 
     ShadowMemory &shadow() { return shadow_; }

@@ -49,7 +49,23 @@ void
 LockSet::access(const LgEvent &ev, LgContext &ctx, bool is_write)
 {
     Addr g = granuleOf(ev.addr);
-    std::uint8_t st = static_cast<std::uint8_t>(ctx.loadMeta(g, 1) & 0x3);
+
+    // TSO: a versioned access decides on the snapshot state (what the
+    // application actually observed, pre-overwrite). Read-side-writer
+    // rule: if the conflicting store's handler has already applied its
+    // newer metadata ('writerDone'), this late consumer must keep its
+    // snapshot-based *decision* but suppress its metadata *write* —
+    // escalating live state from a stale snapshot would clobber the
+    // store handler's result. The pair is racy either way, and the
+    // snapshot-based check reports it.
+    VersionStore::Versioned ver;
+    bool versioned = ctx.consumeVersioned(ev, ver);
+    bool write_back = !(versioned && ver.writerDone);
+    std::uint8_t st = versioned
+                          ? static_cast<std::uint8_t>(
+                                ctx.versionedByte(ver, g) & 0x3)
+                          : static_cast<std::uint8_t>(
+                                ctx.loadMeta(g, 1) & 0x3);
     const LockVec &held = heldLocks_[ev.tid];
     ctx.charge(3);
 
@@ -74,10 +90,12 @@ LockSet::access(const LgEvent &ev, LgContext &ctx, bool is_write)
         // synchronization, section 5.3).
         ctx.atomicSlowPath();
         ++slowPathEntries;
-        granules_[g].locksetId = refined;
         std::uint8_t new_state =
             (st == kSharedModified || is_write) ? kSharedModified : kShared;
-        ctx.storeMeta(g, 1, new_state);
+        if (write_back) {
+            granules_[g].locksetId = refined;
+            ctx.storeMeta(g, 1, new_state);
+        }
         if (locksetById(refined).empty() && new_state == kSharedModified) {
             violations.report(Violation::Kind::kDataRace, ev.tid, ev.rid,
                               ev.addr);
@@ -85,28 +103,40 @@ LockSet::access(const LgEvent &ev, LgContext &ctx, bool is_write)
         return;
     }
 
-    // Virgin / exclusive transitions always take the slow path.
+    // Virgin / exclusive transitions always take the slow path. The
+    // race *decision* runs regardless of write_back — only the
+    // metadata/side-table updates are suppressed for late consumers.
     ctx.atomicSlowPath();
     ++slowPathEntries;
-    Granule &gr = granules_[g];
     if (st == kVirgin) {
-        gr.firstOwner = ev.tid;
-        gr.locksetId = internLockset(held);
-        ctx.storeMeta(g, 1, kExclusive);
-    } else { // kExclusive
-        if (gr.firstOwner == ev.tid) {
-            // Still the owning thread: refresh the candidate set.
+        if (write_back) {
+            Granule &gr = granules_[g];
+            gr.firstOwner = ev.tid;
             gr.locksetId = internLockset(held);
-        } else {
-            gr.locksetId = intersect(gr.locksetId, held);
-            std::uint8_t new_state = is_write ? kSharedModified : kShared;
-            ctx.storeMeta(g, 1, new_state);
-            if (locksetById(gr.locksetId).empty() &&
-                new_state == kSharedModified) {
-                violations.report(Violation::Kind::kDataRace, ev.tid,
-                                  ev.rid, ev.addr);
-            }
+            ctx.storeMeta(g, 1, kExclusive);
         }
+        return;
+    }
+    // kExclusive
+    auto it = granules_.find(g);
+    ThreadId first_owner =
+        (it != granules_.end()) ? it->second.firstOwner : kInvalidThread;
+    if (first_owner == ev.tid) {
+        // Still the owning thread: refresh the candidate set.
+        if (write_back && it != granules_.end())
+            it->second.locksetId = internLockset(held);
+        return;
+    }
+    std::uint32_t ls = (it != granules_.end()) ? it->second.locksetId : 0;
+    std::uint32_t refined = intersect(ls, held);
+    std::uint8_t new_state = is_write ? kSharedModified : kShared;
+    if (write_back) {
+        granules_[g].locksetId = refined;
+        ctx.storeMeta(g, 1, new_state);
+    }
+    if (locksetById(refined).empty() && new_state == kSharedModified) {
+        violations.report(Violation::Kind::kDataRace, ev.tid, ev.rid,
+                          ev.addr);
     }
 }
 
@@ -144,10 +174,38 @@ LockSet::handle(const LgEvent &ev, LgContext &ctx)
         // Recycled memory returns to virgin state.
         ctx.fillMeta(ev.range, kVirgin);
         for (Addr g = granuleOf(ev.range.begin);
-             g < ev.range.end; g += 8) {
+             g < ev.range.end; g += kGranuleBytes) {
             granules_.erase(g);
         }
         break;
+
+      case LgEventType::kProduceVersion: {
+        // TSO: snapshot the pre-overwrite Eraser states for the
+        // conflicting reader (section 5.5). LockSet keeps each
+        // granule's state in the byte at granuleOf(addr), so the
+        // snapshot must cover every granule base the store touches —
+        // the store's own byte range misses the state byte for
+        // interior stores, and the consumer would silently fall back
+        // to post-overwrite live metadata. A granule-crossing store
+        // (at most two granules for size <= 8) snapshots 16 bytes in
+        // two packed reads; at 2 bits/byte that is 32 bits.
+        // (The interned lockset side table is not versioned: it is
+        // guarded by the atomic slow path, and the state byte alone
+        // drives the transition taken.)
+        Addr base = granuleOf(ev.addr);
+        Addr last = granuleOf(ev.addr + (ev.size ? ev.size - 1u : 0u));
+        std::uint64_t bits = ctx.loadMeta(base, kGranuleBytes);
+        std::uint8_t span = kGranuleBytes;
+        if (last != base) {
+            bits |= ctx.loadMeta(base + kGranuleBytes, kGranuleBytes)
+                    << (kGranuleBytes * shadow_.bitsPerByte());
+            span = 2 * kGranuleBytes;
+        }
+        ctx.versions().produce(
+            ev.version, VersionStore::Versioned{bits, base, span});
+        ctx.charge(4);
+        break;
+      }
 
       default:
         ctx.charge(1);

@@ -71,7 +71,17 @@ class LockSet : public Lifeguard
         std::uint32_t locksetId = 0;
     };
 
-    static Addr granuleOf(Addr addr) { return addr & ~7ULL; }
+    /// State-tracking granule: one 2-bit Eraser state per 8-byte unit,
+    /// kept in the shadow byte at the granule base. The TSO produce
+    /// handler's snapshot layout depends on this and on the shadow's
+    /// bits-per-byte staying in sync.
+    static constexpr Addr kGranuleBytes = 8;
+
+    static Addr
+    granuleOf(Addr addr)
+    {
+        return addr & ~(kGranuleBytes - 1);
+    }
 
     std::uint32_t internLockset(const LockVec &locks);
     const LockVec &locksetById(std::uint32_t id) const;

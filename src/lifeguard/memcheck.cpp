@@ -7,10 +7,12 @@ MemCheck::handle(const LgEvent &ev, LgContext &ctx)
 {
     switch (ev.type) {
       case LgEventType::kLoad: {
+        // TSO snapshots are shifted to the load's own byte range (the
+        // conflicting store may cover different bytes of the line).
         std::uint64_t bits;
-        if (ev.consumesVersion) {
-            bits = ctx.versions().consume(ev.version).bits;
-            ctx.charge(4);
+        VersionStore::Versioned ver;
+        if (ctx.consumeVersioned(ev, ver)) {
+            bits = ctx.versionedPacked(ver, ev.addr, ev.size);
         } else {
             bits = ctx.loadMeta(ev.addr, ev.size);
             ctx.charge(3);
@@ -94,13 +96,9 @@ MemCheck::handle(const LgEvent &ev, LgContext &ctx)
         ctx.charge(2);
         break;
 
-      case LgEventType::kProduceVersion: {
-        std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
-        ctx.versions().produce(
-            ev.version, VersionStore::Versioned{bits, ev.addr, ev.size});
-        ctx.charge(4);
+      case LgEventType::kProduceVersion:
+        ctx.produceSnapshot(ev);
         break;
-      }
 
       default:
         ctx.charge(1);

@@ -17,11 +17,13 @@ TaintCheck::handle(const LgEvent &ev, LgContext &ctx)
 {
     switch (ev.type) {
       case LgEventType::kLoad: {
+        // TSO: read the versioned (pre-overwrite) metadata, shifted to
+        // the load's own byte range (version requests are cache-line
+        // granular, so the snapshot may cover different bytes).
         std::uint64_t bits;
-        if (ev.consumesVersion) {
-            // TSO: read the versioned (pre-overwrite) metadata.
-            bits = ctx.versions().consume(ev.version).bits;
-            ctx.charge(4);
+        VersionStore::Versioned ver;
+        if (ctx.consumeVersioned(ev, ver)) {
+            bits = ctx.versionedPacked(ver, ev.addr, ev.size);
         } else {
             bits = ctx.loadMeta(ev.addr, ev.size);
             ctx.charge(2);
@@ -128,15 +130,11 @@ TaintCheck::handle(const LgEvent &ev, LgContext &ctx)
         ctx.charge(2);
         break;
 
-      case LgEventType::kProduceVersion: {
+      case LgEventType::kProduceVersion:
         // TSO: snapshot the current metadata before our pending store
         // overwrites it; the racing reader's lifeguard consumes it.
-        std::uint64_t bits = ctx.loadMeta(ev.addr, ev.size);
-        ctx.versions().produce(
-            ev.version, VersionStore::Versioned{bits, ev.addr, ev.size});
-        ctx.charge(4);
+        ctx.produceSnapshot(ev);
         break;
-      }
 
       case LgEventType::kLockAcquire:
       case LgEventType::kLockRelease:

@@ -4,11 +4,24 @@
 
 namespace paralog {
 
-void
+bool
 VersionStore::produce(const VersionTag &v, const Versioned &data)
 {
-    entries_[v] = data;
+    auto wm = consumedWatermark_.find(v.tid);
+    if (wm != consumedWatermark_.end() && v.rid <= wm->second) {
+        stats.counter("produced_stale").inc();
+        return false;
+    }
+    // Keep-first on duplicate produce: the earliest snapshot is the
+    // one closest to the pre-overwrite state, and counting a second
+    // one would leave produced > consumed (the consumer takes each
+    // tag exactly once).
+    if (!entries_.emplace(v, data).second) {
+        stats.counter("produced_duplicate").inc();
+        return false;
+    }
     stats.counter("produced").inc();
+    return true;
 }
 
 bool
@@ -26,8 +39,21 @@ VersionStore::consume(const VersionTag &v)
                    static_cast<unsigned long long>(v.rid));
     Versioned data = it->second;
     entries_.erase(it);
+    RecordId &wm = consumedWatermark_[v.tid];
+    if (v.rid > wm)
+        wm = v.rid;
     stats.counter("consumed").inc();
     return data;
+}
+
+void
+VersionStore::markWriterDone(const VersionTag &v)
+{
+    auto it = entries_.find(v);
+    if (it == entries_.end())
+        return; // consumer ran first: handler order already matches
+    it->second.writerDone = true;
+    stats.counter("writer_first").inc();
 }
 
 } // namespace paralog

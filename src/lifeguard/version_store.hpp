@@ -4,6 +4,14 @@
  * Writers snapshot the pre-overwrite metadata under a version tag; the
  * reader's lifeguard waits for the version, consumes it once, and the
  * entry is discarded.
+ *
+ * Read-side-writer extension: for lifeguards that write metadata from
+ * application *read* handlers (LockSet), the entry also records whether
+ * the writer's store handler has already applied its own metadata
+ * update ('writerDone'). A late-consuming reader uses that bit to keep
+ * its snapshot-based decision while suppressing a metadata write that
+ * would clobber the newer state (see README, "TSO versioning
+ * protocol").
  */
 
 #ifndef PARALOG_LIFEGUARD_VERSION_STORE_HPP
@@ -25,15 +33,42 @@ class VersionStore
         std::uint64_t bits = 0;
         Addr addr = 0;
         std::uint8_t size = 0;
+        /// The producing writer's store handler already ran (its newer
+        /// metadata is live); a read-side-writer consumer must not
+        /// overwrite it with a snapshot-derived value.
+        bool writerDone = false;
     };
 
-    void produce(const VersionTag &v, const Versioned &data);
+    /**
+     * Publish a snapshot. Returns false (and stores nothing) when the
+     * tag is already live (duplicate produce, e.g. one version request
+     * per cache line of a line-crossing conflict: keep-first wins) or
+     * when the consumer already took a version with this tag or a
+     * later one of the same thread (a second conflicting store can
+     * re-produce a tag after its reader consumed it, and the
+     * re-created entry would leak — consumers visit each record
+     * exactly once, in rid order).
+     */
+    bool produce(const VersionTag &v, const Versioned &data);
     bool available(const VersionTag &v) const;
 
     /** Fetch and erase; panics if unavailable (enforcement bug). */
     Versioned consume(const VersionTag &v);
 
+    /** Record that the writer's store handler has run. No-op if the
+     *  consumer already took the entry (it ran first: natural order). */
+    void markWriterDone(const VersionTag &v);
+
     std::size_t size() const { return entries_.size(); }
+
+    /** Visit every live entry (watchdog diagnostics, leak checks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[tag, data] : entries_)
+            fn(tag, data);
+    }
 
     StatSet stats{"versions"};
 
@@ -49,6 +84,10 @@ class VersionStore
     };
 
     std::unordered_map<VersionTag, Versioned, TagHash> entries_;
+    /// Highest consumed rid per consumer thread. Consumption follows
+    /// stream (rid) order, so any produce at or below the watermark can
+    /// never be consumed again.
+    std::unordered_map<ThreadId, RecordId> consumedWatermark_;
 };
 
 } // namespace paralog

@@ -10,6 +10,8 @@
 #define PARALOG_TESTS_HARNESS_PARALOG_TEST_HPP
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -67,6 +69,54 @@ class QuietTest : public ::testing::Test
     {
         return makeOptions(scale);
     }
+};
+
+/**
+ * Fixture for full platform runs: every Platform executed through
+ * run() is re-checked at fixture teardown for TSO versioning-protocol
+ * leaks — all produced snapshots consumed and the VersionStore empty.
+ * (Trivially true under SC; load-bearing for every TSO suite.)
+ */
+class PlatformRunTest : public QuietTest
+{
+  protected:
+    /** Run @p cfg to completion on an owned Platform. The platform
+     *  stays alive (inspect shadow state) until the test ends. */
+    RunResult
+    run(PlatformConfig cfg)
+    {
+        platforms_.push_back(
+            std::make_unique<Platform>(std::move(cfg)));
+        return platforms_.back()->run();
+    }
+
+    Platform &lastPlatform() { return *platforms_.back(); }
+
+    /** Fingerprint of the analysis conclusions of the last run:
+     *  heap-arena + global-segment shadow state. */
+    std::uint64_t
+    lastFingerprint()
+    {
+        const ShadowMemory &s = lastPlatform().lifeguard().shadow();
+        return shadowFingerprint(s, AddressLayout::kHeapBase, 1 << 20) ^
+               shadowFingerprint(s, AddressLayout::kGlobalBase, 1 << 16);
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &p : platforms_) {
+            EXPECT_EQ(p->versions().size(), 0u)
+                << "leaked TSO version snapshots";
+            EXPECT_EQ(p->versions().stats.get("produced"),
+                      p->versions().stats.get("consumed"))
+                << "produced snapshots never consumed";
+        }
+        platforms_.clear();
+    }
+
+  private:
+    std::vector<std::unique_ptr<Platform>> platforms_;
 };
 
 /** Parameterized variant of QuietTest. */

@@ -265,6 +265,20 @@ TEST(IdempotentFilter, LruEviction)
     EXPECT_FALSE(f.checkAndInsert(0x200, 8, false, 6));
 }
 
+TEST(IdempotentFilter, VersionedAccessInvalidatesStaleChecks)
+{
+    // A consume-version access proves a concurrent conflicting writer:
+    // cached checks of those bytes predate the conflict and must not
+    // absorb later ones.
+    IdempotentFilter f(16);
+    f.checkAndInsert(0x100, 8, false, 1);
+    f.checkAndInsert(0x200, 8, false, 2);
+    f.invalidateVersioned(0x100, 8);
+    EXPECT_FALSE(f.checkAndInsert(0x100, 8, false, 3)); // re-checked
+    EXPECT_TRUE(f.checkAndInsert(0x200, 8, false, 4));  // untouched
+    EXPECT_EQ(f.stats.get("version_invalidations"), 1u);
+}
+
 TEST(IdempotentFilter, MinRidForDelayedAdvertising)
 {
     IdempotentFilter f(16);

@@ -70,6 +70,26 @@ TEST(LogBuffer, FindByRid)
     EXPECT_EQ(buf.findByRid(5), nullptr);
 }
 
+TEST(LogBuffer, FindByRidPreferMemAccessSkipsSameRidCaRecord)
+{
+    // CA records reuse the retire counter, so a CA record may share
+    // the racing load's rid and precede it; the consume-version
+    // annotation must land on the load.
+    LogBuffer buf(1024);
+    buf.append(rec(EventType::kCaBegin, 5));
+    buf.append(rec(EventType::kLoad, 5));
+    ASSERT_NE(buf.findByRidPreferMemAccess(5), nullptr);
+    EXPECT_EQ(buf.findByRidPreferMemAccess(5)->type, EventType::kLoad);
+    // With no mem access sharing the rid, any same-rid record is
+    // returned (the lifeguard core's discard path handles it).
+    LogBuffer buf2(1024);
+    buf2.append(rec(EventType::kBarrierPass, 7));
+    ASSERT_NE(buf2.findByRidPreferMemAccess(7), nullptr);
+    EXPECT_EQ(buf2.findByRidPreferMemAccess(7)->type,
+              EventType::kBarrierPass);
+    EXPECT_EQ(buf2.findByRidPreferMemAccess(8), nullptr);
+}
+
 TEST(LogBuffer, InsertBefore)
 {
     LogBuffer buf(1024);
@@ -204,6 +224,19 @@ TEST_F(CaptureUnitTest, ConsumeAnnotation)
     EXPECT_FALSE(cu.annotateConsume(3, v));
 }
 
+TEST_F(CaptureUnitTest, DuplicateConsumeAnnotationReportsFalse)
+{
+    // A line-crossing conflict raises one version request per cache
+    // line with the identical tag; the second annotation must not
+    // trigger a second produce record.
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.append(appEvent(EventType::kLoad, 3, 0x100));
+    VersionTag v{1, 99};
+    EXPECT_TRUE(cu.annotateConsume(3, v));
+    EXPECT_FALSE(cu.annotateConsume(3, v));
+    EXPECT_EQ(cu.stats.get("consume_versions"), 1u);
+}
+
 TEST_F(CaptureUnitTest, ProduceInsertion)
 {
     CaptureUnit cu(0, cfg, EventFilter{});
@@ -211,6 +244,57 @@ TEST_F(CaptureUnitTest, ProduceInsertion)
     cu.insertProduceBefore(5, VersionTag{2, 7}, 0x100, 8);
     EXPECT_EQ(cu.pop().type, EventType::kProduceVersion);
     EXPECT_EQ(cu.pop().type, EventType::kStore);
+}
+
+TEST_F(CaptureUnitTest, ProduceInsertionMovesStoreArcsAndStampsStoreRid)
+{
+    CaptureUnit cu(0, cfg, EventFilter{});
+    AppEvent store = appEvent(EventType::kStore, 5, 0x100);
+    store.arcs.push_back(RawArc{1, 42, false});
+    cu.append(store);
+    cu.insertProduceBefore(5, VersionTag{2, 7}, 0x100, 8);
+
+    // The snapshot must wait for every remote handler the store itself
+    // is ordered after: the produce record inherits the drain-time
+    // arcs, and carries the store's rid for writerDone tracking.
+    EventRecord produce = cu.pop();
+    ASSERT_EQ(produce.type, EventType::kProduceVersion);
+    EXPECT_EQ(produce.rid, 5u);
+    EXPECT_EQ(produce.value, 5u);
+    ASSERT_EQ(produce.arcs.size(), 1u);
+    EXPECT_EQ(produce.arcs[0], (DepArc{1, 42}));
+    EXPECT_TRUE(cu.pop().arcs.empty());
+}
+
+TEST_F(CaptureUnitTest, ProduceInsertionAfterSameRidCaRecordStaysSorted)
+{
+    // CA records reuse the retire counter as their rid, so a CA record
+    // with the store's own rid can sit just in front of it. The
+    // produce insert lands between them and must keep the stream
+    // rid-sorted (it shares the store's rid): a smaller rid there
+    // corrupts every lower_bound-based lookup that follows.
+    CaptureUnit cu(0, cfg, EventFilter{});
+    cu.append(appEvent(EventType::kLoad, 8, 0x100));
+    cu.setRetired(10);
+    EventRecord ca;
+    ca.type = EventType::kCaBegin;
+    ca.value = 0;
+    cu.appendCa(ca); // rid 10, same as the upcoming store
+    cu.append(appEvent(EventType::kStore, 10, 0x200));
+
+    cu.insertProduceBefore(10, VersionTag{1, 33}, 0x200, 8);
+    // The pending store must still be findable (a second version
+    // request for the same store depends on it) ...
+    ASSERT_NE(cu.buffer().findStoreByRid(10), nullptr);
+    cu.insertProduceBefore(10, VersionTag{2, 44}, 0x200, 8);
+
+    // ... and delivery order is load, CA, both produces, store.
+    EXPECT_EQ(cu.pop().type, EventType::kLoad);
+    EXPECT_EQ(cu.pop().type, EventType::kCaBegin);
+    EXPECT_EQ(cu.pop().type, EventType::kProduceVersion);
+    EXPECT_EQ(cu.pop().type, EventType::kProduceVersion);
+    EXPECT_EQ(cu.pop().type, EventType::kStore);
+    EXPECT_TRUE(cu.consumerEmpty());
 }
 
 } // namespace

@@ -166,16 +166,15 @@ TEST(CliParse, TimeslicedTsoComboRejected)
               ParseStatus::kOk);
 }
 
-TEST(CliParse, LockSetTsoComboRejected)
+TEST(CliParse, LockSetTsoComboAccepted)
 {
-    // LockSet under TSO deadlocks the platform (read-handler metadata
-    // writes vs the versioning protocol); the driver must refuse it
-    // rather than hang.
-    ParseResult r = parse({"--lifeguard=lockset", "--memory-model=tso"});
-    ASSERT_EQ(r.status, ParseStatus::kError);
-    EXPECT_NE(r.error.find("incompatible"), std::string::npos);
+    // The versioning protocol now orders read-side metadata writers,
+    // so the historical lockset+tso refusal is gone: the full
+    // lifeguard x memory-model matrix parses.
+    EXPECT_EQ(parse({"--lifeguard=lockset", "--memory-model=tso"}).status,
+              ParseStatus::kOk);
     EXPECT_EQ(parse({"--lifeguard=all", "--memory-model=tso"}).status,
-              ParseStatus::kError);
+              ParseStatus::kOk);
     EXPECT_EQ(parse({"--lifeguard=lockset", "--memory-model=sc"}).status,
               ParseStatus::kOk);
 }
@@ -227,9 +226,27 @@ TEST_F(CliEndToEnd, CsvRunPrintsHeaderAndRow)
     EXPECT_NE(out.find("workload,lifeguard,mode,cores"),
               std::string::npos)
         << out;
+    EXPECT_NE(out.find("violations,versions_produced,versions_consumed,"
+                       "version_stalls"),
+              std::string::npos)
+        << out;
     EXPECT_NE(out.find("lu,taintcheck,parallel,2,on,per-block,sc,3000"),
               std::string::npos)
         << out;
+}
+
+TEST_F(CliEndToEnd, LockSetTsoRunsToCompletion)
+{
+    // End-to-end proof of the lifted gate: the once-deadlocking
+    // combination completes through the driver in well under the test
+    // timeout, and reports its versioning-protocol counters.
+    std::string out;
+    int rc = runCli("--workload=lu --lifeguard=lockset --mode=parallel "
+                    "--memory-model=tso --cores=4 --scale=400",
+                    out);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("total cycles"), std::string::npos) << out;
+    EXPECT_NE(out.find("versions:"), std::string::npos) << out;
 }
 
 TEST_F(CliEndToEnd, TextRunPrintsStats)

@@ -530,5 +530,131 @@ TEST_F(LockSetTest, FastPathAfterRefinement)
     EXPECT_EQ(lg.slowPathEntries, slow_before);
 }
 
+TEST_F(LockSetTest, VersionedReadDecidesOnSnapshotGranuleState)
+{
+    // TSO: writer (thread 1) owns the granule exclusively; the
+    // conflicting store is granule-*interior* (0x1004), so the
+    // produce handler must snapshot from the granule base — the
+    // store's own byte range misses the state byte and the consumer
+    // would silently decide on post-overwrite live metadata.
+    access(1, 0x1000, true);
+    ASSERT_EQ(lg.state(0x1000), LockSet::kExclusive);
+
+    VersionTag tag{0, 33};
+    LgEvent prod = ev(LgEventType::kProduceVersion, 1);
+    prod.addr = 0x1004;
+    prod.size = 4;
+    prod.version = tag;
+    run(prod);
+    ASSERT_TRUE(h.versions.available(tag));
+
+    // Live state moves on before the versioned reader is processed.
+    access(2, 0x1000, false);
+    ASSERT_EQ(lg.state(0x1000), LockSet::kShared);
+
+    std::uint64_t slow_before = lg.slowPathEntries;
+    LgEvent load = ev(LgEventType::kLoad, 0, 33);
+    load.addr = 0x1004;
+    load.size = 8;
+    load.consumesVersion = true;
+    load.version = tag;
+    run(load);
+
+    // The snapshot's kExclusive state forces the slow path (live
+    // kShared with an empty-refinement would have hit the fast path),
+    // and the version was consumed exactly once.
+    EXPECT_GT(lg.slowPathEntries, slow_before);
+    EXPECT_FALSE(h.versions.available(tag));
+    EXPECT_EQ(h.versions.size(), 0u);
+}
+
+TEST_F(LockSetTest, WriterDoneSuppressesLateConsumerWriteback)
+{
+    // Read-side-writer rule: when the conflicting store's handler
+    // already ran (writerDone), the late versioned reader keeps its
+    // snapshot-based decision but must not overwrite the newer state.
+    access(1, 0x1000, true);
+    VersionTag tag{0, 50};
+    LgEvent prod = ev(LgEventType::kProduceVersion, 1);
+    prod.addr = 0x1000;
+    prod.size = 8;
+    prod.version = tag;
+    run(prod);
+    access(1, 0x1000, true); // the producing store's own handler
+    h.versions.markWriterDone(tag);
+
+    LgEvent load = ev(LgEventType::kLoad, 2, 50);
+    load.addr = 0x1000;
+    load.size = 8;
+    load.consumesVersion = true;
+    load.version = tag;
+    run(load);
+
+    // Without suppression the reader (other thread, exclusive state)
+    // would have escalated the live state to kShared.
+    EXPECT_EQ(lg.state(0x1000), LockSet::kExclusive);
+    EXPECT_EQ(h.versions.size(), 0u);
+}
+
+TEST_F(LockSetTest, SuppressedWritebackStillReportsExclusiveWriteRace)
+{
+    // Suppression only covers the metadata *write*; the race decision
+    // itself must still run. Foreign unlocked write to an exclusively
+    // owned granule = data race, with or without write-back.
+    access(1, 0x1000, true); // exclusive, owner 1
+    VersionTag tag{2, 60};
+    LgEvent prod = ev(LgEventType::kProduceVersion, 1);
+    prod.addr = 0x1000;
+    prod.size = 8;
+    prod.version = tag;
+    run(prod);
+    h.versions.markWriterDone(tag);
+
+    std::size_t races_before =
+        lg.violations.count(Violation::Kind::kDataRace);
+    LgEvent store = ev(LgEventType::kStore, 2, 60);
+    store.addr = 0x1000;
+    store.size = 8;
+    store.consumesVersion = true;
+    store.version = tag;
+    run(store);
+
+    EXPECT_EQ(lg.violations.count(Violation::Kind::kDataRace),
+              races_before + 1);
+    EXPECT_EQ(lg.state(0x1000), LockSet::kExclusive); // write suppressed
+}
+
+TEST_F(LockSetTest, GranuleCrossingProduceCoversBothStateBytes)
+{
+    // An unaligned store can span two granules; both state bytes must
+    // be in the snapshot or the consumer silently falls back to
+    // post-overwrite live metadata for the second granule.
+    access(1, 0x1000, true);
+    access(1, 0x1008, true);
+    VersionTag tag{0, 70};
+    LgEvent prod = ev(LgEventType::kProduceVersion, 1);
+    prod.addr = 0x1004; // spans granules 0x1000 and 0x1008
+    prod.size = 8;
+    prod.version = tag;
+    run(prod);
+
+    // Live state of the *second* granule moves on.
+    access(2, 0x1008, false);
+    ASSERT_EQ(lg.state(0x1008), LockSet::kShared);
+
+    std::uint64_t slow_before = lg.slowPathEntries;
+    LgEvent load = ev(LgEventType::kLoad, 0, 70);
+    load.addr = 0x1008;
+    load.size = 4;
+    load.consumesVersion = true;
+    load.version = tag;
+    run(load);
+
+    // Snapshot said kExclusive for 0x1008: slow path, not the live
+    // kShared fast path.
+    EXPECT_GT(lg.slowPathEntries, slow_before);
+    EXPECT_EQ(h.versions.size(), 0u);
+}
+
 } // namespace
 } // namespace paralog

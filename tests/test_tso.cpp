@@ -197,6 +197,23 @@ TEST_F(TsoEndToEnd, WorkloadsCompleteUnderTso)
     }
 }
 
+TEST_F(TsoEndToEnd, AllLifeguardsCompleteUnderTso)
+{
+    // The lifted combinations: LockSet+TSO used to deadlock and
+    // AddrCheck+TSO used to quasi-livelock at >= 2 cores; both (and
+    // the rest of the lifeguard axis) must now just run. The deeper
+    // differential checks live in test_tso_matrix.
+    for (LifeguardKind lg :
+         {LifeguardKind::kAddrCheck, LifeguardKind::kTaintCheck,
+          LifeguardKind::kMemCheck, LifeguardKind::kLockSet}) {
+        RunResult r = runExperiment(WorkloadKind::kLu, lg,
+                                    MonitorMode::kParallel, 4, opts());
+        EXPECT_GT(r.totalCycles, 0u) << toString(lg);
+        EXPECT_EQ(r.versionsProduced, r.versionsConsumed)
+            << toString(lg);
+    }
+}
+
 TEST_F(TsoEndToEnd, AnalysisStillCorrectUnderTso)
 {
     PlatformConfig cfg = makeConfig(WorkloadKind::kLu,

@@ -23,6 +23,9 @@ const std::vector<MonitorMode> kAllModes{
 };
 
 constexpr std::uint32_t kMaxCores = 16;
+constexpr std::uint32_t kMaxJobs = 64;
+constexpr std::uint32_t kMaxRepeat = 1000;
+constexpr std::uint32_t kMaxShards = ShadowMemory::kMaxShards;
 
 /** Split "a,b,c" into views; empty pieces are kept (and rejected later). */
 std::vector<std::string_view>
@@ -223,9 +226,28 @@ CliOptions::experimentOptions() const
     opt.depTracking = depTracking;
     opt.memoryModel = memoryModel;
     opt.conflictAlerts = conflictAlerts;
-    opt.seed = seed;
+    opt.seed = seeds.front();
     opt.logBufferBytes = logBufferBytes;
+    opt.shadowShards = shadowShards;
+    opt.maxCycles = maxCycles;
     return opt;
+}
+
+std::vector<RunSpec>
+CliOptions::runSpecs() const
+{
+    std::vector<RunSpec> specs;
+    ExperimentOptions base = experimentOptions();
+    for (const Scenario &s : scenarios()) {
+        for (std::uint64_t seed : seeds) {
+            ExperimentOptions opt = base;
+            opt.seed = seed;
+            for (std::uint32_t r = 0; r < repeat; ++r)
+                specs.push_back(RunSpec{s.workload, s.lifeguard, s.mode,
+                                        s.cores, opt});
+        }
+    }
+    return specs;
 }
 
 std::string
@@ -248,6 +270,8 @@ usageText()
        << "  --mode=LIST       none|timesliced|parallel  (default parallel)\n"
        << "  --cores=LIST      application threads, 1.." << kMaxCores
        << "  (default 4)\n"
+       << "  --seed=LIST       workload RNG seeds; a list sweeps the\n"
+       << "                    matrix once per seed (default 1)\n"
        << "\n"
        << "Platform knobs (apply to every scenario):\n"
        << "  --accel=on|off          hardware accelerators (IT/IF/M-TLB)\n"
@@ -256,11 +280,25 @@ usageText()
        << "--mode=timesliced)\n"
        << "  --conflict-alerts=on|off\n"
        << "  --scale=N               per-thread work units (default 20000)\n"
-       << "  --seed=N                workload RNG seed (default 1)\n"
        << "  --log-buffer=BYTES      log buffer capacity (default 65536)\n"
+       << "  --shadow-shards=N       shadow-memory shards, power of two "
+       << "<= " << kMaxShards << "\n"
+       << "                          (default 0 = one per lifeguard "
+       << "core; results\n"
+       << "                          are bit-identical for any value)\n"
+       << "  --max-cycles=N          simulated-time watchdog override\n"
        << "\n"
-       << "Output:\n"
-       << "  --csv        one CSV row per run (header first)\n"
+       << "Matrix execution:\n"
+       << "  --jobs=N     run cells on N host threads (default 1); each\n"
+       << "               cell owns its platform, so results are\n"
+       << "               identical for any N and reported in cell order\n"
+       << "  --repeat=K   run each cell K times and aggregate\n"
+       << "               min/median/max per stat (default 1)\n"
+       << "\n"
+       << "Output (a failed cell is marked and the exit code is 1):\n"
+       << "  --csv        one CSV row per cell (header first; seed and\n"
+       << "               repeat columns appear only when sweeping)\n"
+       << "  --json       one JSON document for the whole matrix\n"
        << "  --describe   print the Table-1 configuration before each run\n"
        << "  --verbose    keep simulator warnings on stderr\n"
        << "  --help       this text\n"
@@ -270,6 +308,8 @@ usageText()
        << "--cores=4\n"
        << "  paralog --workload=all --mode=none,parallel --cores=1,2,4,8 "
        << "--csv\n"
+       << "  paralog --workload=all --cores=1,2,4,8 --seed=1,2,3 "
+       << "--repeat=3 --jobs=4 --json\n"
        << "  paralog --workload=ocean --memory-model=tso --accel=off\n";
     return os.str();
 }
@@ -378,10 +418,67 @@ const ValuedFlag kValuedFlags[] = {
     {"--seed",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
-         if (parseU64(value, o.seed))
+         o.seeds.clear();
+         for (std::string_view piece : splitList(value)) {
+             std::uint64_t s = 0;
+             if (!parseU64(piece, s)) {
+                 err = "invalid value '" + std::string(piece) +
+                       "' for --seed (want comma-separated integers)";
+                 return false;
+             }
+             if (std::find(o.seeds.begin(), o.seeds.end(), s) ==
+                 o.seeds.end())
+                 o.seeds.push_back(s);
+         }
+         return true;
+     }},
+    {"--repeat",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         std::uint64_t n = 0;
+         if (parseU64(value, n) && n >= 1 && n <= kMaxRepeat) {
+             o.repeat = static_cast<std::uint32_t>(n);
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --repeat (want 1.." + std::to_string(kMaxRepeat) +
+               ")";
+         return false;
+     }},
+    {"--jobs",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         std::uint64_t n = 0;
+         if (parseU64(value, n) && n >= 1 && n <= kMaxJobs) {
+             o.jobs = static_cast<std::uint32_t>(n);
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --jobs (want 1.." + std::to_string(kMaxJobs) + ")";
+         return false;
+     }},
+    {"--shadow-shards",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         std::uint64_t n = 0;
+         if (parseU64(value, n) && n <= kMaxShards &&
+             (n == 0 || (n & (n - 1)) == 0)) {
+             o.shadowShards = static_cast<std::uint32_t>(n);
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --shadow-shards (want 0 for auto, or a power of "
+               "two <= " +
+               std::to_string(kMaxShards) + ")";
+         return false;
+     }},
+    {"--max-cycles",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (parseU64(value, o.maxCycles) && o.maxCycles > 0)
              return true;
          err = "invalid value '" + std::string(value) +
-               "' for --seed (want an integer)";
+               "' for --max-cycles (want a positive cycle count)";
          return false;
      }},
     {"--log-buffer",
@@ -398,6 +495,7 @@ const ValuedFlag kValuedFlags[] = {
 /// Flags that take no value, mapped to the CliOptions field they set.
 const std::pair<const char *, bool CliOptions::*> kNoValueFlags[] = {
     {"--csv", &CliOptions::csv},
+    {"--json", &CliOptions::json},
     {"--describe", &CliOptions::describe},
     {"--verbose", &CliOptions::verbose},
 };
@@ -470,6 +568,10 @@ parseArgs(const std::vector<std::string_view> &args)
         return fail("--mode=timesliced is incompatible with "
                     "--memory-model=tso (the timesliced baseline is "
                     "sequentially consistent by construction)");
+
+    if (o.csv && o.json)
+        return fail("--csv and --json are mutually exclusive (pick one "
+                    "machine-readable format)");
 
     return res;
 }

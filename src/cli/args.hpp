@@ -2,9 +2,11 @@
  * @file
  * Command-line parsing for the `paralog` scenario-matrix driver. Every
  * axis of the experiment space (workload, lifeguard, monitoring mode,
- * core count, accelerators, dependence tracking, memory model) is a
- * flag; list-valued flags accept comma-separated values or `all`, and
- * the driver runs the full cross product.
+ * core count, accelerators, dependence tracking, memory model, seed) is
+ * a flag; list-valued flags accept comma-separated values (or `all` for
+ * the enum axes), and the driver runs the full cross product — on
+ * `--jobs=N` host threads, `--repeat=K` times per cell, reporting text,
+ * `--csv` or `--json`.
  *
  * Parsing is split from main() so tests can exercise flag handling
  * without spawning processes.
@@ -40,16 +42,22 @@ struct CliOptions
     std::vector<LifeguardKind> lifeguards{LifeguardKind::kTaintCheck};
     std::vector<MonitorMode> modes{MonitorMode::kParallel};
     std::vector<std::uint32_t> cores{4};
+    std::vector<std::uint64_t> seeds{1}; ///< --seed=a,b,c sweeps
 
     bool accelerators = true;
     DepTracking depTracking = DepTracking::kPerBlock;
     MemoryModel memoryModel = MemoryModel::kSC;
     bool conflictAlerts = true;
     std::uint64_t scale = 20000;
-    std::uint64_t seed = 1;
     std::uint64_t logBufferBytes = 64 * 1024;
+    std::uint32_t shadowShards = 0; ///< 0 = auto (per lifeguard core)
+    std::uint64_t maxCycles = 0;    ///< 0 = platform default watchdog
 
-    bool csv = false;      ///< machine-readable output
+    std::uint32_t jobs = 1;   ///< host threads running matrix cells
+    std::uint32_t repeat = 1; ///< repeats per cell, aggregated
+
+    bool csv = false;      ///< machine-readable CSV output
+    bool json = false;     ///< machine-readable JSON output
     bool describe = false; ///< print the Table-1 configuration per run
     bool verbose = false;  ///< keep warn()/inform() output
 
@@ -61,8 +69,24 @@ struct CliOptions
      */
     std::vector<Scenario> scenarios() const;
 
-    /** Experiment options shared by every scenario. */
+    /** Experiment options shared by every scenario (first seed). */
     ExperimentOptions experimentOptions() const;
+
+    /**
+     * The fully-expanded work queue for runMatrix(): scenarios x seeds,
+     * each spec repeated `repeat` times consecutively, so the specs of
+     * output cell c are indices [c * repeat, (c + 1) * repeat).
+     */
+    std::vector<RunSpec> runSpecs() const;
+
+    /** True when output rows need seed/repeat columns (seed sweep or
+     *  repeated cells). Single-run invocations keep the legacy CSV
+     *  schema, so committed bench baselines stay bit-identical. */
+    bool
+    sweepColumns() const
+    {
+        return seeds.size() > 1 || repeat > 1;
+    }
 };
 
 enum class ParseStatus

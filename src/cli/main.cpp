@@ -1,26 +1,30 @@
 /**
  * @file
- * The `paralog` scenario-matrix driver: runs the cross product of the
- * requested (workload x lifeguard x mode x cores) scenarios through
- * runExperiment() and reports per-run statistics as human-readable text
- * or CSV. Every flag combination the paper evaluates (Figures 6-8,
- * Table 1) is reachable from here.
+ * The `paralog` scenario-matrix driver: expands the cross product of
+ * the requested (workload x lifeguard x mode x cores x seed) scenarios
+ * into a work queue, executes it on `--jobs` host threads through
+ * runMatrix() (each cell owns its Platform, so results are identical
+ * for any job count), aggregates `--repeat` runs per cell, and reports
+ * per-cell statistics as human-readable text, CSV or JSON. Every flag
+ * combination the paper evaluates (Figures 6-8, Table 1) is reachable
+ * from here.
+ *
+ * A cell whose run panics is marked failed in every output format and
+ * the driver exits 1; the rest of the matrix still runs.
  */
 
+#include <array>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "common/logging.hpp"
+#include "common/stats.hpp"
 #include "core/experiment.hpp"
 
 namespace paralog::cli {
 namespace {
-
-struct RunRow
-{
-    Scenario scenario;
-    RunResult result;
-};
 
 /** Lifeguard column label; baseline runs attach no lifeguard. */
 const char *
@@ -30,20 +34,22 @@ lifeguardLabel(const Scenario &s)
                                                 : flagName(s.lifeguard);
 }
 
-void
-printCsvHeader()
-{
-    std::printf("workload,lifeguard,mode,cores,accel,dep_tracking,"
-                "memory_model,scale,total_cycles,app_exec_cycles,"
-                "retired,records_processed,events_handled,"
-                "lg_useful_cycles,lg_dep_stall,lg_app_stall,violations,"
-                "versions_produced,versions_consumed,version_stalls\n");
-}
+// ------------------------------------------------------------- stats
 
-void
-printCsvRow(const CliOptions &opt, const RunRow &row)
+/// The per-cell statistics reported by CSV and JSON, in column order.
+/// One table drives both formats, so `--json` values always round-trip
+/// against `--csv` columns.
+constexpr std::size_t kNumStats = 12;
+constexpr const char *kStatNames[kNumStats] = {
+    "total_cycles",   "app_exec_cycles",  "retired",
+    "records_processed", "events_handled", "lg_useful_cycles",
+    "lg_dep_stall",   "lg_app_stall",     "violations",
+    "versions_produced", "versions_consumed", "version_stalls",
+};
+
+std::array<std::uint64_t, kNumStats>
+statVec(const RunResult &r)
 {
-    const RunResult &r = row.result;
     std::uint64_t records = 0, useful = 0, dep = 0, app_stall = 0;
     for (const auto &l : r.lifeguard) {
         records += l.recordsProcessed;
@@ -51,37 +57,245 @@ printCsvRow(const CliOptions &opt, const RunRow &row)
         dep += l.depStallTotal();
         app_stall += l.appStall;
     }
-    std::printf("%s,%s,%s,%u,%s,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,"
-                "%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
-                flagName(row.scenario.workload),
-                lifeguardLabel(row.scenario),
-                flagName(row.scenario.mode), row.scenario.cores,
-                opt.accelerators ? "on" : "off",
-                flagName(opt.depTracking), flagName(opt.memoryModel),
-                static_cast<unsigned long long>(opt.scale),
-                static_cast<unsigned long long>(r.totalCycles),
-                static_cast<unsigned long long>(r.appExecTotal()),
-                static_cast<unsigned long long>(r.retiredTotal()),
-                static_cast<unsigned long long>(records),
-                static_cast<unsigned long long>(r.eventsHandledTotal()),
-                static_cast<unsigned long long>(useful),
-                static_cast<unsigned long long>(dep),
-                static_cast<unsigned long long>(app_stall),
-                static_cast<unsigned long long>(r.violationCount),
-                static_cast<unsigned long long>(r.versionsProduced),
-                static_cast<unsigned long long>(r.versionsConsumed),
-                static_cast<unsigned long long>(r.versionStallRetries));
+    return {r.totalCycles,      r.appExecTotal(),    r.retiredTotal(),
+            records,            r.eventsHandledTotal(), useful,
+            dep,                app_stall,           r.violationCount,
+            r.versionsProduced, r.versionsConsumed,  r.versionStallRetries};
+}
+
+/**
+ * One output cell: a (scenario, seed) pair with its `--repeat` run
+ * results. Aggregation is order-invariant (SampleSummary sorts), and a
+ * cell counts as failed as soon as any repeat failed.
+ */
+struct Cell
+{
+    Scenario scenario;
+    std::uint64_t seed = 1;
+    std::vector<CellResult> repeats;
+
+    bool
+    failed() const
+    {
+        for (const CellResult &r : repeats) {
+            if (r.failed)
+                return true;
+        }
+        return false;
+    }
+
+    const std::string &
+    firstError() const
+    {
+        static const std::string none;
+        for (const CellResult &r : repeats) {
+            if (r.failed)
+                return r.error;
+        }
+        return none;
+    }
+
+    std::array<SampleSummary, kNumStats>
+    aggregate() const
+    {
+        std::array<SampleSummary, kNumStats> agg;
+        for (const CellResult &r : repeats) {
+            if (r.failed)
+                continue;
+            std::array<std::uint64_t, kNumStats> v = statVec(r.result);
+            for (std::size_t i = 0; i < kNumStats; ++i)
+                agg[i].add(v[i]);
+        }
+        return agg;
+    }
+
+    WallClockSummary
+    wall() const
+    {
+        WallClockSummary w;
+        for (const CellResult &r : repeats)
+            w.add(r.wallMs);
+        return w;
+    }
+};
+
+// --------------------------------------------------------------- CSV
+
+void
+printCsvHeader(const CliOptions &opt)
+{
+    std::printf("workload,lifeguard,mode,cores,accel,dep_tracking,"
+                "memory_model,scale");
+    for (const char *name : kStatNames)
+        std::printf(",%s", name);
+    if (opt.sweepColumns())
+        std::printf(",seed,repeats");
+    std::printf("\n");
+}
+
+/** CSV-quote a failure message (commas/quotes legal, newlines not). */
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else if (c == '\n' || c == '\r')
+            out += ' ';
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
 }
 
 void
-printTextRow(const CliOptions &opt, const RunRow &row)
+printCsvRow(const CliOptions &opt, const Cell &cell)
 {
-    const RunResult &r = row.result;
-    std::printf("=== %s / %s / %s / %u app thread%s ===\n",
-                flagName(row.scenario.workload),
-                lifeguardLabel(row.scenario),
-                flagName(row.scenario.mode), row.scenario.cores,
-                row.scenario.cores == 1 ? "" : "s");
+    std::printf("%s,%s,%s,%u,%s,%s,%s,%llu",
+                flagName(cell.scenario.workload), lifeguardLabel(cell.scenario),
+                flagName(cell.scenario.mode), cell.scenario.cores,
+                opt.accelerators ? "on" : "off",
+                flagName(opt.depTracking), flagName(opt.memoryModel),
+                static_cast<unsigned long long>(opt.scale));
+    if (cell.failed()) {
+        std::printf(",%s",
+                    csvQuote("failed: " + cell.firstError()).c_str());
+    } else {
+        std::array<SampleSummary, kNumStats> agg = cell.aggregate();
+        for (const SampleSummary &s : agg)
+            std::printf(",%llu",
+                        static_cast<unsigned long long>(s.median()));
+    }
+    if (opt.sweepColumns())
+        std::printf(",%llu,%zu",
+                    static_cast<unsigned long long>(cell.seed),
+                    cell.repeats.size());
+    std::printf("\n");
+}
+
+// -------------------------------------------------------------- JSON
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+printJsonHeader(const CliOptions &opt)
+{
+    std::printf("{\n");
+    std::printf("  \"schema\": \"paralog-matrix-v1\",\n");
+    std::printf("  \"jobs\": %u,\n", opt.jobs);
+    std::printf("  \"repeat\": %u,\n", opt.repeat);
+    std::printf("  \"seeds\": [");
+    for (std::size_t i = 0; i < opt.seeds.size(); ++i)
+        std::printf("%s%llu", i ? ", " : "",
+                    static_cast<unsigned long long>(opt.seeds[i]));
+    std::printf("],\n");
+    std::printf("  \"options\": {\"scale\": %llu, \"accel\": \"%s\", "
+                "\"dep_tracking\": \"%s\", \"memory_model\": \"%s\", "
+                "\"conflict_alerts\": \"%s\", \"log_buffer\": %llu, "
+                "\"shadow_shards\": %u, \"max_cycles\": %llu},\n",
+                static_cast<unsigned long long>(opt.scale),
+                opt.accelerators ? "on" : "off", flagName(opt.depTracking),
+                flagName(opt.memoryModel),
+                opt.conflictAlerts ? "on" : "off",
+                static_cast<unsigned long long>(opt.logBufferBytes),
+                opt.shadowShards,
+                static_cast<unsigned long long>(opt.maxCycles));
+    std::printf("  \"cells\": [");
+}
+
+void
+printJsonCell(const Cell &cell, bool first)
+{
+    std::printf("%s\n    {\n", first ? "" : ",");
+    std::printf("      \"workload\": \"%s\",\n",
+                flagName(cell.scenario.workload));
+    std::printf("      \"lifeguard\": \"%s\",\n",
+                lifeguardLabel(cell.scenario));
+    std::printf("      \"mode\": \"%s\",\n", flagName(cell.scenario.mode));
+    std::printf("      \"cores\": %u,\n", cell.scenario.cores);
+    std::printf("      \"seed\": %llu,\n",
+                static_cast<unsigned long long>(cell.seed));
+    std::printf("      \"repeats\": %zu,\n", cell.repeats.size());
+    if (cell.failed()) {
+        std::printf("      \"status\": \"failed\",\n");
+        std::printf("      \"error\": \"%s\",\n",
+                    jsonEscape(cell.firstError()).c_str());
+    } else {
+        std::printf("      \"status\": \"ok\",\n");
+        std::printf("      \"stats\": {\n");
+        std::array<SampleSummary, kNumStats> agg = cell.aggregate();
+        for (std::size_t i = 0; i < kNumStats; ++i) {
+            std::printf("        \"%s\": {\"min\": %llu, \"median\": "
+                        "%llu, \"max\": %llu}%s\n",
+                        kStatNames[i],
+                        static_cast<unsigned long long>(agg[i].min()),
+                        static_cast<unsigned long long>(agg[i].median()),
+                        static_cast<unsigned long long>(agg[i].max()),
+                        i + 1 < kNumStats ? "," : "");
+        }
+        std::printf("      },\n");
+    }
+    WallClockSummary w = cell.wall();
+    std::printf("      \"wall_ms\": {\"min\": %.3f, \"median\": %.3f, "
+                "\"max\": %.3f}\n",
+                w.min(), w.median(), w.max());
+    std::printf("    }");
+}
+
+void
+printJsonFooter(std::size_t cells, std::size_t failed)
+{
+    std::printf("\n  ],\n");
+    std::printf("  \"cells_total\": %zu,\n", cells);
+    std::printf("  \"cells_failed\": %zu\n", failed);
+    std::printf("}\n");
+}
+
+// -------------------------------------------------------------- text
+
+void
+printTextRow(const CliOptions &opt, const Cell &cell)
+{
+    std::printf("=== %s / %s / %s / %u app thread%s",
+                flagName(cell.scenario.workload), lifeguardLabel(cell.scenario),
+                flagName(cell.scenario.mode), cell.scenario.cores,
+                cell.scenario.cores == 1 ? "" : "s");
+    if (opt.seeds.size() > 1)
+        std::printf(" / seed %llu",
+                    static_cast<unsigned long long>(cell.seed));
+    std::printf(" ===\n");
+
+    if (cell.failed()) {
+        std::printf("  FAILED: %s\n\n", cell.firstError().c_str());
+        return;
+    }
+
+    // Repeats of one cell are deterministic, so the per-thread detail
+    // below comes from the first run; the aggregate line reports the
+    // (min/median/max) spread as proof.
+    const RunResult &r = cell.repeats.front().result;
     std::printf("  total cycles:      %llu\n",
                 static_cast<unsigned long long>(r.totalCycles));
     std::printf("  retired micro-ops: %llu\n",
@@ -132,32 +346,80 @@ printTextRow(const CliOptions &opt, const RunRow &row)
     }
     std::printf("  violations:        %llu\n",
                 static_cast<unsigned long long>(r.violationCount));
+    if (cell.repeats.size() > 1) {
+        std::array<SampleSummary, kNumStats> agg = cell.aggregate();
+        std::printf("  repeats:           %zu (total cycles "
+                    "min/median/max %llu/%llu/%llu)\n",
+                    cell.repeats.size(),
+                    static_cast<unsigned long long>(agg[0].min()),
+                    static_cast<unsigned long long>(agg[0].median()),
+                    static_cast<unsigned long long>(agg[0].max()));
+    }
     if (opt.describe) {
         ExperimentOptions eopt = opt.experimentOptions();
+        eopt.seed = cell.seed;
         PlatformConfig cfg = makeConfig(
-            row.scenario.workload, row.scenario.lifeguard,
-            row.scenario.mode, row.scenario.cores, eopt);
+            cell.scenario.workload, cell.scenario.lifeguard,
+            cell.scenario.mode, cell.scenario.cores, eopt);
         std::printf("%s", cfg.sim.describe().c_str());
     }
     std::printf("\n");
 }
 
+// ------------------------------------------------------------ driver
+
 int
-runMatrix(const CliOptions &opt)
+runCliMatrix(const CliOptions &opt)
 {
     setQuiet(!opt.verbose);
-    ExperimentOptions eopt = opt.experimentOptions();
+
+    const std::vector<Scenario> scenarios = opt.scenarios();
+    const std::vector<RunSpec> specs = opt.runSpecs();
+    const std::size_t num_cells = scenarios.size() * opt.seeds.size();
 
     if (opt.csv)
-        printCsvHeader();
-    for (const Scenario &s : opt.scenarios()) {
-        RunRow row{s, runExperiment(s.workload, s.lifeguard, s.mode,
-                                    s.cores, eopt)};
+        printCsvHeader(opt);
+    else if (opt.json)
+        printJsonHeader(opt);
+
+    // runMatrix() delivers results in spec order; consecutive groups of
+    // `repeat` specs form one output cell, flushed as soon as its last
+    // repeat arrives — so long sweeps stream rows while later cells are
+    // still running on other job threads.
+    std::size_t cells_done = 0, cells_failed = 0;
+    Cell cell;
+    auto on_cell = [&](std::size_t i, const CellResult &res) {
+        if (cell.repeats.empty()) {
+            std::size_t cell_idx = i / opt.repeat;
+            cell.scenario = scenarios[cell_idx / opt.seeds.size()];
+            cell.seed = opt.seeds[cell_idx % opt.seeds.size()];
+        }
+        cell.repeats.push_back(res);
+        if (cell.repeats.size() < opt.repeat)
+            return;
+        if (cell.failed())
+            ++cells_failed;
         if (opt.csv)
-            printCsvRow(opt, row);
+            printCsvRow(opt, cell);
+        else if (opt.json)
+            printJsonCell(cell, cells_done == 0);
         else
-            printTextRow(opt, row);
+            printTextRow(opt, cell);
         std::fflush(stdout);
+        ++cells_done;
+        cell = Cell{};
+    };
+
+    runMatrix(specs, opt.jobs, on_cell);
+
+    if (opt.json) {
+        printJsonFooter(num_cells, cells_failed);
+        std::fflush(stdout);
+    }
+    if (cells_failed > 0) {
+        std::fprintf(stderr, "paralog: %zu of %zu cells failed\n",
+                     cells_failed, num_cells);
+        return 1;
     }
     return 0;
 }
@@ -182,5 +444,5 @@ main(int argc, char **argv)
       case ParseStatus::kOk:
         break;
     }
-    return runMatrix(parsed.options);
+    return runCliMatrix(parsed.options);
 }

@@ -1,5 +1,6 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,6 +10,7 @@ namespace paralog {
 namespace {
 
 bool quietFlag = false;
+std::atomic<bool> panicThrows{false};
 
 std::string
 vstrprintf(const char *fmt, va_list args)
@@ -43,8 +45,16 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string s = vstrprintf(fmt, args);
     va_end(args);
+    if (panicThrows.load(std::memory_order_relaxed))
+        throw SimPanicError(s);
     std::fprintf(stderr, "panic: %s\n", s.c_str());
     std::abort();
+}
+
+bool
+setPanicThrows(bool throws)
+{
+    return panicThrows.exchange(throws);
 }
 
 void

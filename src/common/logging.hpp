@@ -8,6 +8,7 @@
 #define PARALOG_COMMON_LOGGING_HPP
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace paralog {
@@ -17,11 +18,36 @@ std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
+ * What panic() carries when panic-throw mode is enabled: the simulation
+ * is wedged or an invariant broke, but the *process* can carry on (the
+ * matrix runner marks the cell failed and keeps draining its queue).
+ */
+class SimPanicError : public std::runtime_error
+{
+  public:
+    explicit SimPanicError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
  * Abort the simulation because of an internal invariant violation (a
- * simulator bug, never a user error). Calls std::abort().
+ * simulator bug, never a user error). Calls std::abort() — unless
+ * panic-throw mode is enabled, in which case it throws SimPanicError so
+ * a harness running many independent simulations can contain the
+ * failure to one of them.
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Switch panic() between aborting (default; death tests and single-run
+ * tools rely on it) and throwing SimPanicError. Returns the previous
+ * setting so scoped users can restore it. Thread-safe: the flag is
+ * atomic, and panics on any worker thread throw on that thread.
+ */
+bool setPanicThrows(bool throws);
 
 /**
  * Terminate because the simulation cannot continue due to a user-visible

@@ -7,6 +7,8 @@
 #ifndef PARALOG_COMMON_STATS_HPP
 #define PARALOG_COMMON_STATS_HPP
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -14,6 +16,62 @@
 #include <vector>
 
 namespace paralog {
+
+/**
+ * Order-invariant min / median / max summary of repeated samples (the
+ * `--repeat` aggregation of the scenario-matrix runner). Samples are
+ * sorted on demand, so the summary is identical no matter which order
+ * concurrent repeats complete in. Median is the lower middle element —
+ * exact and integer-valued for any repeat count.
+ */
+template <typename T>
+class SampleSummaryT
+{
+  public:
+    void
+    add(T v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    T min() const { return samples_.empty() ? T{} : sorted().front(); }
+    T max() const { return samples_.empty() ? T{} : sorted().back(); }
+
+    T
+    median() const
+    {
+        if (samples_.empty())
+            return T{};
+        return sorted()[(samples_.size() - 1) / 2];
+    }
+
+    /** True iff every sample equals every other (deterministic repeats
+     *  of the same configuration must satisfy this). */
+    bool
+    allEqual() const
+    {
+        return samples_.empty() || sorted().front() == sorted().back();
+    }
+
+  private:
+    const std::vector<T> &
+    sorted() const
+    {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+        return samples_;
+    }
+
+    mutable std::vector<T> samples_;
+    mutable bool sorted_ = true;
+};
+
+using SampleSummary = SampleSummaryT<std::uint64_t>;
+using WallClockSummary = SampleSummaryT<double>;
 
 /** Monotonic scalar counter. */
 class Counter

@@ -1,17 +1,31 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hpp"
 
 namespace paralog {
 
 std::uint64_t
-ExperimentOptions::envScale(std::uint64_t fallback)
+ExperimentOptions::envU64(const char *name, std::uint64_t fallback)
 {
-    const char *s = std::getenv("PARALOG_SCALE");
+    const char *s = std::getenv(name);
     if (!s)
         return fallback;
     std::uint64_t v = std::strtoull(s, nullptr, 10);
     return v > 0 ? v : fallback;
+}
+
+std::uint64_t
+ExperimentOptions::envScale(std::uint64_t fallback)
+{
+    return envU64("PARALOG_SCALE", fallback);
 }
 
 PlatformConfig
@@ -26,6 +40,7 @@ makeConfig(WorkloadKind workload, LifeguardKind lifeguard, MonitorMode mode,
     cfg.sim.conflictAlerts = opt.conflictAlerts;
     cfg.sim.seed = opt.seed;
     cfg.sim.logBufferBytes = opt.logBufferBytes;
+    cfg.sim.shadowShards = opt.shadowShards;
     if (!opt.accelerators) {
         cfg.sim.accel.inheritanceTracking = false;
         cfg.sim.accel.idempotentFilter = false;
@@ -34,6 +49,8 @@ makeConfig(WorkloadKind workload, LifeguardKind lifeguard, MonitorMode mode,
     cfg.lifeguard = lifeguard;
     cfg.workload = workload;
     cfg.scale = opt.scale;
+    if (opt.maxCycles > 0)
+        cfg.maxCycles = opt.maxCycles;
     // Host-side delivery batch override (wall-clock A/B experiments;
     // results are identical for any value >= 1).
     if (const char *b = std::getenv("PARALOG_DELIVER_BATCH")) {
@@ -56,6 +73,105 @@ runExperiment(WorkloadKind workload, LifeguardKind lifeguard,
     }
     Platform p(cfg);
     return p.run();
+}
+
+namespace {
+
+/** Scoped panic-throw mode: restored even if a callback throws. */
+class PanicThrowScope
+{
+  public:
+    PanicThrowScope() : prev_(setPanicThrows(true)) {}
+    ~PanicThrowScope() { setPanicThrows(prev_); }
+    PanicThrowScope(const PanicThrowScope &) = delete;
+    PanicThrowScope &operator=(const PanicThrowScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/** Run one spec, containing any failure to the returned cell. */
+CellResult
+runCell(const RunSpec &spec, bool inject_failure)
+{
+    CellResult cell;
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        if (inject_failure)
+            panic("injected failure (PARALOG_FAIL_CELL)");
+        cell.result = runExperiment(spec.workload, spec.lifeguard,
+                                    spec.mode, spec.cores, spec.opt);
+    } catch (const std::exception &e) {
+        cell.failed = true;
+        cell.error = e.what();
+    } catch (...) {
+        cell.failed = true;
+        cell.error = "unknown error";
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    cell.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return cell;
+}
+
+} // namespace
+
+std::vector<CellResult>
+runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
+          const std::function<void(std::size_t, const CellResult &)>
+              &on_cell)
+{
+    const std::size_t n = specs.size();
+    std::vector<CellResult> results(n);
+    if (n == 0)
+        return results;
+
+    // Contain panics to their cell for the whole matrix; the scope
+    // restores the previous behavior even if a callback throws. (With
+    // jobs > 1 the callback runs on worker threads, where a throw
+    // would std::terminate — keep callbacks non-throwing.)
+    PanicThrowScope panic_scope;
+
+    std::size_t fail_cell = n; // out of range: no injection
+    if (const char *s = std::getenv("PARALOG_FAIL_CELL"))
+        fail_cell = std::strtoull(s, nullptr, 10);
+
+    std::atomic<std::size_t> next{0};
+    std::mutex emit_mutex;
+    std::vector<bool> done(n, false);
+    std::size_t next_emit = 0;
+
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            CellResult cell = runCell(specs[i], i == fail_cell);
+            std::lock_guard<std::mutex> lock(emit_mutex);
+            results[i] = std::move(cell);
+            done[i] = true;
+            while (next_emit < n && done[next_emit]) {
+                if (on_cell)
+                    on_cell(next_emit, results[next_emit]);
+                ++next_emit;
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        unsigned spawned =
+            static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+        pool.reserve(spawned);
+        for (unsigned t = 0; t < spawned; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    return results;
 }
 
 } // namespace paralog

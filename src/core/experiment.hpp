@@ -2,14 +2,23 @@
  * @file
  * Bench/test harness helpers: run one (workload, lifeguard, mode,
  * threads) configuration and derive the normalized metrics the paper
- * plots (Figures 6-8).
+ * plots (Figures 6-8) — plus the multi-threaded scenario-matrix runner
+ * that fans fully-specified run configs across host threads.
+ *
+ * Determinism contract: each cell owns its Platform (and therefore its
+ * RNG, caches and shadow memory), so a cell's RunResult depends only on
+ * its RunSpec — never on the job count or on which host thread executed
+ * it. `runMatrix(specs, 1)` and `runMatrix(specs, N)` return identical
+ * simulated results, cell for cell.
  */
 
 #ifndef PARALOG_CORE_EXPERIMENT_HPP
 #define PARALOG_CORE_EXPERIMENT_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/platform.hpp"
 #include "core/run_stats.hpp"
@@ -26,9 +35,16 @@ struct ExperimentOptions
     bool conflictAlerts = true;
     std::uint64_t seed = 1;
     std::uint64_t logBufferBytes = 64 * 1024;
+    /// Shadow-memory shard count (0 = auto, see SimConfig::shadowShards).
+    std::uint32_t shadowShards = 0;
+    /// Simulated-time watchdog override (0 = PlatformConfig default).
+    std::uint64_t maxCycles = 0;
 
     /** Scale override from the environment (PARALOG_SCALE), if set. */
     static std::uint64_t envScale(std::uint64_t fallback);
+
+    /** Generic positive-integer environment override. */
+    static std::uint64_t envU64(const char *name, std::uint64_t fallback);
 };
 
 /** Run one configuration to completion. */
@@ -40,6 +56,49 @@ RunResult runExperiment(WorkloadKind workload, LifeguardKind lifeguard,
 PlatformConfig makeConfig(WorkloadKind workload, LifeguardKind lifeguard,
                           MonitorMode mode, std::uint32_t threads,
                           const ExperimentOptions &opt = {});
+
+// --------------------------------------------- scenario-matrix runner
+
+/** One fully-specified cell run of the scenario matrix: everything
+ *  runExperiment() needs, including the resolved seed. */
+struct RunSpec
+{
+    WorkloadKind workload;
+    LifeguardKind lifeguard;
+    MonitorMode mode;
+    std::uint32_t cores;
+    ExperimentOptions opt;
+};
+
+/** Outcome of one RunSpec: the result, or a captured failure. */
+struct CellResult
+{
+    RunResult result;
+    bool failed = false;
+    std::string error; ///< panic/exception message, set iff failed
+    double wallMs = 0; ///< host wall-clock of this run
+};
+
+/**
+ * Execute every spec on a pool of @p jobs host threads (inline on the
+ * calling thread when jobs == 1) and return results indexed by spec
+ * order. Panics and exceptions inside a run are contained to that cell
+ * (panic-throw mode is enabled for the duration and restored after):
+ * the cell comes back `failed` with the message, and the remaining
+ * specs still run.
+ *
+ * @p on_cell, when set, is invoked once per spec *in spec order* as
+ * results become available (under an internal lock — keep it cheap),
+ * so callers can stream output while later cells are still running.
+ *
+ * Test hook: when the environment variable PARALOG_FAIL_CELL names a
+ * spec index, that cell panics instead of running — the deterministic
+ * way to exercise mid-matrix failure handling at any jobs count.
+ */
+std::vector<CellResult>
+runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
+          const std::function<void(std::size_t, const CellResult &)>
+              &on_cell = {});
 
 } // namespace paralog
 

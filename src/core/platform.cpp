@@ -26,8 +26,10 @@ Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
     env_.seed = cfg_.sim.seed;
 
     if (monitoring) {
-        lifeguard_ = cfg_.customLifeguard ? cfg_.customLifeguard(k)
-                                          : makeLifeguard(cfg_.lifeguard, k);
+        lifeguard_ = cfg_.customLifeguard
+                         ? cfg_.customLifeguard(k)
+                         : makeLifeguard(cfg_.lifeguard, k,
+                                         cfg_.sim.effectiveShadowShards(k));
         policy_ = lifeguard_->policy();
     }
 

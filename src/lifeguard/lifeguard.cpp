@@ -207,8 +207,9 @@ LgContext::checkMetaAll(const AddrRange &range, std::uint8_t value)
 }
 
 Lifeguard::Lifeguard(std::uint32_t num_threads,
-                     std::uint32_t bits_per_byte)
-    : shadow_(bits_per_byte), regMeta_(num_threads)
+                     std::uint32_t bits_per_byte,
+                     std::uint32_t shadow_shards)
+    : shadow_(bits_per_byte, shadow_shards), regMeta_(num_threads)
 {
     for (auto &regs : regMeta_)
         regs.fill(0);
@@ -223,17 +224,18 @@ Lifeguard::regMeta(ThreadId tid, RegId reg)
 }
 
 LifeguardPtr
-makeLifeguard(LifeguardKind kind, std::uint32_t num_threads)
+makeLifeguard(LifeguardKind kind, std::uint32_t num_threads,
+              std::uint32_t shadow_shards)
 {
     switch (kind) {
       case LifeguardKind::kTaintCheck:
-        return std::make_unique<TaintCheck>(num_threads);
+        return std::make_unique<TaintCheck>(num_threads, shadow_shards);
       case LifeguardKind::kAddrCheck:
-        return std::make_unique<AddrCheck>(num_threads);
+        return std::make_unique<AddrCheck>(num_threads, shadow_shards);
       case LifeguardKind::kMemCheck:
-        return std::make_unique<MemCheck>(num_threads);
+        return std::make_unique<MemCheck>(num_threads, shadow_shards);
       case LifeguardKind::kLockSet:
-        return std::make_unique<LockSet>(num_threads);
+        return std::make_unique<LockSet>(num_threads, shadow_shards);
     }
     panic("unknown lifeguard kind");
 }

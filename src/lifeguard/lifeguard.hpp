@@ -187,7 +187,8 @@ class Lifeguard
     ViolationLog violations;
 
   protected:
-    Lifeguard(std::uint32_t num_threads, std::uint32_t bits_per_byte);
+    Lifeguard(std::uint32_t num_threads, std::uint32_t bits_per_byte,
+              std::uint32_t shadow_shards = 1);
 
     /** Per-thread, per-register metadata (one byte per register). */
     std::uint8_t &regMeta(ThreadId tid, RegId reg);
@@ -207,7 +208,8 @@ enum class LifeguardKind
     kLockSet,
 };
 
-LifeguardPtr makeLifeguard(LifeguardKind kind, std::uint32_t num_threads);
+LifeguardPtr makeLifeguard(LifeguardKind kind, std::uint32_t num_threads,
+                           std::uint32_t shadow_shards = 1);
 const char *toString(LifeguardKind kind);
 
 } // namespace paralog

@@ -26,6 +26,16 @@
  *  - writes of metadata value 0 to an unmapped chunk are elided: chunks
  *    are zero-initialized, so fill(range, 0) over untouched address
  *    space allocates nothing.
+ *
+ * Sharding: the chunk table can be split into a power-of-two number of
+ * shards, selected by the low bits of the chunk index (so consecutive
+ * 1 MB chunks land in different shards). Each shard owns its chunk map
+ * *and* its last-chunk cache, making shards fully self-contained: with
+ * one shard per lifeguard thread, threads working disjoint address
+ * ranges stop serializing on a single structure. The shard count is
+ * invisible to results — chunk layout, metaAddr and all operation
+ * semantics are unchanged, so any shard count produces bit-identical
+ * metadata (and fingerprints) to the unsharded layout.
  */
 
 #ifndef PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
@@ -49,9 +59,18 @@ class ShadowMemory
     /// Base of the modelled metadata virtual address region.
     static constexpr Addr kMetaBase = 1ULL << 40;
 
-    explicit ShadowMemory(std::uint32_t bits_per_byte);
+    /// Largest accepted shard count (a shard is a map + a cache line of
+    /// state; 256 covers any plausible lifeguard thread count).
+    static constexpr std::uint32_t kMaxShards = 256;
+
+    explicit ShadowMemory(std::uint32_t bits_per_byte,
+                          std::uint32_t shards = 1);
 
     std::uint32_t bitsPerByte() const { return bitsPerByte_; }
+    std::uint32_t shardCount() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
 
     /** Metadata value (bitsPerByte wide) for one application byte. */
     std::uint8_t read(Addr app_addr) const;
@@ -77,21 +96,48 @@ class ShadowMemory
         return kMetaBase + (app_addr * bitsPerByte_) / 8;
     }
 
-    std::size_t chunkCount() const { return chunks_.size(); }
+    std::size_t
+    chunkCount() const
+    {
+        std::size_t n = 0;
+        for (const Shard &s : shards_)
+            n += s.chunks.size();
+        return n;
+    }
 
     /** Backing-store bytes actually allocated for metadata chunks
      *  (observes the zero-write elision: filling untouched space with
      *  value 0 allocates nothing). */
     std::uint64_t bytesAllocated() const
     {
-        return chunks_.size() * chunkMetaBytes_;
+        return chunkCount() * chunkMetaBytes_;
     }
 
   private:
     using Chunk = std::vector<std::uint8_t>;
 
+    /**
+     * One shard of the chunk table: its slice of the chunk map plus its
+     * own last-chunk cache. Chunk storage is stable (vectors never
+     * resize, unique_ptr targets never move), so a cached pointer stays
+     * valid for the lifetime of the ShadowMemory. Caches are mutable so
+     * const readers benefit from the sequential-access common case too.
+     */
+    struct Shard
+    {
+        FlatAddrMap<std::unique_ptr<Chunk>> chunks;
+        mutable std::uint64_t cachedIdx = ~0ULL;
+        mutable Chunk *cachedChunk = nullptr;
+    };
+
+    Shard &
+    shardFor(std::uint64_t chunk_idx) const
+    {
+        return shards_[chunk_idx & shardMask_];
+    }
+
     /** The mapped chunk covering @p app_addr, or nullptr. Refreshes the
-     *  last-chunk cache on a hash-table hit. */
+     *  owning shard's last-chunk cache on a hash-table hit. */
     Chunk *lookupChunk(Addr app_addr) const;
 
     /** The chunk covering @p app_addr, allocating (and caching) it. */
@@ -106,14 +152,8 @@ class ShadowMemory
     std::uint32_t bitsPerByte_;
     std::uint8_t valueMask_;
     std::uint64_t chunkMetaBytes_;
-    FlatAddrMap<std::unique_ptr<Chunk>> chunks_;
-
-    /// Last-chunk cache: chunk storage is stable (vectors never resize,
-    /// unique_ptr targets never move), so a cached pointer stays valid
-    /// for the lifetime of the ShadowMemory. Mutable so const readers
-    /// benefit from the sequential-access common case too.
-    mutable std::uint64_t cachedIdx_ = ~0ULL;
-    mutable Chunk *cachedChunk_ = nullptr;
+    std::uint64_t shardMask_;
+    mutable std::vector<Shard> shards_;
 };
 
 } // namespace paralog

@@ -1,20 +1,27 @@
 /**
  * @file
  * Tests for the `paralog` scenario-matrix CLI: flag parsing units
- * (args.cpp is linked in directly) plus end-to-end subprocess runs of
- * the built driver binary, located via the PARALOG_CLI environment
- * variable that CMake sets on this test.
+ * (args.cpp is linked in directly), in-process runMatrix() coverage of
+ * the multi-threaded scenario runner (determinism across job counts,
+ * in-order emission, failure containment — the suite ThreadSanitizer CI
+ * exercises), plus end-to-end subprocess runs of the built driver
+ * binary, located via the PARALOG_CLI environment variable that CMake
+ * sets on this test.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include <sys/wait.h>
 
 #include <gtest/gtest.h>
 
 #include "cli/args.hpp"
+#include "common/logging.hpp"
+#include "core/experiment.hpp"
 
 namespace paralog::cli {
 namespace {
@@ -166,6 +173,80 @@ TEST(CliParse, TimeslicedTsoComboRejected)
               ParseStatus::kOk);
 }
 
+TEST(CliParse, SeedListSweeps)
+{
+    ParseResult r = parse({"--seed=3,5,7"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.seeds, (std::vector<std::uint64_t>{3, 5, 7}));
+    EXPECT_TRUE(r.options.sweepColumns());
+    // First seed backs the shared ExperimentOptions.
+    EXPECT_EQ(r.options.experimentOptions().seed, 3u);
+
+    // Duplicates collapse; a scalar seed keeps the legacy schema.
+    ParseResult dup = parse({"--seed=5,5,5"});
+    ASSERT_EQ(dup.status, ParseStatus::kOk);
+    EXPECT_EQ(dup.options.seeds.size(), 1u);
+    EXPECT_FALSE(dup.options.sweepColumns());
+
+    EXPECT_EQ(parse({"--seed="}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--seed=1,x"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--seed=all"}).status, ParseStatus::kError);
+}
+
+TEST(CliParse, MatrixExecutionFlags)
+{
+    ParseResult r = parse({"--jobs=4", "--repeat=3", "--shadow-shards=8",
+                           "--max-cycles=123456"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.jobs, 4u);
+    EXPECT_EQ(r.options.repeat, 3u);
+    EXPECT_EQ(r.options.shadowShards, 8u);
+    EXPECT_EQ(r.options.maxCycles, 123456u);
+    EXPECT_TRUE(r.options.sweepColumns()); // repeat > 1
+    ExperimentOptions o = r.options.experimentOptions();
+    EXPECT_EQ(o.shadowShards, 8u);
+    EXPECT_EQ(o.maxCycles, 123456u);
+
+    EXPECT_EQ(parse({"--jobs=0"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--jobs=65"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--repeat=0"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--shadow-shards=3"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--shadow-shards=512"}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--max-cycles=0"}).status, ParseStatus::kError);
+    // 0 = auto is legal for shards.
+    EXPECT_EQ(parse({"--shadow-shards=0"}).status, ParseStatus::kOk);
+}
+
+TEST(CliParse, CsvAndJsonAreMutuallyExclusive)
+{
+    EXPECT_EQ(parse({"--json"}).status, ParseStatus::kOk);
+    ParseResult r = parse({"--csv", "--json"});
+    ASSERT_EQ(r.status, ParseStatus::kError);
+    EXPECT_NE(r.error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliParse, RunSpecsExpandScenariosSeedsRepeats)
+{
+    ParseResult r = parse({"--workload=lu,ocean", "--cores=1,2",
+                           "--seed=1,2,3", "--repeat=2"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    // 2 workloads x 2 cores = 4 scenarios, x 3 seeds x 2 repeats.
+    auto specs = r.options.runSpecs();
+    ASSERT_EQ(specs.size(), 24u);
+    // Consecutive groups of `repeat` specs share scenario and seed (the
+    // output-cell grouping contract).
+    for (std::size_t i = 0; i < specs.size(); i += 2) {
+        EXPECT_EQ(specs[i].workload, specs[i + 1].workload);
+        EXPECT_EQ(specs[i].cores, specs[i + 1].cores);
+        EXPECT_EQ(specs[i].opt.seed, specs[i + 1].opt.seed);
+    }
+    // Seeds vary fastest (per scenario), in flag order.
+    EXPECT_EQ(specs[0].opt.seed, 1u);
+    EXPECT_EQ(specs[2].opt.seed, 2u);
+    EXPECT_EQ(specs[4].opt.seed, 3u);
+    EXPECT_EQ(specs[6].opt.seed, 1u);
+}
+
 TEST(CliParse, LockSetTsoComboAccepted)
 {
     // The versioning protocol now orders read-side metadata writers,
@@ -179,18 +260,104 @@ TEST(CliParse, LockSetTsoComboAccepted)
               ParseStatus::kOk);
 }
 
+// ------------------------------------------- in-process matrix runner
+
+/** Small deterministic spec list covering distinct scenarios. */
+std::vector<RunSpec>
+smallSpecs(std::uint32_t repeat = 1)
+{
+    ParseResult r = parse({"--workload=lu,swaptions", "--cores=1,2",
+                           "--scale=600",
+                           "--repeat=" + std::to_string(repeat)});
+    EXPECT_EQ(r.status, ParseStatus::kOk);
+    return r.options.runSpecs();
+}
+
+TEST(RunMatrix, JobCountDoesNotChangeResults)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs();
+    std::vector<CellResult> seq = runMatrix(specs, 1);
+    std::vector<CellResult> par = runMatrix(specs, 4);
+    ASSERT_EQ(seq.size(), specs.size());
+    ASSERT_EQ(par.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_FALSE(seq[i].failed) << seq[i].error;
+        ASSERT_FALSE(par[i].failed) << par[i].error;
+        EXPECT_EQ(seq[i].result.totalCycles, par[i].result.totalCycles);
+        EXPECT_EQ(seq[i].result.retiredTotal(),
+                  par[i].result.retiredTotal());
+        EXPECT_EQ(seq[i].result.eventsHandledTotal(),
+                  par[i].result.eventsHandledTotal());
+        EXPECT_EQ(seq[i].result.violationCount,
+                  par[i].result.violationCount);
+    }
+}
+
+TEST(RunMatrix, EmitsCellsInSpecOrder)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs(2);
+    std::vector<std::size_t> emitted;
+    runMatrix(specs, 4, [&](std::size_t i, const CellResult &cell) {
+        EXPECT_FALSE(cell.failed);
+        emitted.push_back(i);
+    });
+    ASSERT_EQ(emitted.size(), specs.size());
+    for (std::size_t i = 0; i < emitted.size(); ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(RunMatrix, InjectedFailureIsContainedToItsCell)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs();
+    ASSERT_GE(specs.size(), 3u);
+    setenv("PARALOG_FAIL_CELL", "1", 1);
+    std::vector<CellResult> res = runMatrix(specs, 2);
+    unsetenv("PARALOG_FAIL_CELL");
+
+    ASSERT_EQ(res.size(), specs.size());
+    EXPECT_FALSE(res[0].failed);
+    ASSERT_TRUE(res[1].failed);
+    EXPECT_NE(res[1].error.find("injected failure"), std::string::npos);
+    for (std::size_t i = 2; i < res.size(); ++i)
+        EXPECT_FALSE(res[i].failed) << res[i].error;
+
+    // Panic-throw mode was restored: panics abort again by default.
+    EXPECT_FALSE(setPanicThrows(false));
+}
+
+TEST(RunMatrix, RealPanicIsContainedToItsCell)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs();
+    // Rig cell 0 to trip the simulated-time watchdog almost instantly.
+    specs[0].opt.maxCycles = 50;
+    std::vector<CellResult> res = runMatrix(specs, 2);
+    ASSERT_TRUE(res[0].failed);
+    EXPECT_NE(res[0].error.find("watchdog"), std::string::npos);
+    for (std::size_t i = 1; i < res.size(); ++i)
+        EXPECT_FALSE(res[i].failed) << res[i].error;
+    EXPECT_FALSE(setPanicThrows(false));
+}
+
 // ------------------------------------------------------- end-to-end runs
 
-/** Run the built driver; returns its exit code, fills @p output. */
+/** Run the built driver; returns its exit code, fills @p output.
+ *  @p env_prefix, when set, is prepended to the shell command
+ *  (e.g. "PARALOG_FAIL_CELL=0"). */
 int
-runCli(const std::string &flags, std::string &output)
+runCli(const std::string &flags, std::string &output,
+       const std::string &env_prefix = "")
 {
     const char *bin = std::getenv("PARALOG_CLI");
     if (!bin) {
         ADD_FAILURE() << "PARALOG_CLI not set";
         return -1;
     }
-    std::string cmd = "'" + std::string(bin) + "' " + flags + " 2>&1";
+    std::string cmd = (env_prefix.empty() ? "" : env_prefix + " ") + "'" +
+                      std::string(bin) + "' " + flags + " 2>&1";
     FILE *pipe = popen(cmd.c_str(), "r");
     if (!pipe) {
         ADD_FAILURE() << "popen failed for: " << cmd;
@@ -281,6 +448,217 @@ TEST_F(CliEndToEnd, InvalidComboExitsNonZeroWithUsage)
     int rc = runCli("--mode=timesliced --memory-model=tso", out);
     EXPECT_EQ(rc, 2) << out;
     EXPECT_NE(out.find("incompatible"), std::string::npos) << out;
+}
+
+// -------------------------------------- matrix features, end to end
+
+/** Split @p text into lines. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        lines.push_back(text.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    return lines;
+}
+
+/** The comma-separated fields of the first CSV data row whose line
+ *  starts with @p prefix. */
+std::vector<std::string>
+csvRow(const std::string &out, const std::string &prefix)
+{
+    for (const std::string &line : splitLines(out)) {
+        if (line.rfind(prefix, 0) != 0)
+            continue;
+        std::vector<std::string> fields;
+        std::size_t pos = 0;
+        while (pos <= line.size()) {
+            std::size_t comma = line.find(',', pos);
+            if (comma == std::string::npos)
+                comma = line.size();
+            fields.push_back(line.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+        return fields;
+    }
+    return {};
+}
+
+/** Value of `"name": {"min": a, "median": b, "max": c}` in @p json
+ *  (the median), or "" when absent. Also checks min == max == median:
+ *  deterministic repeats must collapse. */
+std::string
+jsonMedian(const std::string &json, const std::string &name)
+{
+    std::size_t at = json.find("\"" + name + "\": {\"min\": ");
+    if (at == std::string::npos)
+        return "";
+    std::size_t min_at = json.find("\"min\": ", at) + 7;
+    std::size_t med_at = json.find("\"median\": ", at) + 10;
+    std::size_t max_at = json.find("\"max\": ", at) + 7;
+    auto num = [&](std::size_t p) {
+        std::size_t end = json.find_first_of(",}", p);
+        return json.substr(p, end - p);
+    };
+    EXPECT_EQ(num(min_at), num(med_at)) << name;
+    EXPECT_EQ(num(max_at), num(med_at)) << name;
+    return num(med_at);
+}
+
+/** Strip host-dependent lines (wall clock, job count) so outputs of
+ *  different --jobs runs are comparable. */
+std::string
+stripHostLines(const std::string &out)
+{
+    std::string kept;
+    for (const std::string &line : splitLines(out)) {
+        if (line.find("wall_ms") != std::string::npos ||
+            line.find("\"jobs\":") != std::string::npos)
+            continue;
+        kept += line;
+        kept += '\n';
+    }
+    return kept;
+}
+
+TEST_F(CliEndToEnd, JsonRoundTripsAgainstCsv)
+{
+    const std::string flags = "--workload=lu --lifeguard=addrcheck "
+                              "--mode=parallel --cores=2 --scale=2000";
+    std::string json, csv;
+    ASSERT_EQ(runCli(flags + " --json", json), 0) << json;
+    ASSERT_EQ(runCli(flags + " --csv", csv), 0) << csv;
+
+    // Structural sanity: one cell, ok, balanced output.
+    EXPECT_NE(json.find("\"schema\": \"paralog-matrix-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"cells_failed\": 0"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+
+    // Value round-trip: every CSV stat column equals the JSON median.
+    std::vector<std::string> header = csvRow(csv, "workload,");
+    std::vector<std::string> row = csvRow(csv, "lu,addrcheck,");
+    ASSERT_EQ(header.size(), 20u) << csv;
+    ASSERT_EQ(row.size(), header.size()) << csv;
+    for (std::size_t col = 8; col < header.size(); ++col) {
+        EXPECT_EQ(jsonMedian(json, header[col]), row[col])
+            << header[col];
+    }
+}
+
+TEST_F(CliEndToEnd, SeedSweepCellsAreIndependentDeterministic)
+{
+    // swaptions consumes the seed, so cells differ across seeds — and
+    // the seed=7 cell of a sweep must be identical to a solo seed=7
+    // run (cells share nothing).
+    const std::string base = "--workload=swaptions --cores=2 "
+                             "--scale=1500 --csv";
+    std::string solo, sweep;
+    ASSERT_EQ(runCli(base + " --seed=7", solo), 0) << solo;
+    ASSERT_EQ(runCli(base + " --seed=3,7", sweep), 0) << sweep;
+
+    std::vector<std::string> solo_row = csvRow(solo, "swaptions,");
+    ASSERT_EQ(solo_row.size(), 20u) << solo;
+
+    // Sweep rows carry trailing seed,repeats columns; find seed 7.
+    std::vector<std::string> sweep_lines;
+    for (const std::string &line : splitLines(sweep)) {
+        if (line.rfind("swaptions,", 0) == 0)
+            sweep_lines.push_back(line);
+    }
+    ASSERT_EQ(sweep_lines.size(), 2u) << sweep;
+    EXPECT_NE(sweep_lines[0], sweep_lines[1]) << "seed ignored?";
+    bool found = false;
+    for (const std::string &line : sweep_lines) {
+        std::vector<std::string> f = csvRow(line + "\n", "swaptions,");
+        ASSERT_EQ(f.size(), 22u) << line;
+        if (f[20] != "7")
+            continue;
+        found = true;
+        EXPECT_EQ(f[21], "1"); // one repeat
+        for (std::size_t col = 0; col < 20; ++col)
+            EXPECT_EQ(f[col], solo_row[col]) << "col " << col;
+    }
+    EXPECT_TRUE(found) << sweep;
+}
+
+TEST_F(CliEndToEnd, RepeatAggregationIsJobCountInvariant)
+{
+    const std::string flags = "--workload=lu,swaptions --cores=1,2 "
+                              "--scale=1000 --seed=1,2 --repeat=3 "
+                              "--json";
+    std::string seq, par;
+    ASSERT_EQ(runCli(flags + " --jobs=1", seq), 0) << seq;
+    ASSERT_EQ(runCli(flags + " --jobs=4", par), 0) << par;
+    EXPECT_EQ(stripHostLines(seq), stripHostLines(par));
+    EXPECT_NE(seq.find("\"repeats\": 3"), std::string::npos);
+}
+
+TEST_F(CliEndToEnd, FailedCellIsMarkedAndExitCodeNonzero)
+{
+    // Injected failure in cell 0 of a 2-cell matrix: the failed cell
+    // is marked, the healthy cell still reports, and the driver exits
+    // 1 (regression: it used to exit 0 no matter what).
+    const std::string flags = "--workload=lu --mode=none,parallel "
+                              "--cores=1 --scale=1000";
+    std::string csv;
+    EXPECT_EQ(runCli(flags + " --csv", csv, "PARALOG_FAIL_CELL=0"), 1)
+        << csv;
+    EXPECT_NE(csv.find("\"failed: injected failure"), std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find("lu,taintcheck,parallel,1,"), std::string::npos)
+        << csv;
+
+    std::string text;
+    EXPECT_EQ(runCli(flags, text, "PARALOG_FAIL_CELL=0"), 1) << text;
+    EXPECT_NE(text.find("FAILED: injected failure"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("total cycles"), std::string::npos)
+        << "healthy cell missing: " << text;
+
+    std::string json;
+    EXPECT_EQ(runCli(flags + " --json", json, "PARALOG_FAIL_CELL=1"), 1)
+        << json;
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cells_failed\": 1"), std::string::npos)
+        << json;
+}
+
+TEST_F(CliEndToEnd, RealPanicMidMatrixExitsNonzero)
+{
+    // A genuine simulator panic (simulated-time watchdog) — not just
+    // the injection hook — must also be contained and propagated.
+    std::string out;
+    int rc = runCli("--workload=lu --cores=2 --scale=50000 "
+                    "--max-cycles=5000",
+                    out);
+    EXPECT_EQ(rc, 1) << out;
+    EXPECT_NE(out.find("FAILED: simulation watchdog"), std::string::npos)
+        << out;
+}
+
+TEST_F(CliEndToEnd, ShadowShardsAreResultInvariant)
+{
+    // The sharded chunk table is invisible to simulated results: CSV
+    // output is bit-identical for any shard count.
+    const std::string flags = "--workload=lu --lifeguard=memcheck "
+                              "--cores=2 --scale=2000 --csv";
+    std::string one, eight;
+    ASSERT_EQ(runCli(flags + " --shadow-shards=1", one), 0) << one;
+    ASSERT_EQ(runCli(flags + " --shadow-shards=8", eight), 0) << eight;
+    EXPECT_EQ(one, eight);
 }
 
 } // namespace

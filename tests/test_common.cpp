@@ -157,6 +157,72 @@ TEST(Stats, HistogramBuckets)
     EXPECT_DOUBLE_EQ(h.mean(), 1101.0 / 4.0);
 }
 
+TEST(SampleSummary, MinMedianMax)
+{
+    SampleSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.median(), 0u);
+    EXPECT_EQ(s.max(), 0u);
+    EXPECT_TRUE(s.allEqual());
+
+    s.add(30);
+    s.add(10);
+    s.add(20);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.min(), 10u);
+    EXPECT_EQ(s.median(), 20u);
+    EXPECT_EQ(s.max(), 30u);
+    EXPECT_FALSE(s.allEqual());
+
+    // Even count: the lower middle, exact and integer-valued.
+    s.add(40);
+    EXPECT_EQ(s.median(), 20u);
+}
+
+TEST(SampleSummary, OrderInvariant)
+{
+    // The --repeat aggregation contract: any completion order of the
+    // same samples yields the same summary.
+    const std::uint64_t vals[] = {7, 3, 3, 9, 5};
+    std::uint64_t perm_min = 0, perm_med = 0, perm_max = 0;
+    for (int rot = 0; rot < 5; ++rot) {
+        SampleSummary s;
+        for (int i = 0; i < 5; ++i)
+            s.add(vals[(i + rot) % 5]);
+        if (rot == 0) {
+            perm_min = s.min();
+            perm_med = s.median();
+            perm_max = s.max();
+        }
+        EXPECT_EQ(s.min(), perm_min);
+        EXPECT_EQ(s.median(), perm_med);
+        EXPECT_EQ(s.max(), perm_max);
+    }
+    EXPECT_EQ(perm_min, 3u);
+    EXPECT_EQ(perm_med, 5u);
+    EXPECT_EQ(perm_max, 9u);
+}
+
+TEST(SampleSummary, AllEqualAndInterleavedReads)
+{
+    SampleSummary s;
+    s.add(4);
+    EXPECT_EQ(s.median(), 4u); // read ...
+    s.add(4);                  // ... then mutate again
+    s.add(4);
+    EXPECT_TRUE(s.allEqual());
+    EXPECT_EQ(s.min(), 4u);
+    EXPECT_EQ(s.max(), 4u);
+
+    WallClockSummary w;
+    w.add(2.5);
+    w.add(1.5);
+    EXPECT_DOUBLE_EQ(w.min(), 1.5);
+    EXPECT_DOUBLE_EQ(w.median(), 1.5);
+    EXPECT_DOUBLE_EQ(w.max(), 2.5);
+}
+
 TEST(AddrRange, Basics)
 {
     AddrRange r{100, 200};

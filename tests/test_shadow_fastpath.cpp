@@ -4,15 +4,19 @@
  * paths: every operation is checked against a naive per-byte reference
  * model (the semantics of the original implementation) across all four
  * metadata ratios, unaligned ranges, chunk-boundary crossings and the
- * zero-write elision.
+ * zero-write elision — and, for the sharded chunk table, against the
+ * legacy single-shard layout (which must stay bit-identical for every
+ * shard count, all the way up to whole-run lifeguard fingerprints).
  */
 
 #include <map>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "harness/paralog_test.hpp"
 #include "lifeguard/shadow_memory.hpp"
 
 namespace paralog {
@@ -223,6 +227,167 @@ TEST_P(ShadowFastPath, OutOfMaskComparisonNeverMatches)
 
 INSTANTIATE_TEST_SUITE_P(Ratios, ShadowFastPath,
                          ::testing::Values(1u, 2u, 4u, 8u));
+
+// ------------------------------------------------ sharded chunk table
+
+/** (bits per byte, shard count). */
+class ShadowSharding
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(ShadowSharding, DifferentialAgainstLegacyAndReference)
+{
+    const auto [bpb, shards] = GetParam();
+    ShadowMemory sharded(bpb, shards);
+    ShadowMemory legacy(bpb, 1); // the unsharded layout
+    RefShadow ref(bpb);
+    Rng rng(0xBEEF00 ^ (bpb << 8) ^ shards);
+
+    EXPECT_EQ(sharded.shardCount(), shards);
+    EXPECT_EQ(legacy.shardCount(), 1u);
+
+    for (int i = 0; i < 12000; ++i) {
+        Addr a = pickAddr(rng);
+        switch (rng.below(6)) {
+          case 1: {
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(256));
+            sharded.write(a, v);
+            legacy.write(a, v);
+            ref.write(a, v);
+            break;
+          }
+          case 2: {
+            unsigned n = static_cast<unsigned>(rng.range(1, 8));
+            std::uint64_t bits = rng.next();
+            sharded.writePacked(a, n, bits);
+            legacy.writePacked(a, n, bits);
+            ref.writePacked(a, n, bits);
+            break;
+          }
+          case 3: {
+            std::uint64_t len = rng.range(0, 300);
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(4));
+            sharded.fill(AddrRange{a, a + len}, v);
+            legacy.fill(AddrRange{a, a + len}, v);
+            ref.fill(AddrRange{a, a + len}, v);
+            break;
+          }
+          case 4: {
+            unsigned n = static_cast<unsigned>(rng.range(1, 8));
+            std::uint64_t want = ref.readPacked(a, n);
+            ASSERT_EQ(sharded.readPacked(a, n), want)
+                << "sharded readPacked @" << a << " n=" << n;
+            ASSERT_EQ(legacy.readPacked(a, n), want);
+            break;
+          }
+          case 5: {
+            std::uint64_t len = rng.range(0, 300);
+            std::uint8_t v = static_cast<std::uint8_t>(rng.below(4));
+            AddrRange r{a, a + len};
+            Addr want = ref.rangeFindNot(r, v);
+            ASSERT_EQ(sharded.rangeFindNot(r, v), want)
+                << "sharded rangeFindNot @" << a << " len=" << len;
+            ASSERT_EQ(legacy.rangeFindNot(r, v), want);
+            ASSERT_EQ(sharded.rangeAll(r, v), want == kInvalidAddr);
+            break;
+          }
+          default:
+            ASSERT_EQ(sharded.read(a), ref.read(a))
+                << "sharded read @" << a;
+            ASSERT_EQ(legacy.read(a), sharded.read(a));
+            break;
+        }
+    }
+
+    // The sharded layout allocates the same chunks (just distributed
+    // over shard maps) and must fingerprint identically to the legacy
+    // layout over the whole exercised window.
+    EXPECT_EQ(sharded.chunkCount(), legacy.chunkCount());
+    EXPECT_EQ(sharded.bytesAllocated(), legacy.bytesAllocated());
+    constexpr Addr kChunk = ShadowMemory::kChunkAppBytes;
+    EXPECT_EQ(test::shadowFingerprint(sharded, 0, 1024),
+              test::shadowFingerprint(legacy, 0, 1024));
+    EXPECT_EQ(test::shadowFingerprint(sharded, kChunk - 256, 512),
+              test::shadowFingerprint(legacy, kChunk - 256, 512));
+    EXPECT_EQ(test::shadowFingerprint(sharded, 3 * kChunk - 256, 512),
+              test::shadowFingerprint(legacy, 3 * kChunk - 256, 512));
+}
+
+TEST_P(ShadowSharding, ZeroWriteElisionPerShard)
+{
+    const auto [bpb, shards] = GetParam();
+    ShadowMemory s(bpb, shards);
+    constexpr Addr kChunk = ShadowMemory::kChunkAppBytes;
+
+    // Zero traffic over many chunks (landing in every shard) allocates
+    // nothing, regardless of shard count.
+    s.fill(AddrRange{0, 16 * kChunk}, 0);
+    for (unsigned c = 0; c < 16; ++c)
+        s.write(c * kChunk + 5, 0);
+    EXPECT_EQ(s.chunkCount(), 0u);
+    EXPECT_EQ(s.bytesAllocated(), 0u);
+
+    // One non-zero write per chunk allocates exactly one chunk each,
+    // and the totals aggregate correctly across shard maps.
+    for (unsigned c = 0; c < 16; ++c)
+        s.write(c * kChunk + 5, 1);
+    EXPECT_EQ(s.chunkCount(), 16u);
+    EXPECT_EQ(s.bytesAllocated(), 16u * kChunk * bpb / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosTimesShards, ShadowSharding,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+// ----------------------------- whole-run fingerprints, all lifeguards
+
+/**
+ * The end-to-end guarantee the tentpole rides on: a full platform run
+ * reaches bit-identical analysis conclusions (shadow fingerprints) for
+ * every shard count, for all four lifeguards.
+ */
+class ShardedLifeguardRuns
+    : public test::QuietTestWithParam<LifeguardKind>
+{
+};
+
+TEST_P(ShardedLifeguardRuns, FingerprintIdenticalAcrossShardCounts)
+{
+    const LifeguardKind lg = GetParam();
+    std::uint64_t baseline_fp = 0;
+    std::uint64_t baseline_cycles = 0;
+    for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+        ExperimentOptions opt = opts(1200);
+        opt.shadowShards = shards;
+        PlatformConfig cfg = makeConfig(WorkloadKind::kLu, lg,
+                                        MonitorMode::kParallel, 2, opt);
+        Platform p(cfg);
+        RunResult r = p.run();
+        ASSERT_EQ(p.lifeguard().shadow().shardCount(), shards);
+        std::uint64_t fp =
+            test::shadowFingerprint(p.lifeguard().shadow(),
+                                    AddressLayout::kHeapBase, 1 << 20) ^
+            test::shadowFingerprint(p.lifeguard().shadow(),
+                                    AddressLayout::kGlobalBase, 1 << 16);
+        if (shards == 1) {
+            baseline_fp = fp;
+            baseline_cycles = r.totalCycles;
+        } else {
+            EXPECT_EQ(fp, baseline_fp) << "shards=" << shards;
+            EXPECT_EQ(r.totalCycles, baseline_cycles)
+                << "shards=" << shards;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLifeguards, ShardedLifeguardRuns,
+                         ::testing::Values(LifeguardKind::kAddrCheck,
+                                           LifeguardKind::kTaintCheck,
+                                           LifeguardKind::kMemCheck,
+                                           LifeguardKind::kLockSet));
 
 } // namespace
 } // namespace paralog

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Microbenchmark of the trace subsystem hot paths: StreamCompressor
+ * encode (model-only vs byte-emitting), RecordDecoder decode, full
+ * record→file and file→replay round trips. Reports encode/decode
+ * throughput in records/s and MB/s of payload, plus end-to-end replay
+ * records/s (the lifeguard hot path with no application simulation —
+ * the number the record-once/replay-many workflow buys).
+ *
+ * Scale with PARALOG_SCALE (records in the codec loops; default
+ * 2000000), or pass --smoke for the seconds-long CTest tier2 run.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "core/replay.hpp"
+#include "trace/codec.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace {
+
+using namespace paralog;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t gSink = 0;
+
+double
+perSecond(Clock::time_point t0, Clock::time_point t1, std::uint64_t ops)
+{
+    std::chrono::duration<double> d = t1 - t0;
+    return d.count() > 0 ? static_cast<double>(ops) / d.count() : 0.0;
+}
+
+/** A realistic mixed stream: strided loads/stores, register ops, the
+ *  occasional lock and malloc. */
+std::vector<EventRecord>
+makeStream(std::uint64_t n)
+{
+    std::vector<EventRecord> stream;
+    stream.reserve(n);
+    Rng rng(7);
+    RecordId rid = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        EventRecord r;
+        r.rid = rid++;
+        switch (i % 8) {
+          case 0:
+          case 1:
+          case 2:
+            r.type = EventType::kLoad;
+            r.addr = 0x0400'0000 + 8 * (i % 4096);
+            r.size = 8;
+            break;
+          case 3:
+          case 4:
+            r.type = EventType::kStore;
+            r.addr = 0x0410'0000 + 8 * (i % 4096);
+            r.size = 8;
+            break;
+          case 5:
+            r.type = EventType::kAlu;
+            break;
+          case 6:
+            r.type = EventType::kLoad;
+            r.addr = rng.next() & 0xFFFFF8; // predictor miss
+            r.size = 4;
+            if ((i & 31) == 0)
+                r.arcs.push_back(DepArc{1, i});
+            break;
+          default:
+            r.type = EventType::kMovRR;
+            break;
+        }
+        stream.push_back(std::move(r));
+    }
+    return stream;
+}
+
+void
+benchCodec(std::uint64_t records)
+{
+    std::vector<EventRecord> stream = makeStream(records);
+
+    // Size model only (the live non-recording capture path).
+    {
+        StreamCompressor c;
+        auto t0 = Clock::now();
+        for (const EventRecord &r : stream)
+            gSink += c.encode(r);
+        auto t1 = Clock::now();
+        std::printf("model-only encode:  %8.2f Mrec/s\n",
+                    perSecond(t0, t1, records) / 1e6);
+    }
+
+    // Byte-emitting encode + sideband (the recording path).
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(records * 4);
+    std::vector<std::uint32_t> sizes;
+    sizes.reserve(records);
+    {
+        StreamCompressor c;
+        RecordId last_rid = 0;
+        auto t0 = Clock::now();
+        for (const EventRecord &r : stream) {
+            trace::encodeSideband(r, last_rid, bytes);
+            sizes.push_back(c.encode(r, &bytes));
+        }
+        auto t1 = Clock::now();
+        double mb = static_cast<double>(bytes.size()) / 1e6;
+        std::printf("encode (bytes):     %8.2f Mrec/s  %8.2f MB/s "
+                    "(%.2f B/rec)\n",
+                    perSecond(t0, t1, records) / 1e6,
+                    perSecond(t0, t1, bytes.size()) / 1e6,
+                    mb * 1e6 / static_cast<double>(records));
+    }
+
+    // Decode back.
+    {
+        trace::RecordDecoder dec;
+        ByteCursor cur(bytes.data(), bytes.size());
+        EventRecord r;
+        auto t0 = Clock::now();
+        for (std::uint32_t payload : sizes) {
+            if (!dec.decode(cur, payload, r)) {
+                std::fprintf(stderr, "decode failed\n");
+                std::exit(1);
+            }
+            gSink += r.addr;
+        }
+        auto t1 = Clock::now();
+        std::printf("decode:             %8.2f Mrec/s  %8.2f MB/s\n",
+                    perSecond(t0, t1, records) / 1e6,
+                    perSecond(t0, t1, bytes.size()) / 1e6);
+    }
+}
+
+void
+benchReplay(std::uint64_t scale)
+{
+    std::string path = "/tmp/paralog_micro_trace.trace";
+    RunSpec spec;
+    spec.workload = WorkloadKind::kLu;
+    spec.lifeguard = LifeguardKind::kTaintCheck;
+    spec.mode = MonitorMode::kParallel;
+    spec.cores = 4;
+    spec.opt.scale = scale;
+    spec.recordPath = path;
+
+    auto t0 = Clock::now();
+    RunResult live = recordExperiment(spec);
+    auto t1 = Clock::now();
+
+    std::uint64_t records = 0;
+    for (const auto &l : live.lifeguard)
+        records += l.recordsProcessed;
+
+    ReplayConfig rcfg;
+    rcfg.path = path;
+    auto t2 = Clock::now();
+    ReplayPlatform rp(std::move(rcfg));
+    RunResult replayed = rp.run();
+    auto t3 = Clock::now();
+    gSink += replayed.totalCycles;
+
+    trace::TraceReader reader(path);
+    std::printf("record (live run):  %8.2f Mrec/s  (%llu records, "
+                "%llu journal ops)\n",
+                perSecond(t0, t1, records) / 1e6,
+                static_cast<unsigned long long>(records),
+                static_cast<unsigned long long>(reader.totalOps()));
+    std::printf("replay:             %8.2f Mrec/s  (bit-identical "
+                "self-check passed)\n",
+                perSecond(t2, t3, records) / 1e6);
+    std::remove(path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    std::uint64_t records =
+        ExperimentOptions::envScale(smoke ? 200'000 : 2'000'000);
+    std::uint64_t scale = smoke ? 2'000 : 20'000;
+
+    setQuiet(true);
+    std::printf("=== micro_trace: codec (%llu records) ===\n",
+                static_cast<unsigned long long>(records));
+    benchCodec(records);
+    std::printf("=== micro_trace: record/replay (lu, taintcheck, "
+                "4 cores, scale %llu) ===\n",
+                static_cast<unsigned long long>(scale));
+    benchReplay(scale);
+    if (gSink == 42)
+        std::printf("\n"); // defeat dead-code elimination
+    return 0;
+}

@@ -68,9 +68,16 @@ CaptureUnit::append(const AppEvent &ev)
     recordsCtr_.inc();
     if (!rec.arcs.empty())
         recordsWithArcsCtr_.inc();
-    std::uint32_t bytes = compressor_.encode(rec);
+    std::vector<std::uint8_t> *payload = nullptr;
+    if (journal_) {
+        codecScratch_.clear();
+        payload = &codecScratch_;
+    }
+    std::uint32_t bytes = compressor_.encode(rec, payload);
     if (trace_)
         trace_->append(rec);
+    if (journal_)
+        journal_->onAppend(tid_, rec, bytes, codecScratch_);
     buf_.append(std::move(rec), bytes);
     return true;
 }
@@ -85,9 +92,16 @@ CaptureUnit::appendCa(EventRecord rec)
     // semantics only require monotonicity).
     rec.rid = retired_;
     stats.counter("ca_records").inc();
-    std::uint32_t bytes = compressor_.encode(rec);
+    std::vector<std::uint8_t> *payload = nullptr;
+    if (journal_) {
+        codecScratch_.clear();
+        payload = &codecScratch_;
+    }
+    std::uint32_t bytes = compressor_.encode(rec, payload);
     if (trace_)
         trace_->append(rec);
+    if (journal_)
+        journal_->onAppendCa(tid_, rec, bytes, codecScratch_);
     buf_.append(std::move(rec), bytes);
 }
 
@@ -102,6 +116,8 @@ CaptureUnit::attachArcs(RecordId rid, const std::vector<RawArc> &arcs)
     }
     if (kept.empty())
         return;
+    if (journal_)
+        journal_->onAttachArcs(tid_, rid, kept);
     if (!rec) {
         // The store's record was filtered out at capture; carry the arcs
         // to the next captured record.
@@ -116,6 +132,10 @@ CaptureUnit::attachArcs(RecordId rid, const std::vector<RawArc> &arcs)
 bool
 CaptureUnit::annotateConsume(RecordId rid, const VersionTag &v)
 {
+    // Journal the attempt, not the outcome: replay re-runs the same
+    // duplicate/already-consumed checks against identical buffer state.
+    if (journal_)
+        journal_->onAnnotateConsume(tid_, rid, v);
     EventRecord *rec = buf_.findByRidPreferMemAccess(rid);
     if (!rec)
         return false; // already consumed: reader saw pre-write metadata
@@ -136,6 +156,8 @@ void
 CaptureUnit::insertProduceBefore(RecordId store_rid, const VersionTag &v,
                                  Addr addr, std::uint8_t size)
 {
+    if (journal_)
+        journal_->onInsertProduce(tid_, store_rid, v, addr, size);
     EventRecord rec;
     rec.type = EventType::kProduceVersion;
     rec.tid = tid_;

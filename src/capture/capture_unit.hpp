@@ -14,6 +14,7 @@
 
 #include "app/event.hpp"
 #include "capture/compressor.hpp"
+#include "capture/journal.hpp"
 #include "capture/log_buffer.hpp"
 #include "capture/reduction.hpp"
 #include "capture/trace.hpp"
@@ -80,11 +81,23 @@ class CaptureUnit
 
     /** TSO visibility: records with rid >= limit are hidden from the
      *  consumer. kInvalidRecord = everything visible. */
-    void setVisibilityLimit(RecordId limit) { visLimit_ = limit; }
+    void
+    setVisibilityLimit(RecordId limit)
+    {
+        visLimit_ = limit;
+        if (journal_)
+            journal_->onVisibilityLimit(tid_, limit);
+    }
     RecordId visibilityLimit() const { return visLimit_; }
 
     /** Producer-side retire counter mirror (count of retired micro-ops). */
-    void setRetired(RecordId retired) { retired_ = retired; }
+    void
+    setRetired(RecordId retired)
+    {
+        retired_ = retired;
+        if (journal_)
+            journal_->onRetire(tid_, retired);
+    }
     RecordId retired() const { return retired_; }
 
     // ---- consumer interface (order-enforcing component reads these) ----
@@ -109,6 +122,43 @@ class CaptureUnit
     /** Tee every captured record into @p sink (offline validation). */
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
 
+    /** Journal every producer-side stream mutation (record/replay). */
+    void setJournal(CaptureJournal *journal) { journal_ = journal; }
+
+    // ---- replay interface (core/replay.cpp applies journal ops) ----
+
+    /** Re-apply a journalled append: the record is final as of append
+     *  time (filter and arc reduction already ran when it was
+     *  recorded), so it goes straight into the log buffer. Counter
+     *  bookkeeping mirrors the live append paths (@p is_ca selects the
+     *  appendCa accounting). */
+    void
+    replayAppend(EventRecord rec, std::uint32_t charged_bytes,
+                 bool is_ca = false)
+    {
+        if (is_ca) {
+            stats.counter("ca_records").inc();
+        } else {
+            recordsCtr_.inc();
+            if (!rec.arcs.empty())
+                recordsWithArcsCtr_.inc();
+        }
+        buf_.append(std::move(rec), charged_bytes);
+    }
+
+    /** Re-apply journalled drain-time arcs. When the record was
+     *  filtered out at capture, the arcs were carried into the next
+     *  captured record — whose journalled append already contains them
+     *  — so a missing record means nothing to do here. */
+    void
+    replayAttachArcs(RecordId rid, const std::vector<DepArc> &kept)
+    {
+        if (EventRecord *rec = buf_.findByRid(rid)) {
+            for (const DepArc &a : kept)
+                rec->arcs.push_back(a);
+        }
+    }
+
     StatSet stats{"capture"};
 
   private:
@@ -118,6 +168,8 @@ class CaptureUnit
     ArcReducer reducer_;
     StreamCompressor compressor_;
     TraceSink *trace_ = nullptr;
+    CaptureJournal *journal_ = nullptr;
+    std::vector<std::uint8_t> codecScratch_; ///< journalled codec bytes
     RecordId retired_ = 0;
     RecordId visLimit_ = kInvalidRecord;
     /// Arcs that survived reduction but whose record was filtered out;

@@ -1,59 +1,81 @@
 #include "capture/compressor.hpp"
 
+#include "common/varint.hpp"
+
 namespace paralog {
 
-std::uint32_t
-StreamCompressor::varintBytes(std::uint64_t v)
+static_assert(static_cast<unsigned>(EventType::kProduceVersion) <= 0x1F,
+              "EventType no longer fits the codec's 5-bit type field");
+
+PredClass
+predClassOf(EventType type)
 {
-    std::uint32_t n = 1;
-    while (v >= 0x80) {
-        v >>= 7;
-        ++n;
+    switch (type) {
+      case EventType::kLoad:
+        return PredClass::kLoad;
+      case EventType::kStore:
+        return PredClass::kStore;
+      case EventType::kLockAcquire:
+      case EventType::kLockRelease:
+      case EventType::kBarrierPass:
+      case EventType::kMallocEnd:
+      case EventType::kFreeBegin:
+      case EventType::kSyscallBegin:
+      case EventType::kSyscallEnd:
+      case EventType::kCaBegin:
+      case EventType::kCaEnd:
+      case EventType::kProduceVersion:
+        return PredClass::kOther;
+      default:
+        return PredClass::kNone;
     }
-    return n;
 }
 
 std::uint32_t
-StreamCompressor::addressBytes(Predictor &p, Addr addr)
+StreamCompressor::addressBytes(StridePredictor &p, Addr addr,
+                               std::vector<std::uint8_t> *out, bool &hit)
 {
     std::uint32_t cost;
-    if (p.valid && addr == p.lastAddr + p.lastStride) {
+    if (p.hit(addr)) {
         // Stride hit: the address is implied; the 4-bit type code and
         // the hit flag fit in the common single byte.
         cost = 0;
+        hit = true;
     } else if (p.valid) {
-        std::int64_t delta =
-            static_cast<std::int64_t>(addr) -
-            static_cast<std::int64_t>(p.lastAddr);
         std::uint64_t zigzag =
-            (static_cast<std::uint64_t>(delta) << 1) ^
-            static_cast<std::uint64_t>(delta >> 63);
-        cost = varintBytes(zigzag);
+            zigzagEncode(static_cast<std::int64_t>(addr) -
+                         static_cast<std::int64_t>(p.lastAddr));
+        cost = out ? putVarint(*out, zigzag) : varintSize(zigzag);
     } else {
-        cost = varintBytes(addr);
+        cost = out ? putVarint(*out, addr) : varintSize(addr);
     }
-    if (p.valid)
-        p.lastStride = static_cast<std::int64_t>(addr) -
-                       static_cast<std::int64_t>(p.lastAddr);
-    p.lastAddr = addr;
-    p.valid = true;
+    p.advance(addr);
     return cost;
 }
 
 std::uint32_t
-StreamCompressor::encode(const EventRecord &rec)
+StreamCompressor::encode(const EventRecord &rec,
+                         std::vector<std::uint8_t> *out)
 {
     // Every record carries a 1-byte header (4-bit type, register ids /
     // flags packed in the rest). Register-only records need nothing
-    // more.
+    // more. The emitted header holds the type and the predictor-hit
+    // flag; it is written last (the hit outcome is only known after the
+    // address is encoded) into a slot reserved here.
     std::uint32_t bytes = 1;
+    std::size_t header_at = 0;
+    if (out) {
+        header_at = out->size();
+        out->push_back(0);
+    }
+    bool hit = false;
 
     switch (rec.type) {
       case EventType::kLoad:
-        bytes += addressBytes(pred_[0], rec.addr);
+        bytes += addressBytes(pred_[0], rec.addr, out, hit);
         break;
       case EventType::kStore:
-        bytes += addressBytes(pred_[1], rec.addr);
+        bytes += addressBytes(pred_[1], rec.addr, out, hit);
         break;
       case EventType::kMovRR:
       case EventType::kMovImm:
@@ -63,7 +85,7 @@ StreamCompressor::encode(const EventRecord &rec)
       case EventType::kLockAcquire:
       case EventType::kLockRelease:
       case EventType::kBarrierPass:
-        bytes += addressBytes(pred_[2], rec.addr);
+        bytes += addressBytes(pred_[2], rec.addr, out, hit);
         break;
       case EventType::kMallocEnd:
       case EventType::kFreeBegin:
@@ -72,11 +94,15 @@ StreamCompressor::encode(const EventRecord &rec)
       case EventType::kCaBegin:
       case EventType::kCaEnd:
         // Range begin + length, uncompressed-ish.
-        bytes += addressBytes(pred_[2], rec.range.begin);
-        bytes += varintBytes(rec.range.size());
+        bytes += addressBytes(pred_[2], rec.range.begin, out, hit);
+        bytes += out ? putVarint(*out, rec.range.size())
+                     : varintSize(rec.range.size());
         break;
       case EventType::kProduceVersion:
-        bytes += addressBytes(pred_[2], rec.addr) + 4;
+        bytes += addressBytes(pred_[2], rec.addr, out, hit) + 4;
+        if (out)
+            putFixed32(*out,
+                       static_cast<std::uint32_t>(rec.version.rid));
         break;
       case EventType::kThreadDone:
       case EventType::kThreadSwitch:
@@ -85,10 +111,23 @@ StreamCompressor::encode(const EventRecord &rec)
     }
 
     // Dependence arcs: (thread id, record id delta) per arc.
-    for (const DepArc &arc : rec.arcs)
-        bytes += 1 + varintBytes(arc.rid);
-    if (rec.consumesVersion || rec.version.valid())
+    for (const DepArc &arc : rec.arcs) {
+        bytes += 1;
+        if (out)
+            out->push_back(static_cast<std::uint8_t>(arc.tid));
+        bytes += out ? putVarint(*out, arc.rid) : varintSize(arc.rid);
+    }
+    if (rec.consumesVersion || rec.version.valid()) {
         bytes += 4;
+        if (out)
+            putFixed32(*out, static_cast<std::uint32_t>(rec.version.rid));
+    }
+
+    if (out)
+        (*out)[header_at] =
+            static_cast<std::uint8_t>(
+                static_cast<unsigned>(rec.type) & kCodecTypeMask) |
+            (hit ? kCodecHitBit : 0);
 
     bytes_ += bytes;
     ++records_;
@@ -98,7 +137,7 @@ StreamCompressor::encode(const EventRecord &rec)
 void
 StreamCompressor::reset()
 {
-    pred_.fill(Predictor{});
+    pred_.fill(StridePredictor{});
     bytes_ = 0;
     records_ = 0;
 }

@@ -1,16 +1,22 @@
 /**
  * @file
- * Stream compressor model. The LBA work reports that value/delta
- * prediction compresses event records to under a byte on average
- * (section 2: "Compression techniques can successfully reduce the
- * average size of an event record to less than 1 byte"). This model
- * reproduces that behaviour structurally: per-record-type last-address
- * registers predict the next address (stride prediction); a hit costs a
- * 4-bit type code, a miss pays a varint-coded delta. Dependence arcs
- * and high-level payloads are appended uncompressed.
+ * Stream compressor. The LBA work reports that value/delta prediction
+ * compresses event records to under a byte on average (section 2:
+ * "Compression techniques can successfully reduce the average size of
+ * an event record to less than 1 byte"). This reproduces that behaviour
+ * structurally: per-record-type last-address registers predict the next
+ * address (stride prediction); a hit costs a 4-bit type code, a miss
+ * pays a varint-coded delta. Dependence arcs and high-level payloads
+ * are appended uncompressed.
  *
  * The compressor is per-thread state in the capture unit; its output
  * size drives the 64 KB log buffer occupancy.
+ *
+ * encode() is both the size model and a real encoder: pass a byte sink
+ * and the compressed payload is emitted as actual bytes, exactly as
+ * many as the returned (modeled) size — one code path computes both, so
+ * the stats/bench baselines and the on-disk `paralog-trace-v1` payloads
+ * cannot drift apart. trace/codec.hpp holds the matching decoder.
  */
 
 #ifndef PARALOG_CAPTURE_COMPRESSOR_HPP
@@ -18,21 +24,65 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "app/event.hpp"
 #include "common/stats.hpp"
 
 namespace paralog {
 
+/**
+ * One last-address register with stride prediction. Shared between the
+ * encoder (StreamCompressor) and the trace decoder, which must advance
+ * an identical predictor to reconstruct hit addresses.
+ */
+struct StridePredictor
+{
+    Addr lastAddr = 0;
+    std::int64_t lastStride = 0;
+    bool valid = false;
+
+    bool
+    hit(Addr addr) const
+    {
+        return valid && addr == lastAddr + lastStride;
+    }
+
+    void
+    advance(Addr addr)
+    {
+        if (valid)
+            lastStride = static_cast<std::int64_t>(addr) -
+                         static_cast<std::int64_t>(lastAddr);
+        lastAddr = addr;
+        valid = true;
+    }
+};
+
+/** Which of the three predictors a record class uses (kPredNone for
+ *  header-only records). Shared with the trace decoder. */
+enum class PredClass : std::uint8_t
+{
+    kLoad = 0,
+    kStore = 1,
+    kOther = 2, ///< locks / barriers / high-level ranges
+    kNone,
+};
+
+PredClass predClassOf(EventType type);
+
 class StreamCompressor
 {
   public:
     /**
-     * Model the compressed size of @p rec, updating predictor state.
-     * Deterministic: identical record sequences produce identical
-     * sizes.
+     * Compress @p rec, updating predictor state, and return its size in
+     * bytes. With @p out set, the compressed payload is appended to it:
+     * exactly the returned number of bytes (layout documented in
+     * trace/codec.hpp). Deterministic: identical record sequences
+     * produce identical sizes and bytes.
      */
-    std::uint32_t encode(const EventRecord &rec);
+    std::uint32_t encode(const EventRecord &rec,
+                         std::vector<std::uint8_t> *out = nullptr);
 
     /** Average compressed record size so far (bytes). */
     double
@@ -49,22 +99,21 @@ class StreamCompressor
     void reset();
 
   private:
-    struct Predictor
-    {
-        Addr lastAddr = 0;
-        std::int64_t lastStride = 0;
-        bool valid = false;
-    };
-
-    static std::uint32_t varintBytes(std::uint64_t v);
-    std::uint32_t addressBytes(Predictor &p, Addr addr);
+    std::uint32_t addressBytes(StridePredictor &p, Addr addr,
+                               std::vector<std::uint8_t> *out, bool &hit);
 
     // One address predictor per memory-referencing record class:
     // loads, stores, and "other" (locks/barriers/high-level).
-    std::array<Predictor, 3> pred_{};
+    std::array<StridePredictor, 3> pred_{};
     std::uint64_t bytes_ = 0;
     std::uint64_t records_ = 0;
 };
+
+// Payload header byte layout (see trace/codec.hpp for the decoder):
+// bits [0..4] = EventType, bit 5 = address predictor hit, bits 6-7
+// reserved. EventType must keep fitting those five bits.
+inline constexpr std::uint8_t kCodecTypeMask = 0x1F;
+inline constexpr std::uint8_t kCodecHitBit = 0x20;
 
 } // namespace paralog
 

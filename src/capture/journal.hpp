@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Capture-side journal interface: every producer-side mutation of a
+ * thread's event stream, in execution order. Implemented by the trace
+ * recorder (trace/recorder.hpp) to persist a run for offline replay;
+ * the capture unit invokes it with the *post-reduction* data it is
+ * about to apply, so a journal consumer can reconstruct the stream
+ * without re-running the arc reducer or the event filter.
+ */
+
+#ifndef PARALOG_CAPTURE_JOURNAL_HPP
+#define PARALOG_CAPTURE_JOURNAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "app/event.hpp"
+
+namespace paralog {
+
+class CaptureJournal
+{
+  public:
+    virtual ~CaptureJournal() = default;
+
+    /** Retire-counter tick (every retired micro-op, filtered or not). */
+    virtual void onRetire(ThreadId tid, RecordId retired) = 0;
+
+    /** A record entered the stream. @p rec is final as of append time
+     *  (arcs merged); @p charged_bytes its modeled compressed size and
+     *  @p payload the matching codec bytes. */
+    virtual void onAppend(ThreadId tid, const EventRecord &rec,
+                          std::uint32_t charged_bytes,
+                          const std::vector<std::uint8_t> &payload) = 0;
+
+    /** A broadcast ConflictAlert record was inserted. */
+    virtual void onAppendCa(ThreadId tid, const EventRecord &rec,
+                            std::uint32_t charged_bytes,
+                            const std::vector<std::uint8_t> &payload) = 0;
+
+    /** Post-reduction arcs attached to a pending record (TSO drain). */
+    virtual void onAttachArcs(ThreadId tid, RecordId rid,
+                              const std::vector<DepArc> &kept) = 0;
+
+    /** Consume-version annotation attempt on a pending load (TSO). */
+    virtual void onAnnotateConsume(ThreadId tid, RecordId rid,
+                                   const VersionTag &v) = 0;
+
+    /** Produce-version record insertion before a pending store (TSO). */
+    virtual void onInsertProduce(ThreadId tid, RecordId store_rid,
+                                 const VersionTag &v, Addr addr,
+                                 std::uint8_t size) = 0;
+
+    /** Visibility-limit move (TSO store buffer). */
+    virtual void onVisibilityLimit(ThreadId tid, RecordId limit) = 0;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CAPTURE_JOURNAL_HPP

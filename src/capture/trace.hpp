@@ -3,7 +3,8 @@
  * Optional whole-run trace: a tee of every captured record in global
  * capture order, consumed offline by the happens-before validator
  * (capture/validator.hpp). This corresponds to dumping the paper's
- * event streams to disk instead of consuming them online.
+ * event streams to disk instead of consuming them online — the real
+ * on-disk format and record/replay engine live in src/trace/.
  */
 
 #ifndef PARALOG_CAPTURE_TRACE_HPP
@@ -15,6 +16,44 @@
 #include "app/event.hpp"
 
 namespace paralog {
+
+/**
+ * Is this record's application-visible effect store-like for conflict
+ * analysis? The single classification table shared by the trace tee and
+ * the happens-before validator (the two must agree, or the validator
+ * checks a different machine than the one that ran).
+ *
+ * Derived from the interpreter's data-path operations:
+ *  - kStore: plain store.
+ *  - kLockAcquire / kLockRelease: RMW / store of the lock word.
+ *  - kBarrierPass: the arrival phase (value == 0) RMWs the barrier
+ *    word; the exit phase (value == 1) only reads it to observe the
+ *    release (see Interpreter's Op::kBarrier expansion).
+ *  - kMallocEnd / kFreeBegin: the allocator initializes / retires the
+ *    range — a write over [range).
+ *  - kSyscallEnd with SyscallKind::kRead: the kernel filled the buffer
+ *    (a write over [range)); with SyscallKind::kWrite the kernel only
+ *    *read* the output buffer, so the range effect is a read.
+ *  - Everything else (loads, register ops, bookkeeping) is not a write.
+ */
+inline bool
+traceIsWrite(const EventRecord &rec)
+{
+    switch (rec.type) {
+      case EventType::kStore:
+      case EventType::kLockAcquire:
+      case EventType::kLockRelease:
+      case EventType::kMallocEnd:
+      case EventType::kFreeBegin:
+        return true;
+      case EventType::kBarrierPass:
+        return rec.value == 0; // arrival RMW; exit (value 1) is a read
+      case EventType::kSyscallEnd:
+        return rec.syscall == SyscallKind::kRead; // kernel fill
+      default:
+        return false;
+    }
+}
 
 struct TracedRecord
 {
@@ -32,11 +71,7 @@ class TraceSink
         TracedRecord tr;
         tr.globalSeq = nextSeq_++;
         tr.rec = rec;
-        tr.isWrite = (rec.type == EventType::kStore ||
-                      rec.type == EventType::kLockAcquire ||
-                      rec.type == EventType::kLockRelease ||
-                      (rec.type == EventType::kBarrierPass &&
-                       rec.value == 0)); // exit phase is a read
+        tr.isWrite = traceIsWrite(rec);
         records_.push_back(std::move(tr));
     }
 

@@ -190,8 +190,11 @@ HappensBeforeValidator::validate(const std::vector<TracedRecord> &trace)
           case EventType::kMallocEnd:
           case EventType::kFreeBegin:
           case EventType::kSyscallEnd: {
-            // Allocation / kernel-fill events act as writes over their
-            // whole range, ordered via ConflictAlert barriers.
+            // Allocation / kernel-fill events act over their whole
+            // range, ordered via ConflictAlert barriers. The shared
+            // classifier decides the direction: malloc/free and
+            // read()-style syscalls write the range, write()-style
+            // syscalls only read the output buffer.
             if (rec.range.empty())
                 break;
             Addr first =
@@ -199,7 +202,8 @@ HappensBeforeValidator::validate(const std::vector<TracedRecord> &trace)
             Addr last =
                 (rec.range.end - 1) & ~static_cast<Addr>(lineBytes_ - 1);
             for (Addr line = first; line <= last; line += lineBytes_)
-                check_line(line, t, rec.rid, true, clock, via_alert);
+                check_line(line, t, rec.rid, traceIsWrite(rec), clock,
+                           via_alert);
             break;
           }
           default:

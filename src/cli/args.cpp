@@ -244,7 +244,8 @@ CliOptions::runSpecs() const
             opt.seed = seed;
             for (std::uint32_t r = 0; r < repeat; ++r)
                 specs.push_back(RunSpec{s.workload, s.lifeguard, s.mode,
-                                        s.cores, opt});
+                                        s.cores, opt, recordPath,
+                                        replayPath});
         }
     }
     return specs;
@@ -288,6 +289,16 @@ usageText()
        << "                          are bit-identical for any value)\n"
        << "  --max-cycles=N          simulated-time watchdog override\n"
        << "\n"
+       << "Record / replay (paralog-trace-v1, see README):\n"
+       << "  --record=FILE  persist the run's event-stream journal; the\n"
+       << "                 matrix must be a single parallel-mode cell\n"
+       << "  --replay=FILE  re-monitor a recording (no application\n"
+       << "                 simulation); scenario axes come from the\n"
+       << "                 file. --lifeguard=LIST replays once per\n"
+       << "                 listed lifeguard; replaying the recorded\n"
+       << "                 lifeguard is self-checked bit-identical\n"
+       << "                 against the recorded results\n"
+       << "\n"
        << "Matrix execution:\n"
        << "  --jobs=N     run cells on N host threads (default 1); each\n"
        << "               cell owns its platform, so results are\n"
@@ -310,7 +321,10 @@ usageText()
        << "--csv\n"
        << "  paralog --workload=all --cores=1,2,4,8 --seed=1,2,3 "
        << "--repeat=3 --jobs=4 --json\n"
-       << "  paralog --workload=ocean --memory-model=tso --accel=off\n";
+       << "  paralog --workload=ocean --memory-model=tso --accel=off\n"
+       << "  paralog --workload=lu --lifeguard=taintcheck --cores=4 "
+       << "--record=lu.trace\n"
+       << "  paralog --replay=lu.trace --lifeguard=all --json\n";
     return os.str();
 }
 
@@ -323,6 +337,8 @@ struct ValuedFlag
     const char *name;
     bool (*parse)(std::string_view flag, std::string_view value,
                   CliOptions &o, std::string &err);
+    /// SetFlag bit marked when the flag appears (0 = not an axis).
+    std::uint32_t setBit = 0;
 };
 
 const ValuedFlag kValuedFlags[] = {
@@ -331,19 +347,22 @@ const ValuedFlag kValuedFlags[] = {
         std::string &err) {
          return parseAxis(flag, value, allWorkloads(), parseWorkload,
                           o.workloads, err);
-     }},
+     },
+     kSetWorkload},
     {"--lifeguard",
      [](std::string_view flag, std::string_view value, CliOptions &o,
         std::string &err) {
          return parseAxis(flag, value, kAllLifeguards, parseLifeguard,
                           o.lifeguards, err);
-     }},
+     },
+     kSetLifeguard},
     {"--mode",
      [](std::string_view flag, std::string_view value, CliOptions &o,
         std::string &err) {
          return parseAxis(flag, value, kAllModes, parseMode, o.modes,
                           err);
-     }},
+     },
+     kSetMode},
     {"--cores",
      [](std::string_view flag, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -357,7 +376,8 @@ const ValuedFlag kValuedFlags[] = {
          const std::vector<std::uint32_t> all_cores{1, 2, 4, 8};
          return parseAxis(flag, value, all_cores, parse_one, o.cores,
                           err);
-     }},
+     },
+     kSetCores},
     {"--accel",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -366,7 +386,8 @@ const ValuedFlag kValuedFlags[] = {
          err = "invalid value '" + std::string(value) +
                "' for --accel (want on|off)";
          return false;
-     }},
+     },
+     kSetAccel},
     {"--conflict-alerts",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -375,7 +396,8 @@ const ValuedFlag kValuedFlags[] = {
          err = "invalid value '" + std::string(value) +
                "' for --conflict-alerts (want on|off)";
          return false;
-     }},
+     },
+     kSetConflictAlerts},
     {"--dep-tracking",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -390,7 +412,8 @@ const ValuedFlag kValuedFlags[] = {
          err = "invalid value '" + std::string(value) +
                "' for --dep-tracking (want per-block|per-core)";
          return false;
-     }},
+     },
+     kSetDepTracking},
     {"--memory-model",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -405,7 +428,8 @@ const ValuedFlag kValuedFlags[] = {
          err = "invalid value '" + std::string(value) +
                "' for --memory-model (want sc|tso)";
          return false;
-     }},
+     },
+     kSetMemoryModel},
     {"--scale",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -414,7 +438,8 @@ const ValuedFlag kValuedFlags[] = {
          err = "invalid value '" + std::string(value) +
                "' for --scale (want a positive integer)";
          return false;
-     }},
+     },
+     kSetScale},
     {"--seed",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -431,7 +456,8 @@ const ValuedFlag kValuedFlags[] = {
                  o.seeds.push_back(s);
          }
          return true;
-     }},
+     },
+     kSetSeed},
     {"--repeat",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -488,6 +514,27 @@ const ValuedFlag kValuedFlags[] = {
              return true;
          err = "invalid value '" + std::string(value) +
                "' for --log-buffer (want a positive byte count)";
+         return false;
+     },
+     kSetLogBuffer},
+    {"--record",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.recordPath = std::string(value);
+             return true;
+         }
+         err = "--record needs a file path (--record=FILE)";
+         return false;
+     }},
+    {"--replay",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.replayPath = std::string(value);
+             return true;
+         }
+         err = "--replay needs a file path (--replay=FILE)";
          return false;
      }},
 };
@@ -551,6 +598,7 @@ parseArgs(const std::vector<std::string_view> &args)
             std::string err;
             if (!vf.parse(flag, arg.substr(eq + 1), o, err))
                 return fail(err);
+            o.setFlags |= vf.setBit;
             matched = true;
             break;
         }
@@ -572,6 +620,31 @@ parseArgs(const std::vector<std::string_view> &args)
     if (o.csv && o.json)
         return fail("--csv and --json are mutually exclusive (pick one "
                     "machine-readable format)");
+
+    if (!o.recordPath.empty() && !o.replayPath.empty())
+        return fail("--record and --replay are mutually exclusive");
+
+    // --record persists exactly one run: a multi-cell matrix would
+    // overwrite the file once per cell.
+    if (!o.recordPath.empty()) {
+        if (o.modes.size() != 1 || o.modes[0] != MonitorMode::kParallel)
+            return fail("--record requires --mode=parallel (the "
+                        "baselines have no event streams to record)");
+        if (o.workloads.size() != 1 || o.lifeguards.size() != 1 ||
+            o.cores.size() != 1 || o.seeds.size() != 1 || o.repeat != 1)
+            return fail("--record captures a single run: use exactly one "
+                        "workload, lifeguard, core count and seed, and "
+                        "no --repeat");
+    }
+
+    // --replay takes every scenario axis from the recording; only the
+    // lifeguard may be overridden (re-monitoring under a different
+    // monitor is the point of record-once/replay-many).
+    if (!o.replayPath.empty() &&
+        (o.setFlags & ~static_cast<std::uint32_t>(kSetLifeguard)) != 0)
+        return fail("--replay takes the scenario and platform axes from "
+                    "the recording; only --lifeguard (and output/"
+                    "execution flags) may be combined with it");
 
     return res;
 }

@@ -36,6 +36,24 @@ struct Scenario
     std::uint32_t cores;
 };
 
+/** Bits in CliOptions::setFlags: which scenario-axis flags were given
+ *  explicitly (drives --replay conflict detection: replay takes every
+ *  axis except the lifeguard from the recording). */
+enum SetFlag : std::uint32_t
+{
+    kSetWorkload = 1u << 0,
+    kSetLifeguard = 1u << 1,
+    kSetMode = 1u << 2,
+    kSetCores = 1u << 3,
+    kSetSeed = 1u << 4,
+    kSetScale = 1u << 5,
+    kSetMemoryModel = 1u << 6,
+    kSetAccel = 1u << 7,
+    kSetDepTracking = 1u << 8,
+    kSetConflictAlerts = 1u << 9,
+    kSetLogBuffer = 1u << 10,
+};
+
 struct CliOptions
 {
     std::vector<WorkloadKind> workloads{WorkloadKind::kLu};
@@ -55,6 +73,13 @@ struct CliOptions
 
     std::uint32_t jobs = 1;   ///< host threads running matrix cells
     std::uint32_t repeat = 1; ///< repeats per cell, aggregated
+
+    /// --record=FILE: persist the (single) run as paralog-trace-v1.
+    std::string recordPath;
+    /// --replay=FILE: re-monitor a recording; scenario axes come from
+    /// the file, --lifeguard optionally overrides the monitor.
+    std::string replayPath;
+    std::uint32_t setFlags = 0; ///< SetFlag bits of explicit axes
 
     bool csv = false;      ///< machine-readable CSV output
     bool json = false;     ///< machine-readable JSON output

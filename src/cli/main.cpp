@@ -22,6 +22,7 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace paralog::cli {
 namespace {
@@ -32,6 +33,39 @@ lifeguardLabel(const Scenario &s)
 {
     return s.mode == MonitorMode::kNoMonitoring ? "-"
                                                 : flagName(s.lifeguard);
+}
+
+/**
+ * --replay: the scenario and platform axes come from the recording's
+ * header; only the lifeguard list survives (when given, each listed
+ * lifeguard re-monitors the recording as its own cell). The rewritten
+ * options drive the normal matrix machinery — and the output rows and
+ * `options` blocks describe the recorded configuration.
+ */
+bool
+applyReplayHeader(CliOptions &opt, std::string &err)
+{
+    paralog::trace::TraceReader reader(opt.replayPath);
+    if (!reader.ok()) {
+        err = reader.error();
+        return false;
+    }
+    const paralog::trace::TraceConfig &tc = reader.config();
+    opt.workloads = {tc.workload};
+    if (!(opt.setFlags & kSetLifeguard))
+        opt.lifeguards = {tc.lifeguard};
+    opt.modes = {MonitorMode::kParallel};
+    opt.cores = {tc.appThreads};
+    opt.seeds = {tc.seed};
+    opt.scale = tc.scale;
+    opt.memoryModel = tc.memoryModel;
+    opt.depTracking = tc.depTracking;
+    opt.conflictAlerts = tc.conflictAlerts;
+    opt.accelerators = tc.accelIT && tc.accelIF && tc.accelMTLB;
+    opt.logBufferBytes = tc.logBufferBytes;
+    if (opt.shadowShards == 0)
+        opt.shadowShards = tc.shadowShards;
+    return true;
 }
 
 // ------------------------------------------------------------- stats
@@ -204,6 +238,12 @@ printJsonHeader(const CliOptions &opt)
 {
     std::printf("{\n");
     std::printf("  \"schema\": \"paralog-matrix-v1\",\n");
+    if (!opt.replayPath.empty())
+        std::printf("  \"replay\": \"%s\",\n",
+                    jsonEscape(opt.replayPath).c_str());
+    if (!opt.recordPath.empty())
+        std::printf("  \"record\": \"%s\",\n",
+                    jsonEscape(opt.recordPath).c_str());
     std::printf("  \"jobs\": %u,\n", opt.jobs);
     std::printf("  \"repeat\": %u,\n", opt.repeat);
     std::printf("  \"seeds\": [");
@@ -244,6 +284,10 @@ printJsonCell(const Cell &cell, bool first)
                     jsonEscape(cell.firstError()).c_str());
     } else {
         std::printf("      \"status\": \"ok\",\n");
+        std::uint64_t fp = cell.repeats.front().result.shadowFingerprint;
+        if (fp != 0)
+            std::printf("      \"fingerprint\": \"0x%016llx\",\n",
+                        static_cast<unsigned long long>(fp));
         std::printf("      \"stats\": {\n");
         std::array<SampleSummary, kNumStats> agg = cell.aggregate();
         for (std::size_t i = 0; i < kNumStats; ++i) {
@@ -346,6 +390,10 @@ printTextRow(const CliOptions &opt, const Cell &cell)
     }
     std::printf("  violations:        %llu\n",
                 static_cast<unsigned long long>(r.violationCount));
+    if (r.shadowFingerprint != 0)
+        std::printf("  shadow fingerprint: 0x%016llx\n",
+                    static_cast<unsigned long long>(
+                        r.shadowFingerprint));
     if (cell.repeats.size() > 1) {
         std::array<SampleSummary, kNumStats> agg = cell.aggregate();
         std::printf("  repeats:           %zu (total cycles "
@@ -443,6 +491,13 @@ main(int argc, char **argv)
         return 2;
       case ParseStatus::kOk:
         break;
+    }
+    if (!parsed.options.replayPath.empty()) {
+        std::string err;
+        if (!applyReplayHeader(parsed.options, err)) {
+            std::fprintf(stderr, "paralog: --replay: %s\n", err.c_str());
+            return 2;
+        }
     }
     return runCliMatrix(parsed.options);
 }

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * LEB128-style varint and zigzag helpers shared by the stream
+ * compressor's size model, its byte-emitting codec path, and the
+ * on-disk trace format (src/trace/). Keeping the size function and the
+ * emitters next to each other guarantees the modeled byte counts and
+ * the bytes actually written can never drift apart.
+ */
+
+#ifndef PARALOG_COMMON_VARINT_HPP
+#define PARALOG_COMMON_VARINT_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace paralog {
+
+/** Encoded size of @p v as a base-128 varint (1..10 bytes). */
+inline std::uint32_t
+varintSize(std::uint64_t v)
+{
+    std::uint32_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+/** Append @p v as a varint; returns the number of bytes appended. */
+inline std::uint32_t
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    std::uint32_t n = 1;
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+        ++n;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+    return n;
+}
+
+/** Append @p v as a 4-byte little-endian word. */
+inline void
+putFixed32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t z)
+{
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+/**
+ * Bounds-checked forward read cursor over an encoded byte span. All
+ * reads return false on truncated input instead of walking off the end
+ * (the trace reader treats that as file corruption).
+ */
+struct ByteCursor
+{
+    const std::uint8_t *pos = nullptr;
+    const std::uint8_t *end = nullptr;
+
+    ByteCursor() = default;
+    ByteCursor(const std::uint8_t *p, std::size_t n) : pos(p), end(p + n) {}
+
+    bool atEnd() const { return pos >= end; }
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - pos);
+    }
+
+    bool
+    getByte(std::uint8_t &out)
+    {
+        if (atEnd())
+            return false;
+        out = *pos++;
+        return true;
+    }
+
+    bool
+    getVarint(std::uint64_t &out)
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            std::uint8_t b;
+            if (!getByte(b))
+                return false;
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80)) {
+                out = v;
+                return true;
+            }
+        }
+        return false; // over-long encoding
+    }
+
+    bool
+    getFixed32(std::uint32_t &out)
+    {
+        if (remaining() < 4)
+            return false;
+        out = static_cast<std::uint32_t>(pos[0]) |
+              static_cast<std::uint32_t>(pos[1]) << 8 |
+              static_cast<std::uint32_t>(pos[2]) << 16 |
+              static_cast<std::uint32_t>(pos[3]) << 24;
+        pos += 4;
+        return true;
+    }
+};
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_VARINT_HPP

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "core/replay.hpp"
+#include "trace/recorder.hpp"
 
 namespace paralog {
 
@@ -75,6 +77,79 @@ runExperiment(WorkloadKind workload, LifeguardKind lifeguard,
     return p.run();
 }
 
+RunResult
+recordExperiment(const RunSpec &spec)
+{
+    PARALOG_ASSERT(spec.mode == MonitorMode::kParallel,
+                   "--record requires parallel monitoring mode");
+    PlatformConfig cfg = makeConfig(spec.workload, spec.lifeguard,
+                                    spec.mode, spec.cores, spec.opt);
+    // Canonical single-pop delivery: the journal stamps producer ops
+    // with the global lifeguard-step count, so the step-call structure
+    // must be reproducible without the application cores. Batching is
+    // simulated-result-invariant (the host wall-clock knob), but its
+    // batch boundaries depend on the application-side horizon; batch
+    // size 1 removes that dependence. Replay forces the same value.
+    cfg.sim.deliverBatchMax = 1;
+
+    trace::TraceConfig tc;
+    tc.workload = spec.workload;
+    tc.lifeguard = spec.lifeguard;
+    tc.mode = spec.mode;
+    tc.memoryModel = cfg.sim.memoryModel;
+    tc.depTracking = cfg.sim.depTracking;
+    tc.conflictAlerts = cfg.sim.conflictAlerts;
+    tc.accelIT = cfg.sim.accel.inheritanceTracking;
+    tc.accelIF = cfg.sim.accel.idempotentFilter;
+    tc.accelMTLB = cfg.sim.accel.metadataTlb;
+    tc.appThreads = spec.cores;
+    tc.shadowShards = cfg.sim.shadowShards;
+    tc.scale = spec.opt.scale;
+    tc.seed = cfg.sim.seed;
+    tc.logBufferBytes = cfg.sim.logBufferBytes;
+
+    trace::TraceRecorder recorder(spec.recordPath, tc);
+    if (!recorder.ok())
+        panic("record: %s", recorder.error().c_str());
+    cfg.recorder = &recorder;
+
+    Platform p(cfg);
+    RunResult result = p.run();
+    const ShadowMemory &shadow = p.lifeguard().shadow();
+    result.shadowFingerprint =
+        shadowFingerprint(shadow, AddressLayout::kHeapBase, 1 << 20) ^
+        shadowFingerprint(shadow, AddressLayout::kGlobalBase, 1 << 16);
+    if (!recorder.finalize(result, result.shadowFingerprint))
+        panic("record: %s", recorder.error().c_str());
+    return result;
+}
+
+RunResult
+replayExperiment(const RunSpec &spec)
+{
+    ReplayConfig cfg;
+    cfg.path = spec.replayPath;
+    cfg.lifeguardOverride = true; // spec.lifeguard is already resolved
+    cfg.lifeguard = spec.lifeguard;
+    if (spec.opt.shadowShards != 0)
+        cfg.shadowShards = spec.opt.shadowShards;
+    if (spec.opt.maxCycles != 0)
+        cfg.maxCycles = spec.opt.maxCycles;
+    ReplayPlatform rp(std::move(cfg));
+    return rp.run();
+}
+
+RunResult
+runSpecExperiment(const RunSpec &spec)
+{
+    if (!spec.replayPath.empty())
+        return replayExperiment(spec);
+    if (!spec.recordPath.empty())
+        return recordExperiment(spec);
+    return runExperiment(spec.workload, spec.lifeguard, spec.mode,
+                         spec.cores, spec.opt);
+}
+
 namespace {
 
 /** Scoped panic-throw mode: restored even if a callback throws. */
@@ -99,8 +174,7 @@ runCell(const RunSpec &spec, bool inject_failure)
     try {
         if (inject_failure)
             panic("injected failure (PARALOG_FAIL_CELL)");
-        cell.result = runExperiment(spec.workload, spec.lifeguard,
-                                    spec.mode, spec.cores, spec.opt);
+        cell.result = runSpecExperiment(spec);
     } catch (const std::exception &e) {
         cell.failed = true;
         cell.error = e.what();

@@ -68,7 +68,29 @@ struct RunSpec
     MonitorMode mode;
     std::uint32_t cores;
     ExperimentOptions opt;
+    /// Record the run as a `paralog-trace-v1` file (parallel mode only).
+    std::string recordPath;
+    /// Replay this recording instead of running live: the scenario
+    /// axes come from the file; `lifeguard` still selects the monitor
+    /// (a kind different from the recorded one re-monitors the
+    /// recorded streams).
+    std::string replayPath;
 };
+
+/**
+ * Run one spec: live, recording, or replaying per its path fields.
+ * Same-lifeguard replays self-check against the recorded footer and
+ * panic on divergence; trace I/O errors panic too (contained per cell
+ * by runMatrix's panic-throw scope).
+ */
+RunResult runSpecExperiment(const RunSpec &spec);
+
+/** Record one live run (spec.mode must be kParallel). */
+RunResult recordExperiment(const RunSpec &spec);
+
+/** Replay a recording under @p spec.lifeguard (see RunSpec::replayPath);
+ *  opt.shadowShards/opt.maxCycles of 0 keep the defaults. */
+RunResult replayExperiment(const RunSpec &spec);
 
 /** Outcome of one RunSpec: the result, or a captured failure. */
 struct CellResult

@@ -1,8 +1,24 @@
 #include "core/platform.hpp"
 
 #include "common/logging.hpp"
+#include "trace/recorder.hpp"
 
 namespace paralog {
+
+namespace {
+
+std::uint8_t
+packFilterBits(const EventFilter &f)
+{
+    using namespace trace;
+    return (f.regOps ? kFilterRegOps : 0) |
+           (f.loads ? kFilterLoads : 0) |
+           (f.stores ? kFilterStores : 0) |
+           (f.jumps ? kFilterJumps : 0) |
+           (f.heapOnly ? kFilterHeapOnly : 0);
+}
+
+} // namespace
 
 Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
 {
@@ -61,12 +77,20 @@ Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
         filter.heapArena = heap_->arena();
     }
 
+    if (cfg_.recorder) {
+        PARALOG_ASSERT(monitoring,
+                       "trace recording requires parallel monitoring");
+        cfg_.recorder->setFilterBits(packFilterBits(filter));
+    }
+
     for (ThreadId t = 0; t < k; ++t) {
         if (monitoring) {
             captures_.push_back(
                 std::make_unique<CaptureUnit>(t, cfg_.sim, filter));
             if (cfg_.traceCapture)
                 captures_.back()->setTraceSink(&trace_);
+            if (cfg_.recorder)
+                captures_.back()->setJournal(cfg_.recorder);
         } else {
             captures_.push_back(nullptr);
         }
@@ -92,6 +116,12 @@ Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
             lgCores_.push_back(std::make_unique<LifeguardCore>(
                 k + t, t, cfg_.sim, *captures_[t], *progress_, *caMgr_,
                 *lifeguard_, mem_.get(), versions_, 1));
+            if (trace::TraceRecorder *rec = cfg_.recorder) {
+                lgCores_.back()->ctx().setMetaLatencyTee(
+                    [rec, t](Cycle latency) {
+                        rec->onMetaLatency(t, latency);
+                    });
+            }
         }
     }
 }
@@ -132,6 +162,10 @@ Platform::caBroadcast(ThreadId tid, RecordId rid, HighLevelKind kind,
     // the issuer half of the barrier.
     if (EventRecord *rec = captures_[tid]->buffer().findByRid(rid))
         rec->caSeq = seq;
+    // Journal the barrier bookkeeping (the arrival records themselves
+    // were journalled by the appendCa calls above).
+    if (cfg_.recorder)
+        cfg_.recorder->onCaBroadcast(*caMgr_->find(seq));
     return lat;
 }
 
@@ -338,6 +372,13 @@ Platform::run()
         }
         if (next > now)
             now = next;
+        // Journal phase stamp: every producer-side op recorded during
+        // this iteration's application/pump phase carries (now, count
+        // of lifeguard steps so far), which is exactly what the replay
+        // scheduler needs to interleave ops and lifeguard steps in the
+        // recorded order (core/replay.cpp).
+        if (cfg_.recorder)
+            cfg_.recorder->setNow(now);
 
         if (now > cfg_.maxCycles) {
             dumpStuckState();
@@ -391,6 +432,8 @@ Platform::run()
                     horizon = std::min(horizon, lgs[j]->busyUntil);
             }
             c->step(now, horizon);
+            if (cfg_.recorder)
+                cfg_.recorder->noteLgStep();
         }
     }
 

@@ -32,6 +32,10 @@
 
 namespace paralog {
 
+namespace trace {
+class TraceRecorder;
+} // namespace trace
+
 struct PlatformConfig
 {
     SimConfig sim;
@@ -57,6 +61,11 @@ struct PlatformConfig
     /// Tee all captured records into Platform::trace() for offline
     /// happens-before validation (SC runs).
     bool traceCapture = false;
+    /// Record the run as a `paralog-trace-v1` journal for offline
+    /// replay (core/replay.hpp). Parallel monitoring mode only; the
+    /// recorder outlives the platform (the caller finalizes it with
+    /// the run's results and shadow fingerprint).
+    trace::TraceRecorder *recorder = nullptr;
 };
 
 /**

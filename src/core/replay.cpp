@@ -1,0 +1,478 @@
+#include "core/replay.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace paralog {
+
+using trace::OpCode;
+using trace::TraceOp;
+
+ReplayCore::ReplayCore(ThreadId tid, trace::TraceReader &reader,
+                       CaptureUnit &unit, CaManager &ca,
+                       const EventFilter *filter)
+    : tid_(tid), unit_(unit), ca_(ca), filter_(filter),
+      stream_(reader.opStream(tid))
+{
+}
+
+const TraceOp *
+ReplayCore::peek()
+{
+    if (!hasPending_ && !exhausted_) {
+        if (stream_.next(pending_))
+            hasPending_ = true;
+        else
+            exhausted_ = true;
+    }
+    return hasPending_ ? &pending_ : nullptr;
+}
+
+void
+ReplayCore::apply()
+{
+    PARALOG_ASSERT(hasPending_, "replay apply without a pending op");
+    TraceOp &op = pending_;
+    switch (op.op) {
+      case OpCode::kRetire:
+        unit_.setRetired(op.retired);
+        break;
+      case OpCode::kAppend:
+      case OpCode::kAppendCa:
+        // Cross-lifeguard replays re-filter the recorded stream for the
+        // new monitor's registered interests, mirroring the live
+        // capture unit: dropped records' arcs carry forward to the next
+        // surviving record so ordering stays conservative.
+        if (filter_ && !filter_->wants(op.rec)) {
+            for (const DepArc &a : op.rec.arcs)
+                arcsCarry_.push_back(a);
+            droppedRids_.insert(op.rec.rid);
+            break;
+        }
+        if (filter_ && !arcsCarry_.empty()) {
+            op.rec.arcs.insert(op.rec.arcs.begin(), arcsCarry_.begin(),
+                               arcsCarry_.end());
+            arcsCarry_.clear();
+        }
+        unit_.replayAppend(std::move(op.rec), op.chargedBytes,
+                           op.op == OpCode::kAppendCa);
+        break;
+      case OpCode::kAttachArcs:
+        // Three cases for the target record: still pending (attach, the
+        // common one), dropped by *this replay's* re-filter (carry the
+        // arcs forward, as a live capture of the new lifeguard would),
+        // or absent from the recorded stream too (the recording's own
+        // filter dropped it — the arcs were live-carried and already
+        // sit inside a later journalled append; adding them again would
+        // double-count).
+        if (filter_ && !unit_.buffer().findByRid(op.rid) &&
+            droppedRids_.count(op.rid)) {
+            for (const DepArc &a : op.arcs)
+                arcsCarry_.push_back(a);
+            break;
+        }
+        unit_.replayAttachArcs(op.rid, op.arcs);
+        break;
+      case OpCode::kAnnotateConsume:
+        unit_.annotateConsume(op.rid, op.version);
+        break;
+      case OpCode::kInsertProduce:
+        unit_.insertProduceBefore(op.rid, op.version, op.addr, op.size);
+        break;
+      case OpCode::kVisLimit:
+        unit_.setVisibilityLimit(op.visLimit);
+        break;
+      case OpCode::kCaBroadcast:
+        // Mirrors Platform::caBroadcast: restore the barrier entry and
+        // annotate the issuer's pending high-level record.
+        if (EventRecord *rec =
+                unit_.buffer().findByRid(op.ca.issuerEventRid))
+            rec->caSeq = op.ca.seq;
+        ca_.injectBroadcast(std::move(op.ca));
+        break;
+    }
+    hasPending_ = false;
+}
+
+ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
+    : cfg_(std::move(cfg)), reader_(cfg_.path),
+      lifeguardKind_(cfg_.lifeguard)
+{
+    if (!reader_.ok())
+        panic("replay: %s", reader_.error().c_str());
+    const trace::TraceConfig &tc = reader_.config();
+    PARALOG_ASSERT(tc.mode == MonitorMode::kParallel,
+                   "replay requires a parallel-monitoring recording");
+
+    sim_ = tc.toSimConfig();
+    // Recordings use canonical single-pop delivery (see
+    // recordExperiment): the journal's lifeguard-step stamps only line
+    // up when replay steps the same way.
+    sim_.deliverBatchMax = 1;
+    if (cfg_.shadowShards != ReplayConfig::kKeepRecorded)
+        sim_.shadowShards = cfg_.shadowShards;
+    k_ = tc.appThreads;
+    if (!cfg_.lifeguardOverride)
+        lifeguardKind_ = tc.lifeguard;
+    sameLifeguard_ = (lifeguardKind_ == tc.lifeguard);
+
+    lifeguard_ = makeLifeguard(lifeguardKind_, k_,
+                               sim_.effectiveShadowShards(k_));
+    progress_ = std::make_unique<ProgressTable>(k_);
+    caMgr_ = std::make_unique<CaManager>(k_);
+
+    if (!sameLifeguard_) {
+        // Fresh metadata hierarchy: plausible timing, no recorded
+        // latencies to consume (the recording's latency sideband
+        // matches the recorded lifeguard's access sequence only).
+        mem_ = std::make_unique<MemorySystem>(sim_, sim_.totalCores());
+
+        const LifeguardPolicy policy = lifeguard_->policy();
+        std::uint8_t bits = tc.filterBits;
+        if ((policy.wantsRegOps && !(bits & trace::kFilterRegOps)) ||
+            (policy.wantsJumps && !(bits & trace::kFilterJumps)) ||
+            (!policy.heapOnly && (bits & trace::kFilterHeapOnly))) {
+            warn("replay: the recording's event filter (%s) captured "
+                 "fewer event classes than %s registers for; results "
+                 "are approximate",
+                 toString(tc.lifeguard), toString(lifeguardKind_));
+        }
+    }
+
+    if (!sameLifeguard_) {
+        const LifeguardPolicy policy = lifeguard_->policy();
+        filter_.regOps = policy.wantsRegOps;
+        filter_.jumps = policy.wantsJumps;
+        filter_.heapOnly = policy.heapOnly;
+        filter_.heapArena =
+            AddrRange{AddressLayout::kHeapBase,
+                      AddressLayout::kHeapBase + AddressLayout::kHeapBytes};
+    }
+
+    captures_.reserve(k_);
+    lgCores_.reserve(k_);
+    replayCores_.reserve(k_);
+    latStreams_.reserve(k_);
+    for (ThreadId t = 0; t < k_; ++t) {
+        // The capture units carry no filter of their own: same-monitor
+        // replays feed the journal verbatim (it already holds the
+        // recorded post-filter records); cross-monitor replays
+        // re-filter in the ReplayCore.
+        captures_.push_back(
+            std::make_unique<CaptureUnit>(t, sim_, EventFilter{}));
+        replayCores_.push_back(std::make_unique<ReplayCore>(
+            t, reader_, *captures_[t], *caMgr_,
+            sameLifeguard_ ? nullptr : &filter_));
+    }
+    for (ThreadId t = 0; t < k_; ++t) {
+        lgCores_.push_back(std::make_unique<LifeguardCore>(
+            k_ + t, t, sim_, *captures_[t], *progress_, *caMgr_,
+            *lifeguard_, sameLifeguard_ ? nullptr : mem_.get(),
+            versions_, 1));
+        if (sameLifeguard_) {
+            latStreams_.push_back(reader_.latencyStream(t));
+            lgCores_.back()->ctx().setMetaLatencyOracle(
+                [this, t]() -> Cycle {
+                    Cycle latency = 0;
+                    if (!latStreams_[t].next(latency))
+                        panic("replay diverged: lifeguard %u performed "
+                              "more metadata accesses than recorded",
+                              t);
+                    return latency;
+                });
+        }
+    }
+}
+
+ReplayPlatform::~ReplayPlatform() = default;
+
+void
+ReplayPlatform::dumpStuckState(Cycle now, std::uint64_t lg_steps)
+{
+    std::fprintf(stderr,
+                 "=== replay watchdog state dump (now=%llu lg_steps="
+                 "%llu) ===\n",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(lg_steps));
+    for (ThreadId t = 0; t < k_; ++t) {
+        const TraceOp *op = replayCores_[t]->peek();
+        if (op) {
+            std::fprintf(stderr,
+                         "replay %u: next op=%u gseq=%llu cycle=%llu "
+                         "lgStep=%llu\n",
+                         t, static_cast<unsigned>(op->op),
+                         static_cast<unsigned long long>(op->gseq),
+                         static_cast<unsigned long long>(op->cycle),
+                         static_cast<unsigned long long>(op->lgStep));
+        } else {
+            std::fprintf(stderr, "replay %u: journal exhausted\n", t);
+        }
+        std::fprintf(stderr,
+                     "  stream: size=%zu visLimit=%llu done=%llu\n",
+                     captures_[t]->buffer().size(),
+                     static_cast<unsigned long long>(
+                         captures_[t]->visibilityLimit()),
+                     static_cast<unsigned long long>(progress_->done(t)));
+        const OrderEnforcer &oe = lgCores_[t]->enforcer();
+        std::fprintf(stderr,
+                     "  lg: finished=%d busyUntil=%llu wait=%s "
+                     "sameRecordRetries=%llu processed=%llu\n",
+                     lgCores_[t]->finished() ? 1 : 0,
+                     static_cast<unsigned long long>(
+                         lgCores_[t]->busyUntil),
+                     toString(oe.lastStatus()),
+                     static_cast<unsigned long long>(
+                         oe.sameRecordStallRetries()),
+                     static_cast<unsigned long long>(
+                         lgCores_[t]->stats.recordsProcessed));
+        if (const EventRecord *front = captures_[t]->buffer().peek()) {
+            std::fprintf(stderr, "  front: type=%s rid=%llu arcs=[",
+                         toString(front->type),
+                         static_cast<unsigned long long>(front->rid));
+            for (const DepArc &a : front->arcs)
+                std::fprintf(stderr, "(%u,%llu)", a.tid,
+                             static_cast<unsigned long long>(a.rid));
+            std::fprintf(stderr, "] caSeq=%llu consumesV=%d\n",
+                         static_cast<unsigned long long>(front->caSeq),
+                         front->consumesVersion ? 1 : 0);
+        }
+    }
+}
+
+std::uint64_t
+ReplayPlatform::shadowFingerprint() const
+{
+    const ShadowMemory &s = lifeguard_->shadow();
+    return paralog::shadowFingerprint(s, AddressLayout::kHeapBase,
+                                      1 << 20) ^
+           paralog::shadowFingerprint(s, AddressLayout::kGlobalBase,
+                                      1 << 16);
+}
+
+RunResult
+ReplayPlatform::run()
+{
+    Cycle now = 0;
+    Cycle last_now = 0;
+    std::uint64_t same_now_iters = 0;
+    std::uint64_t lg_steps = 0;
+
+    std::vector<ReplayCore *> producers;
+    std::vector<LifeguardCore *> lgs;
+    for (auto &c : replayCores_)
+        producers.push_back(c.get());
+    for (auto &c : lgCores_)
+        lgs.push_back(c.get());
+
+    auto all_done = [&producers, &lgs] {
+        for (ReplayCore *p : producers) {
+            if (!p->done())
+                return false;
+        }
+        for (const LifeguardCore *c : lgs) {
+            if (!c->finished())
+                return false;
+        }
+        return true;
+    };
+
+    ProgressWatchdog stall_watchdog(cfg_.stallWatchdogIters / 64 + 1);
+    std::uint64_t watchdog_tick = 0;
+    Counter &produced_ctr = versions_.stats.counter("produced");
+    Counter &consumed_ctr = versions_.stats.counter("consumed");
+    auto progress_signature = [&] {
+        std::uint64_t sig = produced_ctr.value() + consumed_ctr.value() +
+                            lg_steps;
+        for (const LifeguardCore *c : lgs)
+            sig += c->stats.recordsProcessed;
+        for (ThreadId t = 0; t < progress_->size(); ++t)
+            sig += progress_->done(t);
+        return sig;
+    };
+
+    while (!all_done()) {
+        if (now == last_now) {
+            if (++same_now_iters > 20'000'000) {
+                dumpStuckState(now, lg_steps);
+                panic("replay livelock: cycle %llu never advances "
+                      "(journal/lifeguard divergence)",
+                      static_cast<unsigned long long>(now));
+            }
+        } else {
+            last_now = now;
+            same_now_iters = 0;
+        }
+        if ((++watchdog_tick & 63) == 0 &&
+            stall_watchdog.poll(progress_signature())) {
+            dumpStuckState(now, lg_steps);
+            panic("replay watchdog: no forward progress in %llu "
+                  "scheduler iterations at cycle %llu (journal/"
+                  "lifeguard divergence)",
+                  static_cast<unsigned long long>(
+                      cfg_.stallWatchdogIters),
+                  static_cast<unsigned long long>(now));
+        }
+
+        // Event-driven advance: the next producer op or lifeguard core.
+        Cycle next = kInvalidRecord;
+        for (ReplayCore *p : producers) {
+            if (const TraceOp *op = p->peek())
+                next = std::min(next, op->cycle);
+        }
+        for (LifeguardCore *c : lgs) {
+            if (!c->finished())
+                next = std::min(next, c->busyUntil);
+        }
+        if (next > now)
+            now = next;
+
+        if (now > cfg_.maxCycles)
+            panic("replay watchdog: no completion after %llu cycles",
+                  static_cast<unsigned long long>(cfg_.maxCycles));
+
+        // Producer phase: apply every journal op due at `now` whose
+        // recorded lifeguard-step stamp has been reached, in global
+        // journal order. Ops stamped with a later lifeguard-step count
+        // wait — they were recorded in a later scheduler iteration at
+        // this same cycle, after lifeguard steps that have not run yet.
+        // (The step stamps describe the *recorded* lifeguard's cadence;
+        // replaying a different lifeguard ignores them and applies ops
+        // purely by cycle — its interleaving has no recording to match.)
+        for (;;) {
+            ReplayCore *best = nullptr;
+            std::uint64_t best_gseq = ~0ULL;
+            for (ReplayCore *p : producers) {
+                const TraceOp *op = p->peek();
+                if (op && op->cycle <= now &&
+                    (!sameLifeguard_ || op->lgStep <= lg_steps) &&
+                    op->gseq < best_gseq) {
+                    best = p;
+                    best_gseq = op->gseq;
+                }
+            }
+            if (!best)
+                break;
+            best->apply();
+        }
+
+        // Lifeguard phase: identical to Platform::run, with the
+        // producers' next-op cycles as the application side of the
+        // solo-batching horizon. (A pending op gated on a future
+        // lifeguard step has cycle <= now, pinning the horizon to now —
+        // conservative, and batching is result-invariant.)
+        Cycle actor_horizon = 0;
+        bool horizon_valid = false;
+        for (std::size_t i = 0; i < lgs.size(); ++i) {
+            LifeguardCore *c = lgs[i];
+            if (c->finished() || c->busyUntil > now)
+                continue;
+            if (!horizon_valid) {
+                actor_horizon = ~Cycle{0};
+                for (ReplayCore *p : producers) {
+                    if (const TraceOp *op = p->peek())
+                        actor_horizon =
+                            std::min(actor_horizon, op->cycle);
+                }
+                horizon_valid = true;
+            }
+            Cycle horizon = actor_horizon;
+            for (std::size_t j = 0; j < lgs.size(); ++j) {
+                if (j != i && !lgs[j]->finished())
+                    horizon = std::min(horizon, lgs[j]->busyUntil);
+            }
+            c->step(now, horizon);
+            ++lg_steps;
+        }
+    }
+
+    RunResult result;
+    result.totalCycles = now;
+    result.app = reader_.footer().app; // no application ran: recorded
+    for (auto &c : lgCores_) {
+        result.lifeguard.push_back(c->stats);
+        result.versionStallRetries +=
+            c->enforcer().stats.get("version_stalls");
+    }
+    result.versionsProduced = produced_ctr.value();
+    result.versionsConsumed = consumed_ctr.value();
+    result.violationCount = lifeguard_->violations.count();
+    result.shadowFingerprint = shadowFingerprint();
+
+    // The oracle panics when a lifeguard performs *more* metadata
+    // accesses than recorded; the opposite divergence — recorded
+    // latencies left unconsumed — is checked here (a warning in
+    // diagnosis mode, where the run is allowed to finish).
+    for (ThreadId t = 0; t < latStreams_.size(); ++t) {
+        if (latStreams_[t].exhausted())
+            continue;
+        if (cfg_.verify)
+            panic("replay diverged: lifeguard %u performed fewer "
+                  "metadata accesses than recorded",
+                  t);
+        warn("replay: lifeguard %u left recorded metadata-access "
+             "latencies unconsumed (divergence)",
+             t);
+    }
+
+    if (sameLifeguard_ && cfg_.verify)
+        verifyAgainstFooter(result);
+    return result;
+}
+
+void
+ReplayPlatform::verifyAgainstFooter(const RunResult &result) const
+{
+    const trace::TraceFooter &f = reader_.footer();
+    auto mismatch = [](const char *what, std::uint64_t got,
+                       std::uint64_t want) {
+        panic("replay diverged from the recording: %s = %llu, recorded "
+              "%llu",
+              what, static_cast<unsigned long long>(got),
+              static_cast<unsigned long long>(want));
+    };
+    if (result.shadowFingerprint != f.shadowFingerprint)
+        mismatch("shadow fingerprint", result.shadowFingerprint,
+                 f.shadowFingerprint);
+    if (result.totalCycles != f.totalCycles)
+        mismatch("total cycles", result.totalCycles, f.totalCycles);
+    if (result.violationCount != f.violations)
+        mismatch("violations", result.violationCount, f.violations);
+    if (result.versionsProduced != f.versionsProduced)
+        mismatch("versions produced", result.versionsProduced,
+                 f.versionsProduced);
+    if (result.versionsConsumed != f.versionsConsumed)
+        mismatch("versions consumed", result.versionsConsumed,
+                 f.versionsConsumed);
+    if (result.versionStallRetries != f.versionStallRetries)
+        mismatch("version stall retries", result.versionStallRetries,
+                 f.versionStallRetries);
+    PARALOG_ASSERT(result.lifeguard.size() == f.lifeguard.size(),
+                   "recorded lifeguard thread count mismatch");
+    for (std::size_t i = 0; i < f.lifeguard.size(); ++i) {
+        const LifeguardThreadStats &got = result.lifeguard[i];
+        const LifeguardThreadStats &want = f.lifeguard[i];
+        if (got.usefulCycles != want.usefulCycles)
+            mismatch("lifeguard useful cycles", got.usefulCycles,
+                     want.usefulCycles);
+        if (got.depStall != want.depStall)
+            mismatch("lifeguard dep stall", got.depStall, want.depStall);
+        if (got.caStall != want.caStall)
+            mismatch("lifeguard CA stall", got.caStall, want.caStall);
+        if (got.versionStall != want.versionStall)
+            mismatch("lifeguard version stall", got.versionStall,
+                     want.versionStall);
+        if (got.appStall != want.appStall)
+            mismatch("lifeguard app stall", got.appStall, want.appStall);
+        if (got.recordsProcessed != want.recordsProcessed)
+            mismatch("records processed", got.recordsProcessed,
+                     want.recordsProcessed);
+        if (got.eventsHandled != want.eventsHandled)
+            mismatch("events handled", got.eventsHandled,
+                     want.eventsHandled);
+        if (got.doneAt != want.doneAt)
+            mismatch("lifeguard done cycle", got.doneAt, want.doneAt);
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Replay execution mode: re-monitor a recorded run from its
+ * `paralog-trace-v1` journal, with no application cores.
+ *
+ * One ReplayCore per recorded application thread re-applies the
+ * journalled producer-side stream mutations (appends, CA insertions,
+ * TSO annotations, visibility-limit moves, retire ticks) at their
+ * recorded simulated cycles — and, within a cycle, only after the
+ * recorded number of global lifeguard steps, which reproduces the live
+ * scheduler's producer/consumer interleaving exactly. The lifeguard
+ * cores, order enforcers, accelerators, progress table, ConflictAlert
+ * barriers and version store are the real ones, so when the recorded
+ * lifeguard is replayed the delivery order, lifeguard results, shadow
+ * fingerprint and every stats column reproduce the live run
+ * bit-identically (self-checked against the trace footer).
+ *
+ * Replaying under a *different* lifeguard re-monitors the same event
+ * streams: results are genuine analysis output, but the recording only
+ * contains what the recorded lifeguard's event filter captured, and
+ * metadata-access timing uses a fresh memory hierarchy (no application
+ * interference), so cross-lifeguard replays are approximate in timing
+ * and in any events the recorded filter dropped.
+ */
+
+#ifndef PARALOG_CORE_REPLAY_HPP
+#define PARALOG_CORE_REPLAY_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lifeguard_core.hpp"
+#include "core/platform.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace paralog {
+
+struct ReplayConfig
+{
+    std::string path;
+    /// Replay under this lifeguard instead of the recorded one.
+    bool lifeguardOverride = false;
+    LifeguardKind lifeguard = LifeguardKind::kTaintCheck;
+    /// Shadow shard override (results are shard-count invariant);
+    /// kKeepRecorded leaves the recorded value.
+    static constexpr std::uint32_t kKeepRecorded = 0xFFFFFFFFu;
+    std::uint32_t shadowShards = kKeepRecorded;
+    std::uint64_t maxCycles = 1ULL << 36;
+    std::uint64_t stallWatchdogIters = 2'000'000;
+    /// Skip the footer self-check (divergence diagnosis tooling).
+    bool verify = true;
+};
+
+/** Feeds one recorded thread's journal into its capture unit. */
+class ReplayCore
+{
+  public:
+    /** @p filter re-filters replayed appends for a lifeguard other
+     *  than the recorded one (null = replay verbatim). Carried arcs of
+     *  dropped records move to the next surviving record, like the
+     *  live capture unit's conservative carry. */
+    ReplayCore(ThreadId tid, trace::TraceReader &reader,
+               CaptureUnit &unit, CaManager &ca,
+               const EventFilter *filter = nullptr);
+
+    /** The next journal op not yet applied, or nullptr at stream end. */
+    const trace::TraceOp *peek();
+
+    /** Apply the pending op to the capture unit / CA manager. */
+    void apply();
+
+    bool done() { return peek() == nullptr; }
+
+  private:
+    ThreadId tid_;
+    CaptureUnit &unit_;
+    CaManager &ca_;
+    const EventFilter *filter_;
+    std::vector<DepArc> arcsCarry_; ///< arcs of re-filtered records
+    /// Rids this replay's re-filter dropped: a later kAttachArcs to one
+    /// of them must carry its arcs (live capture would), while arcs to
+    /// records the *recording* never held are already carried inside a
+    /// later journalled append.
+    std::unordered_set<RecordId> droppedRids_;
+    trace::TraceReader::OpStream stream_;
+    trace::TraceOp pending_;
+    bool hasPending_ = false;
+    bool exhausted_ = false;
+};
+
+class ReplayPlatform
+{
+  public:
+    explicit ReplayPlatform(ReplayConfig cfg);
+    ~ReplayPlatform();
+
+    /** Replay to completion. Same-lifeguard replays self-check against
+     *  the recorded footer and panic on any divergence. */
+    RunResult run();
+
+    const trace::TraceReader &reader() const { return reader_; }
+    const trace::TraceConfig &recordedConfig() const
+    {
+        return reader_.config();
+    }
+    LifeguardKind lifeguardKind() const { return lifeguardKind_; }
+    bool replaysRecordedLifeguard() const { return sameLifeguard_; }
+    Lifeguard &lifeguard() { return *lifeguard_; }
+
+    /** Heap + global segment fingerprint (as the footer records it). */
+    std::uint64_t shadowFingerprint() const;
+
+  private:
+    void verifyAgainstFooter(const RunResult &result) const;
+    void dumpStuckState(Cycle now, std::uint64_t lg_steps);
+
+    ReplayConfig cfg_;
+    trace::TraceReader reader_;
+    SimConfig sim_;
+    std::uint32_t k_ = 0;
+    LifeguardKind lifeguardKind_;
+    bool sameLifeguard_ = true;
+
+    std::unique_ptr<Lifeguard> lifeguard_;
+    std::unique_ptr<ProgressTable> progress_;
+    std::unique_ptr<CaManager> caMgr_;
+    VersionStore versions_;
+    /// Fresh metadata memory hierarchy for cross-lifeguard replays
+    /// (same-lifeguard replays consume the recorded latency sideband).
+    std::unique_ptr<MemorySystem> mem_;
+
+    EventFilter filter_; ///< cross-lifeguard re-filtering
+    std::vector<std::unique_ptr<CaptureUnit>> captures_;
+    std::vector<std::unique_ptr<LifeguardCore>> lgCores_;
+    std::vector<std::unique_ptr<ReplayCore>> replayCores_;
+    std::vector<trace::TraceReader::LatencyStream> latStreams_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_CORE_REPLAY_HPP

@@ -63,6 +63,11 @@ struct RunResult
     std::uint64_t versionsConsumed = 0;
     std::uint64_t versionStallRetries = 0;
 
+    /// Shadow-metadata fingerprint (heap + global segments), filled by
+    /// runs that compute it (trace record/replay); 0 otherwise. Not a
+    /// CSV stat column — the legacy schema stays frozen.
+    std::uint64_t shadowFingerprint = 0;
+
     Cycle
     appExecTotal() const
     {

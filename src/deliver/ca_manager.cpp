@@ -43,6 +43,15 @@ CaManager::broadcast(ThreadId issuer, RecordId issuer_event_rid,
     return 4 + 2 * numThreads_;
 }
 
+void
+CaManager::injectBroadcast(CaBroadcast b)
+{
+    if (b.seq >= nextSeq_)
+        nextSeq_ = b.seq + 1;
+    stats.counter("broadcasts").inc();
+    live_.emplace(b.seq, std::move(b));
+}
+
 const CaBroadcast *
 CaManager::find(std::uint64_t seq) const
 {

@@ -66,6 +66,14 @@ class CaManager
 
     const CaBroadcast *find(std::uint64_t seq) const;
 
+    /**
+     * Re-create a broadcast's barrier bookkeeping from a recorded
+     * journal (trace replay). The CA records themselves arrive through
+     * the replayed streams; this restores only the live_ entry the
+     * order enforcers consult.
+     */
+    void injectBroadcast(CaBroadcast b);
+
     /** A waiter lifeguard finished its half of the barrier. */
     void noteWaiterPassed(std::uint64_t seq);
 

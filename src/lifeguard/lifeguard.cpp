@@ -33,19 +33,34 @@ LgContext::beginEvent()
     memCycles_ = 0;
 }
 
+Cycle
+LgContext::metaCacheAccess(Addr meta_addr, unsigned bytes, bool is_write)
+{
+    Cycle latency = 0;
+    if (metaOracle_) {
+        latency = metaOracle_();
+    } else if (mem_) {
+        latency = mem_->access(core_, meta_addr, bytes, is_write,
+                               AccessTag{}, false)
+                      .latency;
+    }
+    if (metaTee_)
+        metaTee_(latency);
+    memCycles_ += latency;
+    return latency;
+}
+
 void
 LgContext::touchMeta(Addr app_addr, unsigned app_bytes, bool is_write)
 {
     // Metadata address computation: M-TLB hit is ~1 handler instruction,
     // a miss pays the two-level table walk.
     instrs_ += mtlb_.lookupCost(app_addr);
-    if (!mem_)
+    if (!mem_ && !metaOracle_ && !metaTee_)
         return;
     unsigned meta_bytes =
         std::max<unsigned>(1, (app_bytes * shadow_.bitsPerByte() + 7) / 8);
-    AccessResult r = mem_->access(core_, shadow_.metaAddr(app_addr),
-                                  meta_bytes, is_write, AccessTag{}, false);
-    memCycles_ += r.latency;
+    metaCacheAccess(shadow_.metaAddr(app_addr), meta_bytes, is_write);
 }
 
 std::uint64_t
@@ -178,11 +193,7 @@ LgContext::fillMeta(const AddrRange &range, std::uint8_t value)
     Addr meta_end = shadow_.metaAddr(range.end - 1) + 1;
     for (Addr m = meta_begin & ~63ULL; m < meta_end; m += 64) {
         instrs_ += 2;
-        if (mem_) {
-            AccessResult r = mem_->access(core_, m, 8, true, AccessTag{},
-                                          false);
-            memCycles_ += r.latency;
-        }
+        metaCacheAccess(m, 8, true);
     }
     shadow_.fill(range, value);
 }
@@ -197,11 +208,7 @@ LgContext::checkMetaAll(const AddrRange &range, std::uint8_t value)
     Addr meta_end = shadow_.metaAddr(range.end - 1) + 1;
     for (Addr m = meta_begin & ~63ULL; m < meta_end; m += 64) {
         instrs_ += 1;
-        if (mem_) {
-            AccessResult r = mem_->access(core_, m, 8, false, AccessTag{},
-                                          false);
-            memCycles_ += r.latency;
-        }
+        metaCacheAccess(m, 8, false);
     }
     return shadow_.rangeAll(range, value);
 }

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -151,14 +152,38 @@ class LgContext
     VersionStore &versions() { return versions_; }
     std::uint64_t slowPaths() const { return slowPaths_; }
 
+    /**
+     * Record/replay seam for metadata cache timing. Metadata accesses
+     * share the L2 with the application cores, so their latencies
+     * depend on application cache interference — the one consumer-side
+     * quantity replay cannot regenerate without the application. The
+     * tee observes every access latency while recording; the oracle
+     * *supplies* them during replay (the memory system, if any, is
+     * bypassed).
+     */
+    void setMetaLatencyTee(std::function<void(Cycle)> tee)
+    {
+        metaTee_ = std::move(tee);
+    }
+    void setMetaLatencyOracle(std::function<Cycle()> oracle)
+    {
+        metaOracle_ = std::move(oracle);
+    }
+
   private:
     void touchMeta(Addr app_addr, unsigned app_bytes, bool is_write);
+
+    /** The single funnel for metadata cache accesses: real memory
+     *  system, replay oracle, or free (untimed unit tests). */
+    Cycle metaCacheAccess(Addr meta_addr, unsigned bytes, bool is_write);
 
     ShadowMemory &shadow_;
     MetadataTlb &mtlb_;
     VersionStore &versions_;
-    MemorySystem *mem_; ///< may be null (untimed unit tests)
+    MemorySystem *mem_; ///< may be null (untimed unit tests, replay)
     CoreId core_;
+    std::function<void(Cycle)> metaTee_;
+    std::function<Cycle()> metaOracle_;
     std::uint64_t instrs_ = 0;
     Cycle memCycles_ = 0;
     std::uint64_t slowPaths_ = 0;

@@ -326,4 +326,16 @@ ShadowMemory::fill(const AddrRange &range, std::uint8_t value)
     }
 }
 
+std::uint64_t
+shadowFingerprint(const ShadowMemory &shadow, Addr base,
+                  std::uint64_t bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Addr a = base; a < base + bytes; ++a) {
+        h ^= shadow.read(a);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
 } // namespace paralog

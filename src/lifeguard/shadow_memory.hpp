@@ -50,6 +50,17 @@
 
 namespace paralog {
 
+class ShadowMemory;
+
+/**
+ * FNV-1a hash of the shadow metadata over [base, base + bytes): the
+ * canonical "did two runs reach the same analysis conclusions?"
+ * fingerprint, shared by the equivalence test suites and the trace
+ * record/replay self-check.
+ */
+std::uint64_t shadowFingerprint(const ShadowMemory &shadow, Addr base,
+                                std::uint64_t bytes);
+
 class ShadowMemory
 {
   public:

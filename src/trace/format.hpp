@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The `paralog-trace-v1` on-disk format.
+ *
+ * A recording captures one monitored run as the journal of every
+ * producer-side mutation of the per-thread event streams — appends
+ * (compressed through the real StreamCompressor codec), ConflictAlert
+ * insertions and broadcasts, TSO drain-time arc attachment,
+ * produce/consume version annotations, visibility-limit moves and
+ * retire-counter ticks — each stamped with its simulated cycle and the
+ * global lifeguard-step count at which it happened. Replaying the
+ * journal against live lifeguard cores reproduces the recorded run's
+ * delivery order, lifeguard results, shadow fingerprints and stats
+ * bit-identically (core/replay.hpp).
+ *
+ * Layout (all integers little-endian):
+ *
+ *   FileHeader (96 bytes, rewritten at finalize)
+ *   Chunk*                          (any interleaving of kinds/threads)
+ *   footer chunk                    (kind = kChunkFooter, last)
+ *
+ * Chunk = { u32 kind, u32 tid, u32 payloadBytes, u32 crc32(payload) }
+ * followed by payloadBytes of payload. Per (kind, tid), chunk payloads
+ * concatenate into one logical stream; a CRC mismatch fails the load.
+ *
+ * Versioning: the major format version is part of the magic; readers
+ * reject anything else. Additive evolution (new op codes, new chunk
+ * kinds, footer fields appended at the end) bumps nothing — readers
+ * must reject unknown op codes and ignore unknown chunk kinds. Any
+ * change to existing encodings is a new magic.
+ */
+
+#ifndef PARALOG_TRACE_FORMAT_HPP
+#define PARALOG_TRACE_FORMAT_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "core/run_stats.hpp"
+#include "lifeguard/lifeguard.hpp"
+#include "sim/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace paralog::trace {
+
+inline constexpr std::array<char, 8> kMagic = {'P', 'L', 'T', 'R',
+                                               'A', 'C', 'E', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 96;
+
+/** Chunk kinds. Readers ignore unknown kinds (forward compatibility). */
+inline constexpr std::uint32_t kChunkOps = 0;         ///< journal ops
+inline constexpr std::uint32_t kChunkMetaLatency = 1; ///< RLE latencies
+inline constexpr std::uint32_t kChunkFooter = 2;      ///< run results
+
+/** tid field of thread-less chunks (the footer). */
+inline constexpr std::uint32_t kNoThread = 0xFFFFFFFF;
+
+/** Target payload size at which the writer flushes a chunk. */
+inline constexpr std::uint32_t kChunkTargetBytes = 56 * 1024;
+
+/** Journal op codes (see recorder.cpp for the encodings). */
+enum class OpCode : std::uint8_t
+{
+    kRetire = 0,          ///< retire-counter tick
+    kAppend = 1,          ///< captured record append
+    kAppendCa = 2,        ///< ConflictAlert record insertion
+    kAttachArcs = 3,      ///< TSO drain-time arcs onto a pending record
+    kAnnotateConsume = 4, ///< consume-version annotation (TSO)
+    kInsertProduce = 5,   ///< produce-version record insertion (TSO)
+    kVisLimit = 6,        ///< TSO visibility-limit move
+    kCaBroadcast = 7,     ///< ConflictAlert barrier bookkeeping
+};
+inline constexpr std::uint8_t kMaxOpCode = 7;
+
+/** Config flag bits (header offset 29). */
+inline constexpr std::uint8_t kCfgConflictAlerts = 1 << 0;
+inline constexpr std::uint8_t kCfgAccelIT = 1 << 1;
+inline constexpr std::uint8_t kCfgAccelIF = 1 << 2;
+inline constexpr std::uint8_t kCfgAccelMTLB = 1 << 3;
+
+/** Event-filter bits (header offset 30): which event classes the
+ *  recorded lifeguard registered for. Replaying under a lifeguard that
+ *  wants more than the recording captured is approximate. */
+inline constexpr std::uint8_t kFilterRegOps = 1 << 0;
+inline constexpr std::uint8_t kFilterLoads = 1 << 1;
+inline constexpr std::uint8_t kFilterStores = 1 << 2;
+inline constexpr std::uint8_t kFilterJumps = 1 << 3;
+inline constexpr std::uint8_t kFilterHeapOnly = 1 << 4;
+
+/** The recorded run's configuration, as stored in the file header. */
+struct TraceConfig
+{
+    WorkloadKind workload = WorkloadKind::kLu;
+    LifeguardKind lifeguard = LifeguardKind::kTaintCheck;
+    MonitorMode mode = MonitorMode::kParallel;
+    MemoryModel memoryModel = MemoryModel::kSC;
+    DepTracking depTracking = DepTracking::kPerBlock;
+    bool conflictAlerts = true;
+    bool accelIT = true;
+    bool accelIF = true;
+    bool accelMTLB = true;
+    std::uint8_t filterBits = 0;
+    std::uint32_t appThreads = 1;
+    std::uint32_t shadowShards = 0;
+    std::uint64_t scale = 0;
+    std::uint64_t seed = 1;
+    std::uint64_t logBufferBytes = 64 * 1024;
+
+    /** Rebuild the SimConfig the recorded Platform ran with. */
+    SimConfig
+    toSimConfig() const
+    {
+        SimConfig sim = SimConfig::forAppThreads(appThreads);
+        sim.mode = mode;
+        sim.memoryModel = memoryModel;
+        sim.depTracking = depTracking;
+        sim.conflictAlerts = conflictAlerts;
+        sim.accel.inheritanceTracking = accelIT;
+        sim.accel.idempotentFilter = accelIF;
+        sim.accel.metadataTlb = accelMTLB;
+        sim.seed = seed;
+        sim.logBufferBytes = logBufferBytes;
+        sim.shadowShards = shadowShards;
+        return sim;
+    }
+};
+
+/** Recorded run results: replay copies the application side verbatim
+ *  and self-checks the recomputed lifeguard side against the rest. */
+struct TraceFooter
+{
+    std::vector<AppThreadStats> app;
+    std::vector<LifeguardThreadStats> lifeguard;
+    std::vector<std::uint64_t> opCount;     ///< journal ops per thread
+    std::vector<std::uint64_t> recordCount; ///< appended records per thread
+    Cycle totalCycles = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t versionsProduced = 0;
+    std::uint64_t versionsConsumed = 0;
+    std::uint64_t versionStallRetries = 0;
+    std::uint64_t shadowFingerprint = 0;
+};
+
+/** CRC-32 (IEEE 802.3, reflected) over @p data. */
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n,
+      std::uint32_t seed = 0xFFFFFFFFu)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t crc = seed;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/** FNV-1a over a byte span (the header's config fingerprint). */
+inline std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t n)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_FORMAT_HPP

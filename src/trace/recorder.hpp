@@ -1,0 +1,102 @@
+/**
+ * @file
+ * TraceRecorder: the live half of record/replay. Attached to a
+ * Platform run (PlatformConfig::recorder), it implements the capture
+ * journal — stamping every producer-side stream mutation with its
+ * simulated cycle and the global lifeguard-step count, encoding it as a
+ * `paralog-trace-v1` op and streaming it through the TraceWriter — and
+ * additionally captures the platform-level ConflictAlert broadcast
+ * bookkeeping plus the per-lifeguard-core metadata-access latency
+ * sideband (the one consumer-side quantity that depends on application
+ * cache interference, which replay has no application cores to
+ * regenerate).
+ */
+
+#ifndef PARALOG_TRACE_RECORDER_HPP
+#define PARALOG_TRACE_RECORDER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/journal.hpp"
+#include "deliver/ca_manager.hpp"
+#include "trace/codec.hpp"
+#include "trace/trace_writer.hpp"
+
+namespace paralog::trace {
+
+class TraceRecorder : public CaptureJournal
+{
+  public:
+    TraceRecorder(const std::string &path, const TraceConfig &cfg);
+
+    bool ok() const { return writer_.ok(); }
+    const std::string &error() const { return writer_.error(); }
+
+    /** Patch the event-filter bits the platform derives from the
+     *  lifeguard policy (known only after construction). */
+    void setFilterBits(std::uint8_t bits)
+    {
+        writer_.config().filterBits = bits;
+    }
+
+    // ---- phase bookkeeping (driven by the Platform scheduler loop) ----
+    void setNow(Cycle now) { now_ = now; }
+    void noteLgStep() { ++lgSteps_; }
+
+    // ---- CaptureJournal ----
+    void onRetire(ThreadId tid, RecordId retired) override;
+    void onAppend(ThreadId tid, const EventRecord &rec,
+                  std::uint32_t charged_bytes,
+                  const std::vector<std::uint8_t> &payload) override;
+    void onAppendCa(ThreadId tid, const EventRecord &rec,
+                    std::uint32_t charged_bytes,
+                    const std::vector<std::uint8_t> &payload) override;
+    void onAttachArcs(ThreadId tid, RecordId rid,
+                      const std::vector<DepArc> &kept) override;
+    void onAnnotateConsume(ThreadId tid, RecordId rid,
+                           const VersionTag &v) override;
+    void onInsertProduce(ThreadId tid, RecordId store_rid,
+                         const VersionTag &v, Addr addr,
+                         std::uint8_t size) override;
+    void onVisibilityLimit(ThreadId tid, RecordId limit) override;
+
+    // ---- platform-level hooks ----
+    void onCaBroadcast(const CaBroadcast &b);
+    void onMetaLatency(ThreadId tid, Cycle latency)
+    {
+        writer_.appendMetaLatency(tid, latency);
+    }
+
+    /** Write the footer (recorded results + shadow fingerprint) and
+     *  close the file. Returns false on I/O failure. */
+    bool finalize(const RunResult &result,
+                  std::uint64_t shadow_fingerprint);
+
+  private:
+    /** Start an op in the scratch buffer: opcode + (gseq, cycle,
+     *  lifeguard-step) deltas against thread @p tid's previous op. */
+    void beginOp(OpCode op, ThreadId tid);
+    void commitOp(ThreadId tid, bool is_record = false);
+
+    struct PerThread
+    {
+        std::uint64_t lastGseq = 0;
+        Cycle lastCycle = 0;
+        std::uint64_t lastLgStep = 0;
+        RecordId lastRid = 0;     ///< sideband rid delta base
+        RecordId lastRetired = 0; ///< kRetire delta base
+    };
+
+    TraceWriter writer_;
+    std::vector<PerThread> threads_;
+    std::vector<std::uint8_t> scratch_;
+    Cycle now_ = 0;
+    std::uint64_t lgSteps_ = 0;
+    std::uint64_t gseq_ = 0;
+};
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_RECORDER_HPP

@@ -1,0 +1,391 @@
+#include "trace/trace_reader.hpp"
+
+#include <cstring>
+
+namespace paralog::trace {
+
+namespace {
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(get32(p)) |
+           static_cast<std::uint64_t>(get32(p + 4)) << 32;
+}
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_) {
+        fail("cannot open '" + path + "'");
+        return;
+    }
+    parseHeader();
+    if (ok_)
+        indexChunks();
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceReader::fail(const std::string &why)
+{
+    if (ok_)
+        error_ = "paralog-trace-v1: " + why;
+    ok_ = false;
+}
+
+void
+TraceReader::parseHeader()
+{
+    std::uint8_t h[kHeaderBytes];
+    if (std::fread(h, 1, sizeof(h), file_) != sizeof(h)) {
+        fail("file shorter than the header");
+        return;
+    }
+    if (std::memcmp(h, kMagic.data(), kMagic.size()) != 0) {
+        fail("bad magic (not a paralog trace)");
+        return;
+    }
+    if (get32(h + 8) != kFormatVersion) {
+        fail("unsupported format version " +
+             std::to_string(get32(h + 8)));
+        return;
+    }
+    if (get32(h + 12) != kHeaderBytes) {
+        fail("unexpected header size");
+        return;
+    }
+    configFingerprint_ = get64(h + 16);
+    if (configFingerprint_ != fnv1a(h + 24, 40)) {
+        fail("config fingerprint mismatch (corrupt header)");
+        return;
+    }
+    cfg_.workload = static_cast<WorkloadKind>(h[24]);
+    cfg_.lifeguard = static_cast<LifeguardKind>(h[25]);
+    cfg_.mode = static_cast<MonitorMode>(h[26]);
+    cfg_.memoryModel = static_cast<MemoryModel>(h[27]);
+    cfg_.depTracking = static_cast<DepTracking>(h[28]);
+    cfg_.conflictAlerts = h[29] & kCfgConflictAlerts;
+    cfg_.accelIT = h[29] & kCfgAccelIT;
+    cfg_.accelIF = h[29] & kCfgAccelIF;
+    cfg_.accelMTLB = h[29] & kCfgAccelMTLB;
+    cfg_.filterBits = h[30];
+    cfg_.appThreads = get32(h + 32);
+    cfg_.shadowShards = get32(h + 36);
+    cfg_.scale = get64(h + 40);
+    cfg_.seed = get64(h + 48);
+    cfg_.logBufferBytes = get64(h + 56);
+    totalOps_ = get64(h + 64);
+    totalRecords_ = get64(h + 72);
+    footerOffset_ = get64(h + 80);
+
+    if (cfg_.appThreads == 0 || cfg_.appThreads > 1024) {
+        fail("implausible thread count");
+        return;
+    }
+    if (footerOffset_ == 0) {
+        fail("recording was never finalized (no footer)");
+        return;
+    }
+    opChunks_.resize(cfg_.appThreads);
+    latChunks_.resize(cfg_.appThreads);
+}
+
+void
+TraceReader::indexChunks()
+{
+    bool footer_seen = false;
+    for (;;) {
+        std::uint8_t h[16];
+        std::size_t got = std::fread(h, 1, sizeof(h), file_);
+        if (got == 0)
+            break;
+        if (got != sizeof(h)) {
+            fail("truncated chunk header");
+            return;
+        }
+        std::uint32_t kind = get32(h);
+        std::uint32_t tid = get32(h + 4);
+        ChunkRef ref;
+        ref.bytes = get32(h + 8);
+        ref.crc = get32(h + 12);
+        ref.offset = std::ftell(file_);
+        if (ref.offset < 0) {
+            fail("ftell failed");
+            return;
+        }
+
+        if (kind == kChunkOps || kind == kChunkMetaLatency) {
+            if (tid >= cfg_.appThreads) {
+                fail("chunk for out-of-range thread");
+                return;
+            }
+            (kind == kChunkOps ? opChunks_ : latChunks_)[tid].push_back(
+                ref);
+        } else if (kind == kChunkFooter) {
+            std::vector<std::uint8_t> payload;
+            if (!loadChunk(ref, payload))
+                return;
+            parseFooter(payload);
+            footer_seen = true;
+            continue; // loadChunk advanced the file position
+        }
+        // Unknown kinds are skipped (forward compatibility).
+        if (std::fseek(file_, ref.offset + static_cast<long>(ref.bytes),
+                       SEEK_SET) != 0) {
+            fail("seek past chunk failed");
+            return;
+        }
+    }
+    if (!footer_seen)
+        fail("footer chunk missing");
+}
+
+bool
+TraceReader::loadChunk(const ChunkRef &ref, std::vector<std::uint8_t> &out)
+{
+    out.resize(ref.bytes);
+    if (std::fseek(file_, ref.offset, SEEK_SET) != 0 ||
+        (ref.bytes > 0 &&
+         std::fread(out.data(), 1, out.size(), file_) != out.size())) {
+        fail("truncated chunk payload");
+        return false;
+    }
+    if (crc32(out.data(), out.size()) != ref.crc) {
+        fail("chunk CRC mismatch (corrupt trace)");
+        return false;
+    }
+    return true;
+}
+
+void
+TraceReader::parseFooter(const std::vector<std::uint8_t> &payload)
+{
+    ByteCursor c(payload.data(), payload.size());
+    std::uint64_t n = 0;
+    bool good = c.getVarint(n) && n == cfg_.appThreads;
+    footer_.app.resize(good ? n : 0);
+    for (AppThreadStats &a : footer_.app) {
+        good = good && c.getVarint(a.execCycles) &&
+               c.getVarint(a.logFullStall) && c.getVarint(a.lockStall) &&
+               c.getVarint(a.barrierStall) && c.getVarint(a.drainStall) &&
+               c.getVarint(a.caAckCycles) && c.getVarint(a.storeBufStall) &&
+               c.getVarint(a.retired) && c.getVarint(a.programInsts) &&
+               c.getVarint(a.doneAt);
+    }
+    footer_.opCount.resize(cfg_.appThreads);
+    footer_.recordCount.resize(cfg_.appThreads);
+    for (ThreadId t = 0; good && t < cfg_.appThreads; ++t) {
+        good = c.getVarint(footer_.opCount[t]) &&
+               c.getVarint(footer_.recordCount[t]);
+    }
+    std::uint64_t nlg = 0;
+    good = good && c.getVarint(nlg) && nlg <= 1024;
+    footer_.lifeguard.resize(good ? nlg : 0);
+    for (LifeguardThreadStats &l : footer_.lifeguard) {
+        good = good && c.getVarint(l.usefulCycles) &&
+               c.getVarint(l.depStall) && c.getVarint(l.caStall) &&
+               c.getVarint(l.versionStall) && c.getVarint(l.appStall) &&
+               c.getVarint(l.recordsProcessed) &&
+               c.getVarint(l.eventsHandled) && c.getVarint(l.doneAt);
+    }
+    good = good && c.getVarint(footer_.totalCycles) &&
+           c.getVarint(footer_.violations) &&
+           c.getVarint(footer_.versionsProduced) &&
+           c.getVarint(footer_.versionsConsumed) &&
+           c.getVarint(footer_.versionStallRetries) &&
+           c.getVarint(footer_.shadowFingerprint);
+    if (!good)
+        fail("malformed footer");
+}
+
+bool
+TraceReader::nextChunk(std::uint32_t kind, ThreadId tid, std::size_t &idx,
+                       std::vector<std::uint8_t> &buf, ByteCursor &cur)
+{
+    const auto &chunks =
+        (kind == kChunkOps ? opChunks_ : latChunks_)[tid];
+    if (!ok_ || idx >= chunks.size())
+        return false;
+    if (!loadChunk(chunks[idx], buf))
+        return false;
+    ++idx;
+    cur = ByteCursor(buf.data(), buf.size());
+    return true;
+}
+
+TraceReader::OpStream
+TraceReader::opStream(ThreadId tid)
+{
+    OpStream s;
+    s.reader_ = this;
+    s.tid_ = tid;
+    return s;
+}
+
+TraceReader::LatencyStream
+TraceReader::latencyStream(ThreadId tid)
+{
+    LatencyStream s;
+    s.reader_ = this;
+    s.tid_ = tid;
+    return s;
+}
+
+bool
+TraceReader::OpStream::next(TraceOp &out)
+{
+    if (cur_.atEnd() &&
+        !reader_->nextChunk(kChunkOps, tid_, chunkIdx_, buf_, cur_))
+        return false;
+
+    auto bad = [this](const char *why) {
+        reader_->fail(std::string("malformed op stream: ") + why);
+        return false;
+    };
+
+    std::uint8_t opcode = 0;
+    std::uint64_t d_gseq = 0, d_cycle = 0, d_lg = 0;
+    if (!cur_.getByte(opcode) || opcode > kMaxOpCode)
+        return bad("bad opcode");
+    if (!cur_.getVarint(d_gseq) || !cur_.getVarint(d_cycle) ||
+        !cur_.getVarint(d_lg))
+        return bad("truncated op prelude");
+    gseq_ += d_gseq;
+    cycle_ += d_cycle;
+    lgStep_ += d_lg;
+
+    out = TraceOp{};
+    out.op = static_cast<OpCode>(opcode);
+    out.gseq = gseq_;
+    out.cycle = cycle_;
+    out.lgStep = lgStep_;
+
+    std::uint64_t v = 0;
+    switch (out.op) {
+      case OpCode::kRetire:
+        if (!cur_.getVarint(v))
+            return bad("truncated retire");
+        retired_ += v;
+        out.retired = retired_;
+        return true;
+
+      case OpCode::kAppend:
+      case OpCode::kAppendCa:
+        if (!cur_.getVarint(v))
+            return bad("truncated append");
+        out.chargedBytes = static_cast<std::uint32_t>(v);
+        if (!decoder_.decode(cur_, out.chargedBytes, out.rec))
+            return bad("record decode failed");
+        out.rec.tid = tid_;
+        return true;
+
+      case OpCode::kAttachArcs: {
+        std::uint64_t n = 0;
+        if (!cur_.getVarint(out.rid) || !cur_.getVarint(n) || n > 4096)
+            return bad("truncated arcs");
+        out.arcs.resize(n);
+        for (DepArc &a : out.arcs) {
+            std::uint8_t tid = 0;
+            if (!cur_.getByte(tid) || !cur_.getVarint(a.rid))
+                return bad("truncated arc");
+            a.tid = tid;
+        }
+        return true;
+      }
+
+      case OpCode::kAnnotateConsume: {
+        std::uint64_t vtid = 0;
+        if (!cur_.getVarint(out.rid) || !cur_.getVarint(vtid) ||
+            !cur_.getVarint(out.version.rid))
+            return bad("truncated consume annotation");
+        out.version.tid = static_cast<ThreadId>(vtid);
+        return true;
+      }
+
+      case OpCode::kInsertProduce: {
+        std::uint64_t vtid = 0;
+        std::uint8_t size = 0;
+        if (!cur_.getVarint(out.rid) || !cur_.getVarint(vtid) ||
+            !cur_.getVarint(out.version.rid) ||
+            !cur_.getVarint(out.addr) || !cur_.getByte(size))
+            return bad("truncated produce insertion");
+        out.version.tid = static_cast<ThreadId>(vtid);
+        out.size = size;
+        return true;
+      }
+
+      case OpCode::kVisLimit:
+        if (!cur_.getVarint(v))
+            return bad("truncated visibility limit");
+        out.visLimit = (v == 0) ? kInvalidRecord : v - 1;
+        return true;
+
+      case OpCode::kCaBroadcast: {
+        std::uint8_t kind = 0;
+        std::uint64_t n = 0, begin = 0, len = 0;
+        if (!cur_.getVarint(out.ca.seq) ||
+            !cur_.getVarint(out.ca.issuerEventRid) ||
+            !cur_.getByte(kind) || !cur_.getVarint(begin) ||
+            !cur_.getVarint(len) || !cur_.getVarint(n) || n > 1024)
+            return bad("truncated CA broadcast");
+        out.ca.kind = static_cast<HighLevelKind>(kind);
+        out.ca.range = AddrRange{begin, begin + len};
+        out.ca.issuer = tid_;
+        out.ca.arrivalRid.resize(n);
+        out.ca.waitersRemaining = 0;
+        for (RecordId &r : out.ca.arrivalRid) {
+            if (!cur_.getVarint(v))
+                return bad("truncated CA arrival");
+            r = (v == 0) ? kInvalidRecord : v - 1;
+            if (r != kInvalidRecord)
+                ++out.ca.waitersRemaining;
+        }
+        return true;
+      }
+    }
+    return bad("unreachable opcode");
+}
+
+bool
+TraceReader::LatencyStream::next(Cycle &latency)
+{
+    while (runLeft_ == 0) {
+        if (cur_.atEnd() &&
+            !reader_->nextChunk(kChunkMetaLatency, tid_, chunkIdx_, buf_,
+                                cur_))
+            return false;
+        if (!cur_.getVarint(runLatency_) || !cur_.getVarint(runLeft_)) {
+            reader_->fail("malformed latency stream");
+            return false;
+        }
+    }
+    --runLeft_;
+    latency = runLatency_;
+    return true;
+}
+
+bool
+TraceReader::LatencyStream::exhausted() const
+{
+    return runLeft_ == 0 && cur_.atEnd() &&
+           chunkIdx_ >= reader_->latChunks_[tid_].size();
+}
+
+} // namespace paralog::trace

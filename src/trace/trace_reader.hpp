@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Streaming reader for `paralog-trace-v1` files. open() validates the
+ * magic, format version and header; chunks are indexed up front (one
+ * sequential header scan) and their payloads loaded — and CRC-checked —
+ * lazily, one chunk at a time per stream, so reading stays bounded in
+ * memory like writing. Files without a footer (crashed recordings) are
+ * rejected.
+ */
+
+#ifndef PARALOG_TRACE_TRACE_READER_HPP
+#define PARALOG_TRACE_TRACE_READER_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deliver/ca_manager.hpp"
+#include "trace/codec.hpp"
+#include "trace/format.hpp"
+
+namespace paralog::trace {
+
+/** One decoded journal op. Which fields are meaningful depends on
+ *  `op` (see format.hpp). */
+struct TraceOp
+{
+    OpCode op = OpCode::kRetire;
+    std::uint64_t gseq = 0;  ///< global order across threads
+    Cycle cycle = 0;         ///< simulated time it was applied
+    std::uint64_t lgStep = 0;///< lifeguard steps completed before it
+
+    RecordId retired = 0;          // kRetire
+    EventRecord rec;               // kAppend / kAppendCa
+    std::uint32_t chargedBytes = 0;
+    RecordId rid = 0;              // kAttachArcs / kAnnotateConsume
+    std::vector<DepArc> arcs;      // kAttachArcs
+    VersionTag version;            // kAnnotateConsume / kInsertProduce
+    Addr addr = 0;                 // kInsertProduce
+    std::uint8_t size = 0;
+    RecordId visLimit = kInvalidRecord; // kVisLimit
+    CaBroadcast ca;                // kCaBroadcast
+};
+
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+
+    const TraceConfig &config() const { return cfg_; }
+    const TraceFooter &footer() const { return footer_; }
+    std::uint64_t configFingerprint() const { return configFingerprint_; }
+    std::uint64_t totalOps() const { return totalOps_; }
+    std::uint64_t totalRecords() const { return totalRecords_; }
+
+    /**
+     * Sequential cursor over one thread's journal ops. Loads (and
+     * CRC-checks) one chunk at a time. next() returns false at
+     * end-of-stream; corruption fails the owning reader (ok() turns
+     * false) and ends every stream.
+     */
+    class OpStream
+    {
+      public:
+        bool next(TraceOp &out);
+
+      private:
+        friend class TraceReader;
+        TraceReader *reader_ = nullptr;
+        ThreadId tid_ = 0;
+        std::size_t chunkIdx_ = 0; ///< next chunk to load
+        std::vector<std::uint8_t> buf_;
+        ByteCursor cur_;
+        RecordDecoder decoder_;
+        std::uint64_t gseq_ = 0;
+        Cycle cycle_ = 0;
+        std::uint64_t lgStep_ = 0;
+        RecordId retired_ = 0;
+    };
+
+    /** Cursor over one lifeguard thread's metadata-latency sideband. */
+    class LatencyStream
+    {
+      public:
+        /** False at end of stream. */
+        bool next(Cycle &latency);
+        bool exhausted() const;
+
+      private:
+        friend class TraceReader;
+        TraceReader *reader_ = nullptr;
+        ThreadId tid_ = 0;
+        std::size_t chunkIdx_ = 0;
+        std::vector<std::uint8_t> buf_;
+        ByteCursor cur_;
+        Cycle runLatency_ = 0;
+        std::uint64_t runLeft_ = 0;
+    };
+
+    OpStream opStream(ThreadId tid);
+    LatencyStream latencyStream(ThreadId tid);
+
+  private:
+    struct ChunkRef
+    {
+        long offset = 0; ///< payload file offset
+        std::uint32_t bytes = 0;
+        std::uint32_t crc = 0;
+    };
+
+    void fail(const std::string &why);
+    bool loadChunk(const ChunkRef &ref, std::vector<std::uint8_t> &out);
+    bool nextChunk(std::uint32_t kind, ThreadId tid, std::size_t &idx,
+                   std::vector<std::uint8_t> &buf, ByteCursor &cur);
+    void parseHeader();
+    void indexChunks();
+    void parseFooter(const std::vector<std::uint8_t> &payload);
+
+    std::FILE *file_ = nullptr;
+    bool ok_ = true;
+    std::string error_;
+    TraceConfig cfg_;
+    TraceFooter footer_;
+    std::uint64_t configFingerprint_ = 0;
+    std::uint64_t totalOps_ = 0;
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t footerOffset_ = 0;
+    std::vector<std::vector<ChunkRef>> opChunks_;  ///< per thread
+    std::vector<std::vector<ChunkRef>> latChunks_; ///< per thread
+};
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_TRACE_READER_HPP

@@ -1,0 +1,226 @@
+#include "trace/trace_writer.hpp"
+
+#include <cstring>
+
+#include "common/varint.hpp"
+
+namespace paralog::trace {
+
+namespace {
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    put32(p, static_cast<std::uint32_t>(v));
+    put32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, const TraceConfig &cfg)
+    : cfg_(cfg), opBuf_(cfg.appThreads), latBuf_(cfg.appThreads),
+      latRun_(cfg.appThreads), opCount(cfg.appThreads, 0),
+      recordCount(cfg.appThreads, 0)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_) {
+        fail("cannot open '" + path + "' for writing");
+        return;
+    }
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::fail(const std::string &why)
+{
+    if (ok_)
+        error_ = why;
+    ok_ = false;
+}
+
+void
+TraceWriter::writeHeader()
+{
+    std::uint8_t h[kHeaderBytes] = {};
+    std::memcpy(h, kMagic.data(), kMagic.size());
+    put32(h + 8, kFormatVersion);
+    put32(h + 12, kHeaderBytes);
+    h[24] = static_cast<std::uint8_t>(cfg_.workload);
+    h[25] = static_cast<std::uint8_t>(cfg_.lifeguard);
+    h[26] = static_cast<std::uint8_t>(cfg_.mode);
+    h[27] = static_cast<std::uint8_t>(cfg_.memoryModel);
+    h[28] = static_cast<std::uint8_t>(cfg_.depTracking);
+    h[29] = (cfg_.conflictAlerts ? kCfgConflictAlerts : 0) |
+            (cfg_.accelIT ? kCfgAccelIT : 0) |
+            (cfg_.accelIF ? kCfgAccelIF : 0) |
+            (cfg_.accelMTLB ? kCfgAccelMTLB : 0);
+    h[30] = cfg_.filterBits;
+    put32(h + 32, cfg_.appThreads);
+    put32(h + 36, cfg_.shadowShards);
+    put64(h + 40, cfg_.scale);
+    put64(h + 48, cfg_.seed);
+    put64(h + 56, cfg_.logBufferBytes);
+    put64(h + 64, totalOps_);
+    put64(h + 72, totalRecords_);
+    put64(h + 80, footerOffset_); // 0 until finalize rewrites the header
+    put64(h + 16, fnv1a(h + 24, 40));
+
+    if (std::fwrite(h, 1, sizeof(h), file_) != sizeof(h))
+        fail("short write (header)");
+}
+
+void
+TraceWriter::flushChunk(std::uint32_t kind, std::uint32_t tid,
+                        std::vector<std::uint8_t> &payload)
+{
+    if (!ok_ || payload.empty())
+        return;
+    std::uint8_t h[16];
+    put32(h, kind);
+    put32(h + 4, tid);
+    put32(h + 8, static_cast<std::uint32_t>(payload.size()));
+    put32(h + 12, crc32(payload.data(), payload.size()));
+    if (std::fwrite(h, 1, sizeof(h), file_) != sizeof(h) ||
+        std::fwrite(payload.data(), 1, payload.size(), file_) !=
+            payload.size())
+        fail("short write (chunk)");
+    payload.clear();
+}
+
+void
+TraceWriter::noteOp(ThreadId tid, bool is_record)
+{
+    ++opCount[tid];
+    ++totalOps_;
+    if (is_record) {
+        ++recordCount[tid];
+        ++totalRecords_;
+    }
+}
+
+void
+TraceWriter::appendOpBytes(ThreadId tid,
+                           const std::vector<std::uint8_t> &op)
+{
+    if (!ok_)
+        return;
+    auto &buf = opBuf_[tid];
+    buf.insert(buf.end(), op.begin(), op.end());
+    if (buf.size() >= kChunkTargetBytes)
+        flushChunk(kChunkOps, tid, buf);
+}
+
+void
+TraceWriter::flushLatencyRun(ThreadId tid)
+{
+    LatencyRun &run = latRun_[tid];
+    if (run.count == 0)
+        return;
+    putVarint(latBuf_[tid], run.latency);
+    putVarint(latBuf_[tid], run.count);
+    run.count = 0;
+    if (latBuf_[tid].size() >= kChunkTargetBytes)
+        flushChunk(kChunkMetaLatency, tid, latBuf_[tid]);
+}
+
+void
+TraceWriter::appendMetaLatency(ThreadId tid, Cycle latency)
+{
+    if (!ok_)
+        return;
+    LatencyRun &run = latRun_[tid];
+    if (run.count > 0 && run.latency == latency) {
+        ++run.count;
+        return;
+    }
+    flushLatencyRun(tid);
+    run.latency = latency;
+    run.count = 1;
+}
+
+bool
+TraceWriter::finalize(const TraceFooter &footer)
+{
+    if (!ok_ || finalized_)
+        return ok_;
+    for (ThreadId t = 0; t < opBuf_.size(); ++t)
+        flushChunk(kChunkOps, t, opBuf_[t]);
+    for (ThreadId t = 0; t < latBuf_.size(); ++t) {
+        flushLatencyRun(t);
+        flushChunk(kChunkMetaLatency, t, latBuf_[t]);
+    }
+
+    finalized_ = true; // writeHeader() now records the footer offset
+    std::vector<std::uint8_t> f;
+    putVarint(f, footer.app.size());
+    for (const AppThreadStats &a : footer.app) {
+        putVarint(f, a.execCycles);
+        putVarint(f, a.logFullStall);
+        putVarint(f, a.lockStall);
+        putVarint(f, a.barrierStall);
+        putVarint(f, a.drainStall);
+        putVarint(f, a.caAckCycles);
+        putVarint(f, a.storeBufStall);
+        putVarint(f, a.retired);
+        putVarint(f, a.programInsts);
+        putVarint(f, a.doneAt);
+    }
+    for (ThreadId t = 0; t < cfg_.appThreads; ++t) {
+        putVarint(f, t < opCount.size() ? opCount[t] : 0);
+        putVarint(f, t < recordCount.size() ? recordCount[t] : 0);
+    }
+    putVarint(f, footer.lifeguard.size());
+    for (const LifeguardThreadStats &l : footer.lifeguard) {
+        putVarint(f, l.usefulCycles);
+        putVarint(f, l.depStall);
+        putVarint(f, l.caStall);
+        putVarint(f, l.versionStall);
+        putVarint(f, l.appStall);
+        putVarint(f, l.recordsProcessed);
+        putVarint(f, l.eventsHandled);
+        putVarint(f, l.doneAt);
+    }
+    putVarint(f, footer.totalCycles);
+    putVarint(f, footer.violations);
+    putVarint(f, footer.versionsProduced);
+    putVarint(f, footer.versionsConsumed);
+    putVarint(f, footer.versionStallRetries);
+    putVarint(f, footer.shadowFingerprint);
+
+    long footer_at = ok_ ? std::ftell(file_) : -1;
+    flushChunk(kChunkFooter, kNoThread, f);
+
+    if (ok_) {
+        // Rewrite the header with the final totals and footer offset.
+        footerOffset_ =
+            footer_at < 0 ? 0 : static_cast<std::uint64_t>(footer_at);
+        if (std::fseek(file_, 0, SEEK_SET) != 0)
+            fail("seek to header failed");
+        else
+            writeHeader();
+    }
+    if (file_) {
+        if (std::fflush(file_) != 0)
+            fail("flush failed");
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    return ok_;
+}
+
+} // namespace paralog::trace

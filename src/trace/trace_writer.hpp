@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming writer for `paralog-trace-v1` files (format.hpp). Journal
+ * op bytes are buffered per thread and flushed as CRC-protected chunks
+ * once they reach the target chunk size, so memory stays bounded while
+ * recording arbitrarily long runs; finalize() flushes the tails, writes
+ * the footer chunk and rewrites the header with the final counts and
+ * config fingerprint. A file without a footer (crashed recording) is
+ * rejected by the reader.
+ */
+
+#ifndef PARALOG_TRACE_TRACE_WRITER_HPP
+#define PARALOG_TRACE_TRACE_WRITER_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace paralog::trace {
+
+class TraceWriter
+{
+  public:
+    TraceWriter(const std::string &path, const TraceConfig &cfg);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+
+    /** The header config is rewritten at finalize; the recorder patches
+     *  fields it only learns after construction (the event filter). */
+    TraceConfig &config() { return cfg_; }
+
+    /** Append raw op bytes to thread @p tid's journal stream. */
+    void appendOpBytes(ThreadId tid, const std::vector<std::uint8_t> &op);
+
+    /** Append one metadata-access latency for lifeguard thread @p tid
+     *  (run-length encoded). */
+    void appendMetaLatency(ThreadId tid, Cycle latency);
+
+    /**
+     * Flush everything, write the footer chunk and rewrite the header.
+     * Returns ok(). The writer is unusable afterwards.
+     */
+    bool finalize(const TraceFooter &footer);
+
+  private:
+    void fail(const std::string &why);
+    void writeHeader();
+    void flushChunk(std::uint32_t kind, std::uint32_t tid,
+                    std::vector<std::uint8_t> &payload);
+    void flushLatencyRun(ThreadId tid);
+
+    struct LatencyRun
+    {
+        Cycle latency = 0;
+        std::uint64_t count = 0;
+    };
+
+    std::FILE *file_ = nullptr;
+    TraceConfig cfg_;
+    bool ok_ = true;
+    bool finalized_ = false;
+    std::string error_;
+    std::vector<std::vector<std::uint8_t>> opBuf_;   ///< per app thread
+    std::vector<std::vector<std::uint8_t>> latBuf_;  ///< per lg thread
+    std::vector<LatencyRun> latRun_;
+    std::uint64_t totalOps_ = 0;
+    std::uint64_t totalRecords_ = 0;
+    std::uint64_t footerOffset_ = 0;
+
+  public:
+    /// Op/record tallies for the footer (owned here so the recorder
+    /// does not duplicate the bookkeeping).
+    std::vector<std::uint64_t> opCount;
+    std::vector<std::uint64_t> recordCount;
+    void noteOp(ThreadId tid, bool is_record);
+};
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_TRACE_WRITER_HPP

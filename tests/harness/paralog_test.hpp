@@ -44,19 +44,10 @@ makeScaledConfig(WorkloadKind workload, LifeguardKind lifeguard,
  * FNV-1a hash of the shadow metadata over [base, base + bytes): the
  * canonical "did two configurations reach the same analysis
  * conclusions?" fingerprint. Works for any lifeguard via
- * Lifeguard::shadow().
+ * Lifeguard::shadow(). (Now shared with the src tree — the trace
+ * record/replay self-check uses the same hash.)
  */
-inline std::uint64_t
-shadowFingerprint(const ShadowMemory &shadow, Addr base,
-                  std::uint64_t bytes)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (Addr a = base; a < base + bytes; ++a) {
-        h ^= shadow.read(a);
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
+using paralog::shadowFingerprint;
 
 /** Base fixture: silences warn()/inform() for the whole suite. */
 class QuietTest : public ::testing::Test

@@ -297,5 +297,74 @@ TEST_F(CaptureUnitTest, ProduceInsertionAfterSameRidCaRecordStaysSorted)
     EXPECT_TRUE(cu.consumerEmpty());
 }
 
+// ------------------------- trace write classification (validator) ---
+
+/**
+ * The full classification table of traceIsWrite, audited against the
+ * interpreter's data-path operations: stores and lock RMWs write;
+ * barrier *arrival* (value 0) RMWs the barrier word while the *exit*
+ * phase (value 1) only reads it; malloc/free and read()-style syscalls
+ * write their range, write()-style syscalls only read the output
+ * buffer. This is the single table the happens-before validator
+ * consumes — TraceSink and the validator cannot disagree.
+ */
+TEST(TraceClassification, IsWriteTable)
+{
+    auto classify = [](EventType type, std::uint64_t value = 0,
+                       SyscallKind sys = SyscallKind::kNone) {
+        EventRecord r;
+        r.type = type;
+        r.value = value;
+        r.syscall = sys;
+        return traceIsWrite(r);
+    };
+
+    // Store-like.
+    EXPECT_TRUE(classify(EventType::kStore));
+    EXPECT_TRUE(classify(EventType::kLockAcquire));
+    EXPECT_TRUE(classify(EventType::kLockRelease));
+    EXPECT_TRUE(classify(EventType::kMallocEnd));
+    EXPECT_TRUE(classify(EventType::kFreeBegin));
+    // Barrier: arrival (value 0) is the RMW; exit (value 1) reads.
+    EXPECT_TRUE(classify(EventType::kBarrierPass, 0));
+    EXPECT_FALSE(classify(EventType::kBarrierPass, 1));
+    // Syscalls: the kernel writes the buffer of a read(), reads the
+    // buffer of a write().
+    EXPECT_TRUE(classify(EventType::kSyscallEnd, 0, SyscallKind::kRead));
+    EXPECT_FALSE(
+        classify(EventType::kSyscallEnd, 0, SyscallKind::kWrite));
+    EXPECT_FALSE(classify(EventType::kSyscallBegin, 0,
+                          SyscallKind::kRead));
+    // Read-like / bookkeeping.
+    EXPECT_FALSE(classify(EventType::kLoad));
+    EXPECT_FALSE(classify(EventType::kMovRR));
+    EXPECT_FALSE(classify(EventType::kMovImm));
+    EXPECT_FALSE(classify(EventType::kAlu));
+    EXPECT_FALSE(classify(EventType::kJump));
+    EXPECT_FALSE(classify(EventType::kCaBegin));
+    EXPECT_FALSE(classify(EventType::kCaEnd));
+    EXPECT_FALSE(classify(EventType::kThreadDone));
+    EXPECT_FALSE(classify(EventType::kProduceVersion));
+}
+
+TEST(TraceClassification, SinkAppliesTheSharedTable)
+{
+    TraceSink sink;
+    EventRecord arrival;
+    arrival.type = EventType::kBarrierPass;
+    arrival.value = 0;
+    sink.append(arrival);
+    EventRecord exit_rec;
+    exit_rec.type = EventType::kBarrierPass;
+    exit_rec.value = 1;
+    sink.append(exit_rec);
+
+    ASSERT_EQ(sink.size(), 2u);
+    EXPECT_TRUE(sink.records()[0].isWrite);
+    EXPECT_FALSE(sink.records()[1].isWrite);
+    EXPECT_EQ(sink.records()[0].globalSeq, 0u);
+    EXPECT_EQ(sink.records()[1].globalSeq, 1u);
+}
+
 } // namespace
 } // namespace paralog

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -223,6 +224,61 @@ TEST(CliParse, CsvAndJsonAreMutuallyExclusive)
     ParseResult r = parse({"--csv", "--json"});
     ASSERT_EQ(r.status, ParseStatus::kError);
     EXPECT_NE(r.error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliParse, RecordFlagRequiresASingleParallelCell)
+{
+    ParseResult r = parse({"--record=/tmp/x.trace"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.recordPath, "/tmp/x.trace");
+    ASSERT_EQ(r.options.runSpecs().size(), 1u);
+    EXPECT_EQ(r.options.runSpecs()[0].recordPath, "/tmp/x.trace");
+
+    EXPECT_EQ(parse({"--record="}).status, ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--mode=none"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--mode=timesliced"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--cores=1,2"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--workload=all"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--seed=1,2"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--repeat=2"}).status,
+              ParseStatus::kError);
+    // A fully-pinned single cell is fine, TSO included.
+    EXPECT_EQ(parse({"--record=/tmp/x", "--workload=ocean", "--cores=8",
+                     "--memory-model=tso", "--seed=9"})
+                  .status,
+              ParseStatus::kOk);
+}
+
+TEST(CliParse, ReplayTakesAxesFromTheRecording)
+{
+    ParseResult r = parse({"--replay=/tmp/x.trace"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.replayPath, "/tmp/x.trace");
+
+    // Only the lifeguard (and output/execution flags) may combine.
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lifeguard=all"}).status,
+              ParseStatus::kOk);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--jobs=4", "--repeat=2",
+                     "--json", "--shadow-shards=8"})
+                  .status,
+              ParseStatus::kOk);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--workload=lu"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--cores=2"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--seed=2"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--memory-model=tso"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--scale=100"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--record=/tmp/y"}).status,
+              ParseStatus::kError);
 }
 
 TEST(CliParse, RunSpecsExpandScenariosSeedsRepeats)
@@ -452,6 +508,17 @@ TEST_F(CliEndToEnd, InvalidComboExitsNonZeroWithUsage)
 
 // -------------------------------------- matrix features, end to end
 
+/** Occurrences of @p needle in @p text. */
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
 /** Split @p text into lines. */
 std::vector<std::string>
 splitLines(const std::string &text)
@@ -647,6 +714,100 @@ TEST_F(CliEndToEnd, RealPanicMidMatrixExitsNonzero)
     EXPECT_EQ(rc, 1) << out;
     EXPECT_NE(out.find("FAILED: simulation watchdog"), std::string::npos)
         << out;
+}
+
+// ------------------------------------------------- record / replay
+
+/** Self-deleting temp trace path for subprocess runs. */
+class CliTraceFile
+{
+  public:
+    explicit CliTraceFile(const char *tag)
+        : path_("/tmp/paralog_cli_" + std::string(tag) + "_" +
+                std::to_string(::getpid()) + ".trace")
+    {
+    }
+    ~CliTraceFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST_F(CliEndToEnd, RecordReplayRoundTripIsJobCountInvariant)
+{
+    // Record one cell, replay it under all four lifeguards at --jobs=1
+    // and --jobs=4: the JSON documents must be byte-identical modulo
+    // the host-side wall_ms/jobs lines — including the per-cell shadow
+    // fingerprints — and the recorded-lifeguard cell is additionally
+    // self-checked bit-identical inside the driver.
+    CliTraceFile trace("roundtrip");
+    std::string rec;
+    ASSERT_EQ(runCli("--workload=lu --lifeguard=taintcheck --cores=2 "
+                     "--scale=800 --record=" +
+                         trace.path(),
+                     rec),
+              0)
+        << rec;
+    EXPECT_NE(rec.find("shadow fingerprint"), std::string::npos) << rec;
+
+    const std::string flags =
+        "--replay=" + trace.path() + " --lifeguard=all --json";
+    std::string seq, par;
+    ASSERT_EQ(runCli(flags + " --jobs=1", seq), 0) << seq;
+    ASSERT_EQ(runCli(flags + " --jobs=4", par), 0) << par;
+    EXPECT_EQ(stripHostLines(seq), stripHostLines(par));
+    EXPECT_EQ(std::count(seq.begin(), seq.end(), '{'),
+              std::count(seq.begin(), seq.end(), '}'));
+    // Four replay cells, each carrying a fingerprint; the scenario
+    // axes come from the recording.
+    EXPECT_NE(seq.find("\"replay\":"), std::string::npos) << seq;
+    EXPECT_EQ(countOccurrences(seq, "\"fingerprint\": \"0x"), 4u) << seq;
+    EXPECT_EQ(countOccurrences(seq, "\"workload\": \"lu\""), 4u) << seq;
+    EXPECT_EQ(countOccurrences(seq, "\"cores\": 2"), 4u) << seq;
+    EXPECT_NE(seq.find("\"cells_failed\": 0"), std::string::npos) << seq;
+}
+
+TEST_F(CliEndToEnd, ReplayedFingerprintMatchesTheRecording)
+{
+    // The recorded run prints its fingerprint; the replay of the same
+    // lifeguard must print the identical one (and pass its internal
+    // bit-identical self-check to even get there).
+    CliTraceFile trace("fp");
+    std::string rec, rep;
+    ASSERT_EQ(runCli("--workload=fmm --lifeguard=memcheck --cores=2 "
+                     "--scale=600 --memory-model=tso --record=" +
+                         trace.path(),
+                     rec),
+              0)
+        << rec;
+    ASSERT_EQ(runCli("--replay=" + trace.path(), rep), 0) << rep;
+
+    auto fingerprint = [](const std::string &out) {
+        std::size_t at = out.find("shadow fingerprint: ");
+        return at == std::string::npos ? std::string()
+                                       : out.substr(at, 38);
+    };
+    ASSERT_FALSE(fingerprint(rec).empty()) << rec;
+    EXPECT_EQ(fingerprint(rec), fingerprint(rep)) << rec << rep;
+}
+
+TEST_F(CliEndToEnd, ReplayOfMissingOrBogusFileFailsCleanly)
+{
+    std::string out;
+    EXPECT_EQ(runCli("--replay=/nonexistent/paralog.trace", out), 2)
+        << out;
+    EXPECT_NE(out.find("--replay"), std::string::npos) << out;
+
+    // A file that is not a trace is rejected by the magic check.
+    CliTraceFile bogus("bogus");
+    std::FILE *f = std::fopen(bogus.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 8; ++i)
+        std::fputs("this is not a paralog trace file at all.....", f);
+    std::fclose(f);
+    EXPECT_EQ(runCli("--replay=" + bogus.path(), out), 2) << out;
+    EXPECT_NE(out.find("magic"), std::string::npos) << out;
 }
 
 TEST_F(CliEndToEnd, ShadowShardsAreResultInvariant)

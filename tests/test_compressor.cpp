@@ -1,9 +1,13 @@
-/** @file Unit tests for the stream compressor model. */
+/** @file Unit tests for the stream compressor model and its byte codec
+ *  (encode through StreamCompressor, decode through the trace-layer
+ *  RecordDecoder; the modeled sizes and the emitted bytes come from one
+ *  code path, and decode(encode(r)) must reproduce r exactly). */
 
 #include <gtest/gtest.h>
 
 #include "capture/compressor.hpp"
 #include "common/rng.hpp"
+#include "trace/codec.hpp"
 
 namespace paralog {
 namespace {
@@ -88,6 +92,196 @@ TEST(Compressor, ResetClearsState)
     c.reset();
     EXPECT_EQ(c.totalRecords(), 0u);
     EXPECT_EQ(c.totalBytes(), 0u);
+}
+
+// ----------------------- encode/decode round trip (trace codec) -----
+
+/** Field-by-field equality (EventRecord has no operator==). */
+void
+expectRecordEq(const EventRecord &got, const EventRecord &want,
+               const std::string &ctx)
+{
+    EXPECT_EQ(got.type, want.type) << ctx;
+    EXPECT_EQ(got.rid, want.rid) << ctx;
+    EXPECT_EQ(got.dst, want.dst) << ctx;
+    EXPECT_EQ(got.src, want.src) << ctx;
+    EXPECT_EQ(got.size, want.size) << ctx;
+    EXPECT_EQ(got.addr, want.addr) << ctx;
+    EXPECT_EQ(got.value, want.value) << ctx;
+    EXPECT_EQ(got.range, want.range) << ctx;
+    EXPECT_EQ(got.syscall, want.syscall) << ctx;
+    EXPECT_EQ(got.caKind, want.caKind) << ctx;
+    EXPECT_EQ(got.caSeq, want.caSeq) << ctx;
+    EXPECT_EQ(got.arcs, want.arcs) << ctx;
+    EXPECT_EQ(got.version, want.version) << ctx;
+    EXPECT_EQ(got.consumesVersion, want.consumesVersion) << ctx;
+    EXPECT_EQ(got.wrapper, want.wrapper) << ctx;
+}
+
+/**
+ * Round-trip a stream of records: encode each through one
+ * StreamCompressor (payload bytes + sideband), decode through one
+ * RecordDecoder, and additionally run an encoder WITHOUT a sink to
+ * prove the emitted byte counts equal the legacy modeled sizes.
+ */
+void
+roundTripStream(const std::vector<EventRecord> &stream)
+{
+    StreamCompressor enc, legacy;
+    trace::RecordDecoder dec;
+    RecordId enc_last_rid = 0;
+    std::uint64_t decoded_bytes = 0;
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const EventRecord &rec = stream[i];
+        std::string ctx = std::string("record ") + std::to_string(i) +
+                          " (" + toString(rec.type) + ")";
+
+        std::vector<std::uint8_t> bytes;
+        trace::encodeSideband(rec, enc_last_rid, bytes);
+        std::size_t sideband_len = bytes.size();
+        std::uint32_t emitted = enc.encode(rec, &bytes);
+        std::uint32_t modeled = legacy.encode(rec);
+
+        // The emitted payload is exactly the modeled size.
+        EXPECT_EQ(emitted, modeled) << ctx;
+        ASSERT_EQ(bytes.size() - sideband_len, modeled) << ctx;
+
+        EventRecord back;
+        ByteCursor c(bytes.data(), bytes.size());
+        ASSERT_TRUE(dec.decode(c, emitted, back)) << ctx;
+        EXPECT_TRUE(c.atEnd()) << ctx;
+        expectRecordEq(back, rec, ctx);
+        decoded_bytes += emitted;
+    }
+    EXPECT_EQ(decoded_bytes, legacy.totalBytes());
+    EXPECT_EQ(enc.totalBytes(), legacy.totalBytes());
+}
+
+/** A representative record of @p type at @p addr with rich fields. */
+EventRecord
+recordOf(EventType type, Addr addr, RecordId rid)
+{
+    EventRecord r;
+    r.type = type;
+    r.tid = 0;
+    r.rid = rid;
+    r.addr = 0;
+    switch (type) {
+      case EventType::kLoad:
+      case EventType::kStore:
+        r.addr = addr;
+        r.size = 8;
+        r.dst = 3;
+        r.src = 5;
+        break;
+      case EventType::kLockAcquire:
+      case EventType::kLockRelease:
+        r.addr = addr;
+        break;
+      case EventType::kBarrierPass:
+        r.addr = addr;
+        r.value = rid & 1; // both phases
+        break;
+      case EventType::kMallocEnd:
+      case EventType::kFreeBegin:
+        r.range = AddrRange{addr, addr + 256};
+        r.caSeq = 11;
+        break;
+      case EventType::kSyscallBegin:
+      case EventType::kSyscallEnd:
+        r.range = AddrRange{addr, addr + 64};
+        r.syscall = SyscallKind::kRead;
+        break;
+      case EventType::kCaBegin:
+      case EventType::kCaEnd:
+        r.range = AddrRange{addr, addr + 128};
+        r.value = 9; // CA sequence
+        r.caKind = HighLevelKind::kFreeBegin;
+        break;
+      case EventType::kProduceVersion:
+        r.addr = addr;
+        r.size = 4;
+        r.value = 17; // producing store rid
+        r.version = VersionTag{1, 17};
+        break;
+      case EventType::kMovImm:
+      case EventType::kThreadSwitch:
+        r.value = 42;
+        break;
+      case EventType::kJump:
+        r.src = 7;
+        r.value = 0xBEEF;
+        break;
+      default:
+        break;
+    }
+    return r;
+}
+
+TEST(CodecRoundTrip, EveryEventTypeHitAndMiss)
+{
+    // For every type: a cold predictor (miss, raw addr), a second
+    // access establishing the stride, and a third hitting it — plus
+    // the no-address types riding along. One shared stream, so the
+    // decoder predictors track the encoder's across all of it.
+    std::vector<EventRecord> stream;
+    RecordId rid = 0;
+    for (unsigned t = static_cast<unsigned>(EventType::kLoad);
+         t <= static_cast<unsigned>(EventType::kProduceVersion); ++t) {
+        EventType type = static_cast<EventType>(t);
+        for (Addr step = 0; step < 3; ++step)
+            stream.push_back(
+                recordOf(type, 0x40000 + 0x1000 * t + 64 * step, rid++));
+    }
+    roundTripStream(stream);
+}
+
+TEST(CodecRoundTrip, ArcsVersionsAndFlags)
+{
+    std::vector<EventRecord> stream;
+    EventRecord ld = recordOf(EventType::kLoad, 0x1000, 5);
+    ld.arcs.push_back(DepArc{1, 100});
+    ld.arcs.push_back(DepArc{3, 70000}); // multi-byte varint rid
+    ld.consumesVersion = true;
+    ld.version = VersionTag{2, 1234};
+    stream.push_back(ld);
+
+    EventRecord st = recordOf(EventType::kStore, 0x2000, 6);
+    st.wrapper = true;
+    stream.push_back(st);
+
+    EventRecord sys = recordOf(EventType::kSyscallEnd, 0x3000, 7);
+    sys.syscall = SyscallKind::kWrite;
+    stream.push_back(sys);
+
+    // CA records share the rid of the preceding record (delta 0).
+    EventRecord ca = recordOf(EventType::kCaBegin, 0x3100, 7);
+    stream.push_back(ca);
+
+    roundTripStream(stream);
+}
+
+TEST(CodecRoundTrip, RandomizedStream)
+{
+    Rng rng(1234);
+    std::vector<EventRecord> stream;
+    RecordId rid = 0;
+    for (int i = 0; i < 2000; ++i) {
+        unsigned t = static_cast<unsigned>(EventType::kLoad) +
+                     static_cast<unsigned>(
+                         rng.next() %
+                         static_cast<unsigned>(EventType::kProduceVersion));
+        rid += rng.next() % 3;
+        EventRecord r = recordOf(static_cast<EventType>(t),
+                                 rng.next() & 0xFFFFF8, rid);
+        if (rng.next() % 4 == 0)
+            r.arcs.push_back(
+                DepArc{static_cast<ThreadId>(rng.next() % 8),
+                       rng.next() % 100000});
+        stream.push_back(r);
+    }
+    roundTripStream(stream);
 }
 
 TEST(Compressor, RealisticMixUnderTwoBytes)

@@ -155,6 +155,78 @@ TEST(Validator, FreeWithoutAlertFlagged)
     EXPECT_FALSE(v.validate(trace).ok());
 }
 
+TEST(Validator, SyscallRangeDirectionFollowsTheSharedClassifier)
+{
+    // A write()-style syscall reads the output buffer; its range must
+    // not be treated as a kernel write. T1 wrote the buffer earlier
+    // with no ordering to T0's SyscallEnd — a write classification
+    // would flag a WAW race that does not exist; a read classification
+    // needs the RAW pair ordered, which the arc provides.
+    std::vector<TracedRecord> trace;
+    trace.push_back(access(0, 1, 0, EventType::kStore, 0x5000));
+
+    TracedRecord sys;
+    sys.globalSeq = 1;
+    sys.rec.type = EventType::kSyscallEnd;
+    sys.rec.tid = 0;
+    sys.rec.rid = 0;
+    sys.rec.syscall = SyscallKind::kWrite;
+    sys.rec.range = AddrRange{0x5000, 0x5040};
+    sys.rec.arcs.push_back(DepArc{1, 0});
+    sys.isWrite = traceIsWrite(sys.rec);
+    EXPECT_FALSE(sys.isWrite);
+    trace.push_back(sys);
+
+    HappensBeforeValidator v(2);
+    auto result = v.validate(trace);
+    EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                     ? ""
+                                     : result.violations[0]);
+
+    // The same trace with a read()-style syscall is a kernel fill: a
+    // write over the range, still ordered by the arc.
+    trace[1].rec.syscall = SyscallKind::kRead;
+    trace[1].isWrite = traceIsWrite(trace[1].rec);
+    EXPECT_TRUE(trace[1].isWrite);
+    EXPECT_TRUE(v.validate(trace).ok());
+}
+
+TEST(Validator, BarrierPhaseConventionMatchesTheInterpreter)
+{
+    // Derive the arrival/exit convention from a real capture: lu
+    // passes phase barriers, so the trace must contain both phases —
+    // arrivals (value 0, the RMW store) classified as writes and exits
+    // (value 1, the release-observing read) as reads. If the
+    // interpreter's encoding ever flips, this fails before the
+    // classifier silently inverts the happens-before check.
+    setQuiet(true);
+    ExperimentOptions o;
+    o.scale = 800;
+    PlatformConfig cfg = makeConfig(WorkloadKind::kLu,
+                                    LifeguardKind::kTaintCheck,
+                                    MonitorMode::kParallel, 2, o);
+    cfg.traceCapture = true;
+    Platform p(cfg);
+    p.run();
+
+    std::size_t arrivals = 0, exits = 0;
+    for (const TracedRecord &tr : p.trace().records()) {
+        if (tr.rec.type != EventType::kBarrierPass)
+            continue;
+        ASSERT_LE(tr.rec.value, 1u);
+        if (tr.rec.value == 0) {
+            ++arrivals;
+            EXPECT_TRUE(tr.isWrite);
+        } else {
+            ++exits;
+            EXPECT_FALSE(tr.isWrite);
+        }
+    }
+    EXPECT_GT(arrivals, 0u);
+    EXPECT_GT(exits, 0u);
+    EXPECT_EQ(arrivals, exits); // every arrival has its exit
+}
+
 // ---------- whole-run validation of real captures ----------
 
 class WholeRunValidation

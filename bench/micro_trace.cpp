@@ -170,15 +170,35 @@ benchReplay(std::uint64_t scale)
     auto t3 = Clock::now();
     gSink += replayed.totalCycles;
 
+    // Concurrent replay (--lg-threads): same analysis results through
+    // the host-parallel engine. Reported as a comparison only — the
+    // speedup depends entirely on host core count (a 1-core host runs
+    // it slower than serial, since the producer/consumer threads just
+    // time-slice), so nothing here asserts on it.
+    rcfg = ReplayConfig{};
+    rcfg.path = path;
+    rcfg.lgThreads = 4;
+    auto t4 = Clock::now();
+    ReplayPlatform rpc(std::move(rcfg));
+    RunResult concurrent = rpc.run();
+    auto t5 = Clock::now();
+    gSink += concurrent.totalCycles;
+
     trace::TraceReader reader(path);
     std::printf("record (live run):  %8.2f Mrec/s  (%llu records, "
                 "%llu journal ops)\n",
                 perSecond(t0, t1, records) / 1e6,
                 static_cast<unsigned long long>(records),
                 static_cast<unsigned long long>(reader.totalOps()));
-    std::printf("replay:             %8.2f Mrec/s  (bit-identical "
+    std::printf("replay (serial):    %8.2f Mrec/s  (bit-identical "
                 "self-check passed)\n",
                 perSecond(t2, t3, records) / 1e6);
+    double serial_s = std::chrono::duration<double>(t3 - t2).count();
+    double conc_s = std::chrono::duration<double>(t5 - t4).count();
+    std::printf("replay (4 lg thr):  %8.2f Mrec/s  (footer self-check "
+                "passed; %.2fx vs serial)\n",
+                perSecond(t4, t5, records) / 1e6,
+                conc_s > 0 ? serial_s / conc_s : 0.0);
     std::remove(path.c_str());
 }
 

@@ -37,6 +37,26 @@ struct LifeguardPolicy
     bool caOnFree = true;
     bool caOnSyscall = true;
 
+    // Whether a store may leave the stored register's own IT row live
+    // (the self-RMW exemption). Sound only when the lifeguard's
+    // metadata combining is idempotent (union/intersection lattices:
+    // TaintCheck) — for state-transition metadata like MemCheck's
+    // init bit, a deferred check crossing its own initializing store
+    // changes outcome with flush timing, so such lifeguards must
+    // clear this and take the flush.
+    bool itExemptSelfRmw = true;
+
+    // Whether overwriting a live IT row (a new load/mov retargeting the
+    // same register) must flush the old row first. Propagation-only
+    // lifeguards (TaintCheck) can drop the stale row: its pending
+    // deliveries only duplicate metadata the overwrite supersedes. A
+    // checking lifeguard (MemCheck) cannot — the dropped row carries a
+    // deferred uninit-read check, and whether an unrelated stall flush
+    // happens to rescue it before the overwrite is delivery-schedule
+    // timing, making the set of reported violations nondeterministic
+    // (and silently losing checks even sequentially).
+    bool itFlushOnOverwrite = false;
+
     // Accelerator flushing on CA records / local high-level events.
     bool itFlushOnAlloc = true;   ///< malloc/free conflict with IT state
     bool ifInvalidateOnAlloc = true;

@@ -12,6 +12,8 @@ AccelUnit::AccelUnit(const SimConfig &cfg, const LifeguardPolicy &policy)
       mtlb_(cfg.accel.mtlbEntries,
             cfg.accel.metadataTlb && policy.usesMtlb)
 {
+    it_.setExemptSelfRmw(policy.itExemptSelfRmw);
+    it_.setFlushOnOverwrite(policy.itFlushOnOverwrite);
 }
 
 void

@@ -92,6 +92,18 @@ ItTable::flushOlderThan(RecordId min_rid, std::vector<LgEvent> &out)
 }
 
 void
+ItTable::retireRow(RegId reg, std::vector<LgEvent> &out)
+{
+    // A new absorption is retargeting this register. Propagation-only
+    // metadata can drop the old row (the overwrite supersedes it), but
+    // under itFlushOnOverwrite the row's deferred checks must be
+    // delivered first — otherwise whether they ever run depends on an
+    // unrelated flush racing the overwrite (see LifeguardPolicy).
+    if (flushOnOverwrite_)
+        flushRow(reg, out);
+}
+
+void
 ItTable::flushOverlapping(Addr addr, unsigned size,
                           std::vector<LgEvent> &out, RegId exempt)
 {
@@ -139,9 +151,11 @@ ItTable::process(const EventRecord &rec, std::vector<LgEvent> &out)
             // versions, so deliver the load itself and any pending state
             // inheriting from the same address (section 5.5).
             flushOverlapping(rec.addr, rec.size, out);
+            retireRow(rec.dst, out);
             rows_[rec.dst] = Row{};
             return false;
         }
+        retireRow(rec.dst, out);
         Row row;
         row.state = RowState::kAddr;
         row.nsrc = 1;
@@ -152,6 +166,7 @@ ItTable::process(const EventRecord &rec, std::vector<LgEvent> &out)
       }
 
       case EventType::kMovImm: {
+        retireRow(rec.dst, out);
         Row row;
         row.state = RowState::kConst;
         rows_[rec.dst] = row;
@@ -163,9 +178,12 @@ ItTable::process(const EventRecord &rec, std::vector<LgEvent> &out)
         if (rows_[rec.src].state == RowState::kInvalid) {
             // The lifeguard's own register metadata is current for src;
             // deliver the copy so dst stays current there too.
+            retireRow(rec.dst, out);
             rows_[rec.dst] = Row{};
             return false;
         }
+        if (rec.dst != rec.src)
+            retireRow(rec.dst, out);
         rows_[rec.dst] = rows_[rec.src];
         stats.counter("absorbed_movs").inc();
         return true;
@@ -207,11 +225,16 @@ ItTable::process(const EventRecord &rec, std::vector<LgEvent> &out)
       case EventType::kStore: {
         // Local conflict detection (sequential-setting rule retained):
         // the store may overwrite an inherits-from location. The stored
-        // register's own row is exempt: a read-modify-write through the
-        // same register is idempotent under union/intersection metadata
-        // combining (meta(A) after mem_to_mem(A, {A, ...}) equals the
-        // row's own state), so the row remains accurate.
-        flushOverlapping(rec.addr, rec.size, out, rec.src);
+        // register's own row may be exempt: a read-modify-write through
+        // the same register is idempotent under union/intersection
+        // metadata combining (meta(A) after mem_to_mem(A, {A, ...})
+        // equals the row's own state), so the row remains accurate.
+        // State-transition metadata (MemCheck init bits) is not a
+        // lattice — there a deferred check crossing its own store
+        // changes outcome with flush timing, so the lifeguard's policy
+        // disables the exemption and the row flushes first.
+        flushOverlapping(rec.addr, rec.size, out,
+                         exemptSelfRmw_ ? rec.src : kNoReg);
 
         const Row &s = rows_[rec.src];
         LgEvent ev;

@@ -98,6 +98,14 @@ class ItTable
                           std::vector<LgEvent> &out,
                           RegId exempt = kNoReg);
 
+    /** Policy knob: whether a store leaves the stored register's own
+     *  row live (LifeguardPolicy::itExemptSelfRmw). */
+    void setExemptSelfRmw(bool exempt) { exemptSelfRmw_ = exempt; }
+
+    /** Policy knob: whether retargeting a register flushes its old row
+     *  instead of dropping it (LifeguardPolicy::itFlushOnOverwrite). */
+    void setFlushOnOverwrite(bool flush) { flushOnOverwrite_ = flush; }
+
     const Row &row(RegId reg) const { return rows_[reg]; }
 
     /** Any row currently holding inherits-from state? */
@@ -108,7 +116,12 @@ class ItTable
   private:
     static LgEvent inheritEvent(RegId reg, const Row &row);
 
+    /** Flush-or-drop the row a new absorption is about to replace. */
+    void retireRow(RegId reg, std::vector<LgEvent> &out);
+
     std::array<Row, kNumRegs> rows_{};
+    bool exemptSelfRmw_ = true;
+    bool flushOnOverwrite_ = false;
 };
 
 } // namespace paralog

@@ -189,6 +189,23 @@ CaptureUnit::insertProduceBefore(RecordId store_rid, const VersionTag &v,
 RecordId
 CaptureUnit::progressCeiling() const
 {
+    if (ring_) {
+        // Read order matters: load the bound *before* inspecting the
+        // ring head. Records published after the bound load carry
+        // rids >= the bound at the time it was computed, so a stale
+        // (smaller) bound is always safe, never stale-large.
+        RecordId bound = ceilingBound_.load(std::memory_order_acquire);
+        const EventRecord *front = ring_->front();
+        if (front && front->rid < bound)
+            return front->rid;
+        return bound;
+    }
+    return bufferCeiling();
+}
+
+RecordId
+CaptureUnit::bufferCeiling() const
+{
     if (const EventRecord *front = buf_.peek(kInvalidRecord)) {
         RecordId ceil = front->rid;
         if (visLimit_ != kInvalidRecord && visLimit_ < ceil)

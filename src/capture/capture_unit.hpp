@@ -10,6 +10,7 @@
 #ifndef PARALOG_CAPTURE_CAPTURE_UNIT_HPP
 #define PARALOG_CAPTURE_CAPTURE_UNIT_HPP
 
+#include <atomic>
 #include <cstdint>
 
 #include "app/event.hpp"
@@ -18,6 +19,7 @@
 #include "capture/log_buffer.hpp"
 #include "capture/reduction.hpp"
 #include "capture/trace.hpp"
+#include "common/spsc_ring.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "sim/config.hpp"
@@ -102,10 +104,30 @@ class CaptureUnit
 
     // ---- consumer interface (order-enforcing component reads these) ----
 
-    const EventRecord *peek() const { return buf_.peek(visLimit_); }
-    EventRecord pop() { return buf_.pop(); }
+    const EventRecord *
+    peek() const
+    {
+        return ring_ ? ring_->front() : buf_.peek(visLimit_);
+    }
+    EventRecord
+    pop()
+    {
+        if (ring_) {
+            EventRecord rec = std::move(*ring_->front());
+            ring_->pop();
+            return rec;
+        }
+        return buf_.pop();
+    }
     /** Discard the head after in-place processing (batch delivery). */
-    void dropFront() { buf_.dropFront(); }
+    void
+    dropFront()
+    {
+        if (ring_)
+            ring_->pop();
+        else
+            buf_.dropFront();
+    }
     bool consumerEmpty() const { return peek() == nullptr; }
 
     /**
@@ -114,6 +136,39 @@ class CaptureUnit
      * never produced a record or have been consumed.
      */
     RecordId progressCeiling() const;
+
+    /** The log-buffer-side ceiling (the serial progressCeiling
+     *  formula), regardless of ring mode. In ring mode this is the
+     *  producer-side input to setCeilingBound. */
+    RecordId bufferCeiling() const;
+
+    // ---- concurrent (ring) hand-off mode --------------------------------
+
+    /**
+     * Switch the consumer face to a cross-thread SPSC ring. The replay
+     * producer thread moves fully-sealed records out of the log buffer
+     * into the ring (publishing batches atomically) and advances the
+     * ceiling bound; the consumer side of peek/pop/dropFront/
+     * progressCeiling then reads the ring only. Producer-side mutators
+     * (append/attachArcs/annotate/...) keep operating on the log
+     * buffer and stay producer-thread-only.
+     */
+    void attachRing(SpscRing<EventRecord> *ring) { ring_ = ring; }
+    SpscRing<EventRecord> *ring() { return ring_; }
+
+    /**
+     * Ring-mode progress bound: a consumer that has drained the ring
+     * may publish progress up to this value. The producer advances it
+     * (release) only after publishing every ring record it covers, and
+     * progressCeiling() reads it (acquire) *before* looking at the ring
+     * head — so a bound observed together with an empty ring really
+     * means every record below the bound was handed over.
+     */
+    void
+    setCeilingBound(RecordId bound)
+    {
+        ceilingBound_.store(bound, std::memory_order_release);
+    }
 
     LogBuffer &buffer() { return buf_; }
     ArcReducer &reducer() { return reducer_; }
@@ -172,6 +227,11 @@ class CaptureUnit
     std::vector<std::uint8_t> codecScratch_; ///< journalled codec bytes
     RecordId retired_ = 0;
     RecordId visLimit_ = kInvalidRecord;
+    /// Concurrent hand-off (attachRing): consumer face reads the ring.
+    SpscRing<EventRecord> *ring_ = nullptr;
+    /// Ring-mode progress bound, producer-published (release) and read
+    /// by progressCeiling() (acquire) before the ring head.
+    std::atomic<RecordId> ceilingBound_{0};
     /// Arcs that survived reduction but whose record was filtered out;
     /// re-attached to the next captured record (conservative ordering).
     std::vector<DepArc> pendingArcsCarry_;

@@ -230,6 +230,7 @@ CliOptions::experimentOptions() const
     opt.logBufferBytes = logBufferBytes;
     opt.shadowShards = shadowShards;
     opt.maxCycles = maxCycles;
+    opt.lgThreads = lgThreads;
     return opt;
 }
 
@@ -298,6 +299,11 @@ usageText()
        << "                 listed lifeguard; replaying the recorded\n"
        << "                 lifeguard is self-checked bit-identical\n"
        << "                 against the recorded results\n"
+       << "  --lg-threads=N replay the lifeguard cores on N host threads\n"
+       << "                 (0/1 = serial engine). N >= 2 selects the\n"
+       << "                 concurrent engine: analysis results stay\n"
+       << "                 identical to serial, simulated timing is\n"
+       << "                 relaxed. Replay-only; rejected with --record\n"
        << "\n"
        << "Matrix execution:\n"
        << "  --jobs=N     run cells on N host threads (default 1); each\n"
@@ -517,6 +523,20 @@ const ValuedFlag kValuedFlags[] = {
          return false;
      },
      kSetLogBuffer},
+    {"--lg-threads",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         std::uint64_t n = 0;
+         if (parseU64(value, n) && n <= kMaxJobs) {
+             o.lgThreads = static_cast<std::uint32_t>(n);
+             o.lgThreadsSet = true;
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --lg-threads (want 0.." + std::to_string(kMaxJobs) +
+               "; 0/1 = serial)";
+         return false;
+     }},
     {"--record",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -636,6 +656,19 @@ parseArgs(const std::vector<std::string_view> &args)
                         "workload, lifeguard, core count and seed, and "
                         "no --repeat");
     }
+
+    // --lg-threads selects the replay engine's host threading. Recording
+    // requires the serial engine (the journal's lgStep stamps describe
+    // the serial scheduler), and the live path has no concurrent engine
+    // yet — so the flag is replay-only, rejected even with a 0/1 value
+    // rather than silently normalized.
+    if (o.lgThreadsSet && !o.recordPath.empty())
+        return fail("--record requires the serial engine and cannot be "
+                    "combined with --lg-threads (record first, then "
+                    "replay with --replay --lg-threads=N)");
+    if (o.lgThreadsSet && o.replayPath.empty())
+        return fail("--lg-threads applies to replay only (combine it "
+                    "with --replay=FILE)");
 
     // --replay takes every scenario axis from the recording; only the
     // lifeguard may be overridden (re-monitoring under a different

@@ -71,6 +71,12 @@ struct CliOptions
     std::uint32_t shadowShards = 0; ///< 0 = auto (per lifeguard core)
     std::uint64_t maxCycles = 0;    ///< 0 = platform default watchdog
 
+    /// --lg-threads=N: host threads for the lifeguard cores of a
+    /// --replay run (0/1 = serial engine; >= 2 = concurrent engine).
+    /// Replay-only: live runs and --record reject it.
+    std::uint32_t lgThreads = 0;
+    bool lgThreadsSet = false; ///< flag given (drives --record conflict)
+
     std::uint32_t jobs = 1;   ///< host threads running matrix cells
     std::uint32_t repeat = 1; ///< repeats per cell, aggregated
 

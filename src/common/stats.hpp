@@ -8,9 +8,12 @@
 #define PARALOG_COMMON_STATS_HPP
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -73,17 +76,48 @@ class SampleSummaryT
 using SampleSummary = SampleSummaryT<std::uint64_t>;
 using WallClockSummary = SampleSummaryT<double>;
 
-/** Monotonic scalar counter. */
+/**
+ * Monotonic scalar counter. Backed by a relaxed atomic so that
+ * monitor-side counters can be *sampled* from another host thread
+ * (the concurrent-mode progress watchdog) without a data race.
+ * Writers are still expected to be serialized per counter — each
+ * counter has a single owning thread or is updated under its
+ * component's mutex — the atomic only makes cross-thread sampling
+ * well-defined, not concurrent increments contention-proof. inc()
+ * uses an atomic RMW anyway so an accidental second writer degrades
+ * to a benign ordering question instead of lost updates.
+ */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    void set(std::uint64_t v) { value_ = v; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    Counter() = default;
+    Counter(const Counter &o)
+        : value_(o.value_.load(std::memory_order_relaxed))
+    {
+    }
+    Counter &
+    operator=(const Counter &o)
+    {
+        value_.store(o.value_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return *this;
+    }
+
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /**
@@ -127,8 +161,18 @@ class StatSet
   public:
     explicit StatSet(std::string name = "") : name_(std::move(name)) {}
 
-    Counter &counter(const std::string &name) { return counters_[name]; }
-    Histogram &histogram(const std::string &name) { return histograms_[name]; }
+    Counter &
+    counter(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(initMutex_);
+        return counters_[name];
+    }
+    Histogram &
+    histogram(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(initMutex_);
+        return histograms_[name];
+    }
 
     /**
      * Fast-path overloads for string literals (every instrumentation
@@ -136,29 +180,40 @@ class StatSet
      * cost is a short pointer scan instead of a std::string
      * construction plus a map walk — the difference matters at
      * once-per-simulated-event call sites.
+     *
+     * The memo is safe to use from several host threads (a shared
+     * component's counters may be first-touched by any worker, and the
+     * concurrent-mode watchdog samples them from the supervisor): slots
+     * are fixed storage, each published exactly once with a release
+     * store of its name after the entry is complete, and scanned with
+     * acquire loads — first-use takes initMutex_, the steady state
+     * stays lock-free. Counter increments were already relaxed
+     * atomics; Histograms remain single-writer (see class comment).
      */
     Counter &
     counter(const char *name)
     {
-        for (const auto &e : counterMemo_) {
-            if (e.first == name)
-                return *e.second;
+        for (const MemoSlot<Counter> &e : counterMemo_) {
+            const char *n = e.name.load(std::memory_order_acquire);
+            if (n == nullptr)
+                break;
+            if (n == name)
+                return *e.value;
         }
-        Counter &c = counters_[name];
-        counterMemo_.emplace_back(name, &c);
-        return c;
+        return counterSlow(name);
     }
 
     Histogram &
     histogram(const char *name)
     {
-        for (const auto &e : histogramMemo_) {
-            if (e.first == name)
-                return *e.second;
+        for (const MemoSlot<Histogram> &e : histogramMemo_) {
+            const char *n = e.name.load(std::memory_order_acquire);
+            if (n == nullptr)
+                break;
+            if (n == name)
+                return *e.value;
         }
-        Histogram &h = histograms_[name];
-        histogramMemo_.emplace_back(name, &h);
-        return h;
+        return histogramSlow(name);
     }
 
     std::uint64_t get(const std::string &name) const;
@@ -179,13 +234,29 @@ class StatSet
     const std::string &name() const { return name_; }
 
   private:
+    /// One memo entry: the literal's address doubles as the published
+    /// flag (null = end of the populated prefix). Map node references
+    /// are stable, so the cached pointers never dangle.
+    template <typename T>
+    struct MemoSlot
+    {
+        std::atomic<const char *> name{nullptr};
+        T *value = nullptr;
+    };
+
+    static constexpr std::size_t kMemoSlots = 64;
+
+    Counter &counterSlow(const char *name);
+    Histogram &histogramSlow(const char *name);
+
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> histograms_;
-    /// Literal-address memo for the const char* fast paths. Map node
-    /// references are stable, so the cached pointers never dangle.
-    std::vector<std::pair<const char *, Counter *>> counterMemo_;
-    std::vector<std::pair<const char *, Histogram *>> histogramMemo_;
+    std::array<MemoSlot<Counter>, kMemoSlots> counterMemo_;
+    std::array<MemoSlot<Histogram>, kMemoSlots> histogramMemo_;
+    /// Guards first-use insertion into the maps and memo publication;
+    /// never taken on a memo hit.
+    std::mutex initMutex_;
 };
 
 } // namespace paralog

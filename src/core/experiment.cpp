@@ -135,6 +135,7 @@ replayExperiment(const RunSpec &spec)
         cfg.shadowShards = spec.opt.shadowShards;
     if (spec.opt.maxCycles != 0)
         cfg.maxCycles = spec.opt.maxCycles;
+    cfg.lgThreads = spec.opt.lgThreads;
     ReplayPlatform rp(std::move(cfg));
     return rp.run();
 }

@@ -39,6 +39,9 @@ struct ExperimentOptions
     std::uint32_t shadowShards = 0;
     /// Simulated-time watchdog override (0 = PlatformConfig default).
     std::uint64_t maxCycles = 0;
+    /// Host lifeguard threads for replay runs (ReplayConfig::lgThreads):
+    /// 0/1 = serial engine, >= 2 = concurrent engine. Ignored live.
+    std::uint32_t lgThreads = 0;
 
     /** Scale override from the environment (PARALOG_SCALE), if set. */
     static std::uint64_t envScale(std::uint64_t fallback);

@@ -450,8 +450,11 @@ Platform::run()
     }
     result.versionsProduced = produced_ctr.value();
     result.versionsConsumed = consumed_ctr.value();
-    if (lifeguard_)
+    if (lifeguard_) {
         result.violationCount = lifeguard_->violations.count();
+        result.violationFingerprint =
+            lifeguard_->violations.setFingerprint();
+    }
     return result;
 }
 

@@ -108,8 +108,10 @@ ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
     sim_ = tc.toSimConfig();
     // Recordings use canonical single-pop delivery (see
     // recordExperiment): the journal's lifeguard-step stamps only line
-    // up when replay steps the same way.
-    sim_.deliverBatchMax = 1;
+    // up when replay steps the same way. The concurrent engine ignores
+    // the step stamps entirely (delivery order is protocol-enforced,
+    // not schedule-reproduced), so it may batch freely.
+    sim_.deliverBatchMax = concurrent() ? 16 : 1;
     if (cfg_.shadowShards != ReplayConfig::kKeepRecorded)
         sim_.shadowShards = cfg_.shadowShards;
     k_ = tc.appThreads;
@@ -117,8 +119,27 @@ ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
         lifeguardKind_ = tc.lifeguard;
     sameLifeguard_ = (lifeguardKind_ == tc.lifeguard);
 
+    if (concurrent()) {
+        // Cross-lifeguard replays re-filter streams and use a fresh
+        // timed memory hierarchy; both are engineered for the serial
+        // scheduler. Restrict the host-parallel engine to the recorded
+        // lifeguard, where delivery is fully protocol-enforced.
+        PARALOG_ASSERT(sameLifeguard_,
+                       "concurrent replay (--lg-threads) requires "
+                       "replaying the recorded lifeguard");
+        // High-level handlers (allocation fills, range checks) touch
+        // metadata of whole ranges non-atomically; their exclusivity
+        // rests on the two-sided ConflictAlert barriers. A recording
+        // made without them cannot be monitored concurrently.
+        PARALOG_ASSERT(sim_.conflictAlerts,
+                       "concurrent replay requires a recording made "
+                       "with ConflictAlert broadcasts enabled");
+    }
+
     lifeguard_ = makeLifeguard(lifeguardKind_, k_,
                                sim_.effectiveShadowShards(k_));
+    if (concurrent())
+        lifeguard_->shadow().setConcurrent(true);
     progress_ = std::make_unique<ProgressTable>(k_);
     caMgr_ = std::make_unique<CaManager>(k_);
 
@@ -170,7 +191,11 @@ ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
             k_ + t, t, sim_, *captures_[t], *progress_, *caMgr_,
             *lifeguard_, sameLifeguard_ ? nullptr : mem_.get(),
             versions_, 1));
-        if (sameLifeguard_) {
+        // The concurrent engine relaxes timing: no latency oracle (and
+        // no memory system), so metadata accesses are untimed — the
+        // recorded latency sideband describes the serial schedule's
+        // access sequence, which concurrent delivery does not reproduce.
+        if (sameLifeguard_ && !concurrent()) {
             latStreams_.push_back(reader_.latencyStream(t));
             lgCores_.back()->ctx().setMetaLatencyOracle(
                 [this, t]() -> Cycle {
@@ -252,6 +277,12 @@ ReplayPlatform::shadowFingerprint() const
 
 RunResult
 ReplayPlatform::run()
+{
+    return concurrent() ? runConcurrent() : runSerial();
+}
+
+RunResult
+ReplayPlatform::runSerial()
 {
     Cycle now = 0;
     Cycle last_now = 0;
@@ -397,6 +428,7 @@ ReplayPlatform::run()
     result.versionsProduced = produced_ctr.value();
     result.versionsConsumed = consumed_ctr.value();
     result.violationCount = lifeguard_->violations.count();
+    result.violationFingerprint = lifeguard_->violations.setFingerprint();
     result.shadowFingerprint = shadowFingerprint();
 
     // The oracle panics when a lifeguard performs *more* metadata

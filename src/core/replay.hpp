@@ -51,6 +51,17 @@ struct ReplayConfig
     std::uint64_t stallWatchdogIters = 2'000'000;
     /// Skip the footer self-check (divergence diagnosis tooling).
     bool verify = true;
+    /**
+     * Host lifeguard threads. 0 and 1 select the serial engine
+     * (bit-identical, footer-verified). >= 2 selects the concurrent
+     * engine: one producer thread re-applies the journal while
+     * min(lgThreads, k) consumer threads run the lifeguard cores,
+     * fed through lock-free SPSC rings. Analysis results (shadow
+     * fingerprint, violations, records processed, versions) stay
+     * identical to the serial engine; simulated *timing* is relaxed
+     * (see runConcurrent).
+     */
+    std::uint32_t lgThreads = 0;
 };
 
 /** Feeds one recorded thread's journal into its capture unit. */
@@ -109,11 +120,20 @@ class ReplayPlatform
     bool replaysRecordedLifeguard() const { return sameLifeguard_; }
     Lifeguard &lifeguard() { return *lifeguard_; }
 
+    /** True when run() will use the host-parallel engine. */
+    bool concurrent() const { return cfg_.lgThreads >= 2; }
+
     /** Heap + global segment fingerprint (as the footer records it). */
     std::uint64_t shadowFingerprint() const;
 
   private:
+    RunResult runSerial();
+    /// Implemented in replay_concurrent.cpp.
+    RunResult runConcurrent();
     void verifyAgainstFooter(const RunResult &result) const;
+    /// Result-only footer check for the concurrent engine (timing
+    /// columns are relaxed there). Implemented in replay_concurrent.cpp.
+    void verifyResultsAgainstFooter(const RunResult &result) const;
     void dumpStuckState(Cycle now, std::uint64_t lg_steps);
 
     ReplayConfig cfg_;

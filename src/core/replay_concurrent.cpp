@@ -1,0 +1,570 @@
+/**
+ * @file
+ * Host-parallel replay engine: each lifeguard core runs on its own host
+ * thread, consuming its event stream through a lock-free SPSC ring,
+ * while one producer thread re-applies the recorded journal.
+ *
+ * The serial replay engine interleaves producer ops and lifeguard steps
+ * under one scheduler, so producer-side stream mutations (drain-time
+ * arc attachment, TSO annotations, visibility-limit moves, CA-sequence
+ * stamping) always target records the consumer has not reached yet. The
+ * concurrent engine decouples the two sides; its safety hinges on one
+ * idea, the *publication seal*:
+ *
+ *   A record may be handed to its consumer only after every journal op
+ *   that still mutates it (or gates its visibility) has been applied.
+ *
+ * A pre-pass over the journal computes, per stream, the final record
+ * sequence and each record's seal — the greatest gseq among its append,
+ * the visibility-limit move that exposes it, arc attachments, effective
+ * consume-version annotations, and the ConflictAlert broadcast that
+ * stamps or targets it. Prefix-maxing the seals (publication is in
+ * stream order) yields a publication schedule that is a pure function
+ * of the journal: the producer applies ops in global gseq order and,
+ * after each op, moves every newly-sealed record out of the log buffer
+ * into the stream's ring. Because records leave the log buffer exactly
+ * at publication, by-rid lookups from later ops ("is this record still
+ * pending?") are deterministic — independent of consumer timing — and
+ * resolve exactly as they did in the recorded run.
+ *
+ * Delivery *order* then needs no schedule reproduction at all: the
+ * order-enforcing components run the real protocol (dependence arcs
+ * against the release/acquire progress table, two-sided ConflictAlert
+ * barriers, TSO version waits), which is what orders same-line metadata
+ * accesses. Analysis results — shadow fingerprint, violations, records
+ * processed, versions produced/consumed — are therefore identical to
+ * the serial engine (checked against the trace footer and by the
+ * differential test matrix). Simulated *timing* (cycle counts, stall
+ * breakdowns) is relaxed: there is no global clock across host threads.
+ */
+
+#include "core/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/spsc_ring.hpp"
+
+namespace paralog {
+namespace {
+
+using trace::OpCode;
+using trace::TraceOp;
+
+/** One record of a stream's final (post-insert) shape. */
+struct SealEntry
+{
+    RecordId rid = 0;
+    EventType type = EventType::kNone;
+    /// Greatest gseq of any journal op that mutates or exposes this
+    /// record; it may be handed to the consumer once that op applied.
+    std::uint64_t seal = 0;
+};
+
+struct StreamPlan
+{
+    std::vector<SealEntry> seq;
+    /// Prefix-max of seals: publication is in stream order, so a
+    /// record's effective seal includes every predecessor's.
+    std::vector<std::uint64_t> pubSeal;
+};
+
+struct TagHash
+{
+    std::size_t
+    operator()(const VersionTag &t) const
+    {
+        return std::hash<std::uint64_t>()(
+            (static_cast<std::uint64_t>(t.tid) << 48) ^ t.rid);
+    }
+};
+
+std::uint64_t
+issuerKey(ThreadId tid, RecordId rid)
+{
+    return (static_cast<std::uint64_t>(tid) << 48) ^ rid;
+}
+
+/**
+ * Two linear scans of the journal (through a second, pre-pass reader).
+ *
+ * Pass A collects the cross-op facts seals depend on: per version tag,
+ * the last kInsertProduce gseq (an annotation is applied-to-pending iff
+ * a produce follows it — a later annotation targets an already-consumed
+ * record, which by publication-order is already out of the log buffer
+ * when the producer reaches it, making the live "already consumed"
+ * no-op deterministic); per CA broadcast, the gseq that must seal its
+ * arrival records and the issuer's high-level record (the broadcast op
+ * injects the barrier entry and stamps the issuer record — a consumer
+ * reaching either record earlier would sail through the barrier).
+ *
+ * Pass B replays each stream's shape: appends in order, produce records
+ * inserted before their store (mirroring LogBuffer::insertBefore), and
+ * visibility tracked so a record hidden behind the TSO store buffer is
+ * sealed by the kVisLimit op that exposes it. Where several records
+ * share a rid (CA records borrow the retire counter), by-rid seals are
+ * applied to all of them — over-sealing only delays publication, never
+ * breaks it.
+ */
+std::vector<StreamPlan>
+buildPublicationPlans(const std::string &path, std::uint32_t k)
+{
+    trace::TraceReader reader(path);
+    PARALOG_ASSERT(reader.ok(), "concurrent replay pre-pass: %s",
+                   reader.error().c_str());
+
+    std::unordered_map<VersionTag, std::uint64_t, TagHash> lastProduce;
+    std::unordered_map<std::uint64_t, std::uint64_t> caGseq; // seq
+    std::unordered_map<std::uint64_t, std::uint64_t> issuerGseq;
+    for (ThreadId t = 0; t < k; ++t) {
+        trace::TraceReader::OpStream s = reader.opStream(t);
+        TraceOp op;
+        while (s.next(op)) {
+            if (op.op == OpCode::kInsertProduce) {
+                std::uint64_t &g = lastProduce[op.version];
+                g = std::max(g, op.gseq);
+            } else if (op.op == OpCode::kCaBroadcast) {
+                std::uint64_t &g = caGseq[op.ca.seq];
+                g = std::max(g, op.gseq);
+                std::uint64_t &ig = issuerGseq[issuerKey(
+                    op.ca.issuer, op.ca.issuerEventRid)];
+                ig = std::max(ig, op.gseq);
+            }
+        }
+        PARALOG_ASSERT(reader.ok(), "concurrent replay pre-pass: %s",
+                       reader.error().c_str());
+    }
+
+    std::vector<StreamPlan> plans(k);
+    for (ThreadId t = 0; t < k; ++t) {
+        StreamPlan &plan = plans[t];
+        std::vector<SealEntry> &seq = plan.seq;
+        RecordId visLimit = kInvalidRecord;
+        std::vector<std::size_t> pendingVis;
+
+        auto lower = [&seq](RecordId rid) {
+            return std::lower_bound(
+                seq.begin(), seq.end(), rid,
+                [](const SealEntry &e, RecordId r) { return e.rid < r; });
+        };
+        auto sealRange = [&seq, &lower](RecordId rid, std::uint64_t g) {
+            for (auto it = lower(rid); it != seq.end() && it->rid == rid;
+                 ++it)
+                it->seal = std::max(it->seal, g);
+        };
+        auto trackVisibility = [&](std::size_t idx, RecordId rid) {
+            if (visLimit != kInvalidRecord && rid >= visLimit)
+                pendingVis.push_back(idx);
+        };
+
+        trace::TraceReader::OpStream s = reader.opStream(t);
+        TraceOp op;
+        while (s.next(op)) {
+            switch (op.op) {
+              case OpCode::kAppend:
+              case OpCode::kAppendCa: {
+                SealEntry e{op.rec.rid, op.rec.type, op.gseq};
+                if (e.type == EventType::kCaBegin ||
+                    e.type == EventType::kCaEnd) {
+                    auto it = caGseq.find(op.rec.value);
+                    if (it != caGseq.end())
+                        e.seal = std::max(e.seal, it->second);
+                }
+                auto it = issuerGseq.find(issuerKey(t, e.rid));
+                if (it != issuerGseq.end())
+                    e.seal = std::max(e.seal, it->second);
+                seq.push_back(e);
+                trackVisibility(seq.size() - 1, e.rid);
+                break;
+              }
+              case OpCode::kInsertProduce: {
+                // Mirror LogBuffer::insertBefore: directly before the
+                // same-rid store when present, else before the first
+                // record with rid >= store rid, else at the tail.
+                auto pos = lower(op.rid);
+                auto ins = pos;
+                for (auto it = pos;
+                     it != seq.end() && it->rid == op.rid; ++it) {
+                    if (it->type == EventType::kStore) {
+                        ins = it;
+                        break;
+                    }
+                }
+                std::size_t idx =
+                    static_cast<std::size_t>(ins - seq.begin());
+                seq.insert(ins, SealEntry{op.rid,
+                                          EventType::kProduceVersion,
+                                          op.gseq});
+                for (std::size_t &p : pendingVis)
+                    if (p >= idx)
+                        ++p;
+                // The produce shares the (store-buffer-hidden) store's
+                // rid, so it is exposed by the same kVisLimit move.
+                trackVisibility(idx, op.rid);
+                break;
+              }
+              case OpCode::kVisLimit: {
+                RecordId lim = op.visLimit;
+                for (std::size_t i = 0; i < pendingVis.size();) {
+                    SealEntry &e = seq[pendingVis[i]];
+                    if (lim == kInvalidRecord || e.rid < lim) {
+                        e.seal = std::max(e.seal, op.gseq);
+                        pendingVis[i] = pendingVis.back();
+                        pendingVis.pop_back();
+                    } else {
+                        ++i;
+                    }
+                }
+                visLimit = lim;
+                break;
+              }
+              case OpCode::kAttachArcs:
+                sealRange(op.rid, op.gseq);
+                break;
+              case OpCode::kAnnotateConsume: {
+                auto it = lastProduce.find(op.version);
+                if (it != lastProduce.end() && op.gseq < it->second)
+                    sealRange(op.rid, op.gseq);
+                break;
+              }
+              case OpCode::kCaBroadcast: // sealed via the pass-A maps
+              case OpCode::kRetire:
+                break;
+            }
+        }
+        PARALOG_ASSERT(reader.ok(), "concurrent replay pre-pass: %s",
+                       reader.error().c_str());
+        PARALOG_ASSERT(pendingVis.empty(),
+                       "concurrent replay pre-pass: stream %u ends with "
+                       "%zu records never made visible",
+                       t, pendingVis.size());
+
+        plan.pubSeal.resize(seq.size());
+        std::uint64_t run = 0;
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            run = std::max(run, seq[i].seal);
+            plan.pubSeal[i] = run;
+        }
+    }
+    return plans;
+}
+
+} // namespace
+
+RunResult
+ReplayPlatform::runConcurrent()
+{
+    std::vector<StreamPlan> plans = buildPublicationPlans(cfg_.path, k_);
+
+    // Ring capacity trades hand-off slack against footprint; overflow
+    // below keeps the producer non-blocking when a consumer lags.
+    constexpr std::size_t kRingSlots = 4096;
+    std::deque<SpscRing<EventRecord>> rings;
+    for (ThreadId t = 0; t < k_; ++t) {
+        rings.emplace_back(kRingSlots);
+        captures_[t]->attachRing(&rings[t]);
+    }
+
+    std::atomic<bool> abortFlag{false};
+    std::atomic<std::uint64_t> appliedOps{0};
+    std::atomic<std::uint32_t> liveWorkers{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+    auto noteFailure = [&] {
+        {
+            std::lock_guard<std::mutex> g(errMutex);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        abortFlag.store(true, std::memory_order_release);
+    };
+
+    // ---- producer ------------------------------------------------------
+    struct ProdStream
+    {
+        std::size_t cursor = 0; ///< next plan entry to publish
+        /// Records popped at publication while the ring was full; FIFO
+        /// into the ring ahead of anything newer.
+        std::deque<EventRecord> overflow;
+    };
+    std::vector<ProdStream> prod(k_);
+
+    // Move every newly-sealed record out of the log buffer into the
+    // ring, make the batch visible with one publish, then advance the
+    // consumer's progress bound. Publish-before-bound is load-bearing:
+    // the bound promises "everything below is in the ring".
+    auto drainStream = [&](ThreadId t, std::uint64_t applied_gseq) {
+        ProdStream &ps = prod[t];
+        SpscRing<EventRecord> &ring = rings[t];
+        const StreamPlan &plan = plans[t];
+        while (!ps.overflow.empty() &&
+               ring.tryPush(std::move(ps.overflow.front())))
+            ps.overflow.pop_front();
+        LogBuffer &buf = captures_[t]->buffer();
+        while (ps.cursor < plan.seq.size() &&
+               plan.pubSeal[ps.cursor] <= applied_gseq) {
+            const SealEntry &e = plan.seq[ps.cursor];
+            const EventRecord *head = buf.peek(kInvalidRecord);
+            PARALOG_ASSERT(
+                head && head->rid == e.rid && head->type == e.type,
+                "concurrent replay: stream %u diverged from its "
+                "publication plan at entry %zu (expected rid %llu)",
+                t, ps.cursor, static_cast<unsigned long long>(e.rid));
+            EventRecord rec = buf.pop();
+            if (!ps.overflow.empty() ||
+                !ring.tryPush(std::move(rec)))
+                ps.overflow.push_back(std::move(rec));
+            ++ps.cursor;
+        }
+        ring.publish();
+        RecordId bound = captures_[t]->bufferCeiling();
+        if (!ps.overflow.empty() && ps.overflow.front().rid < bound)
+            bound = ps.overflow.front().rid;
+        captures_[t]->setCeilingBound(bound);
+    };
+
+    auto producerBody = [&] {
+        std::vector<ReplayCore *> cores;
+        cores.reserve(k_);
+        for (auto &c : replayCores_)
+            cores.push_back(c.get());
+        while (!abortFlag.load(std::memory_order_acquire)) {
+            // Global journal order: the op with the smallest gseq.
+            ReplayCore *best = nullptr;
+            std::uint64_t best_gseq = ~0ULL;
+            for (ReplayCore *p : cores) {
+                if (const TraceOp *op = p->peek()) {
+                    if (op->gseq < best_gseq) {
+                        best = p;
+                        best_gseq = op->gseq;
+                    }
+                }
+            }
+            if (!best)
+                break;
+            best->apply();
+            appliedOps.fetch_add(1, std::memory_order_relaxed);
+            for (ThreadId t = 0; t < k_; ++t)
+                drainStream(t, best_gseq);
+        }
+        // Tail flush: the exhausted journal seals everything; overflow
+        // may still be waiting on ring space.
+        for (;;) {
+            if (abortFlag.load(std::memory_order_acquire))
+                return;
+            bool pending = false;
+            for (ThreadId t = 0; t < k_; ++t) {
+                drainStream(t, ~0ULL);
+                pending |= prod[t].cursor < plans[t].seq.size() ||
+                           !prod[t].overflow.empty();
+            }
+            if (!pending)
+                return;
+            std::this_thread::yield();
+        }
+    };
+
+    // ---- consumers -----------------------------------------------------
+    const std::uint32_t nConsumers =
+        std::min<std::uint32_t>(cfg_.lgThreads, k_);
+
+    // Failure-containment test hook (mirrors PARALOG_FAIL_CELL): panic
+    // on the consumer thread that owns the named lifeguard stream.
+    ThreadId failTid = kInvalidThread;
+    if (const char *env = std::getenv("PARALOG_FAIL_LG"))
+        failTid = static_cast<ThreadId>(std::strtoul(env, nullptr, 10));
+
+    // LockSet writes metadata from application-*read* handlers (it
+    // violates condition 2 of section 5.3), so unordered cross-thread
+    // read pairs may touch the same granule state. Serialize whole
+    // steps; the delivery protocol still orders everything with arcs.
+    std::mutex stepMutex;
+    const bool serializeSteps =
+        (lifeguardKind_ == LifeguardKind::kLockSet);
+
+    auto consumerBody = [&](std::uint32_t slot) {
+        std::vector<std::pair<ThreadId, LifeguardCore *>> mine;
+        std::vector<Cycle> nows;
+        for (ThreadId t = slot; t < k_; t += nConsumers) {
+            mine.emplace_back(t, lgCores_[t].get());
+            nows.push_back(0);
+        }
+        for (;;) {
+            if (abortFlag.load(std::memory_order_acquire))
+                return;
+            bool all_done = true;
+            bool progressed = false;
+            for (std::size_t i = 0; i < mine.size(); ++i) {
+                LifeguardCore *core = mine[i].second;
+                if (core->finished())
+                    continue;
+                all_done = false;
+                if (mine[i].first == failTid)
+                    panic("PARALOG_FAIL_LG: injected failure on "
+                          "lifeguard thread %u",
+                          mine[i].first);
+                std::uint64_t before = core->stats.recordsProcessed;
+                if (serializeSteps) {
+                    std::lock_guard<std::mutex> g(stepMutex);
+                    core->step(nows[i], ~Cycle{0});
+                } else {
+                    core->step(nows[i], ~Cycle{0});
+                }
+                nows[i] = std::max(nows[i], core->busyUntil);
+                progressed |=
+                    (core->stats.recordsProcessed != before);
+            }
+            if (all_done)
+                return;
+            if (!progressed)
+                std::this_thread::yield();
+        }
+    };
+
+    // ---- supervisor ----------------------------------------------------
+    std::vector<std::thread> workers;
+    workers.reserve(1 + nConsumers);
+    liveWorkers.store(1 + nConsumers, std::memory_order_relaxed);
+    workers.emplace_back([&] {
+        try {
+            producerBody();
+        } catch (...) {
+            noteFailure();
+        }
+        liveWorkers.fetch_sub(1, std::memory_order_release);
+    });
+    for (std::uint32_t slot = 0; slot < nConsumers; ++slot) {
+        workers.emplace_back([&, slot] {
+            try {
+                consumerBody(slot);
+            } catch (...) {
+                noteFailure();
+            }
+            liveWorkers.fetch_sub(1, std::memory_order_release);
+        });
+    }
+
+    // The serial watchdog samples per-core stats; those are host-racy
+    // here, so the concurrent signature uses only atomics: applied ops,
+    // ring publish/pop counts, the progress table, version counters.
+    auto signature = [&] {
+        std::uint64_t sig = appliedOps.load(std::memory_order_relaxed);
+        for (ThreadId t = 0; t < k_; ++t) {
+            sig += rings[t].published();
+            sig += rings[t].popped();
+            sig += progress_->done(t);
+        }
+        sig += versions_.stats.counter("produced").value();
+        sig += versions_.stats.counter("consumed").value();
+        return sig;
+    };
+    ProgressWatchdog watchdog(
+        std::max<std::uint64_t>(1000, cfg_.stallWatchdogIters / 1000));
+    bool stalled = false;
+    while (liveWorkers.load(std::memory_order_acquire) > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (!stalled && watchdog.poll(signature())) {
+            stalled = true;
+            abortFlag.store(true, std::memory_order_release);
+        }
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    if (stalled) {
+        std::fprintf(stderr,
+                     "=== concurrent replay watchdog state dump ===\n"
+                     "applied ops: %llu\n",
+                     static_cast<unsigned long long>(
+                         appliedOps.load(std::memory_order_relaxed)));
+        for (ThreadId t = 0; t < k_; ++t) {
+            std::fprintf(
+                stderr,
+                "stream %u: plan %zu/%zu published=%llu popped=%llu "
+                "overflow=%zu done=%llu finished=%d\n",
+                t, prod[t].cursor, plans[t].seq.size(),
+                static_cast<unsigned long long>(rings[t].published()),
+                static_cast<unsigned long long>(rings[t].popped()),
+                prod[t].overflow.size(),
+                static_cast<unsigned long long>(progress_->done(t)),
+                lgCores_[t]->finished() ? 1 : 0);
+        }
+        panic("concurrent replay watchdog: no forward progress "
+              "(journal/lifeguard divergence or hand-off bug)");
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    RunResult result;
+    Cycle total = 0;
+    result.app = reader_.footer().app; // no application ran: recorded
+    for (auto &c : lgCores_) {
+        result.lifeguard.push_back(c->stats);
+        result.versionStallRetries +=
+            c->enforcer().stats.get("version_stalls");
+        total = std::max(total, c->busyUntil);
+    }
+    result.totalCycles = total;
+    result.versionsProduced = versions_.stats.counter("produced").value();
+    result.versionsConsumed = versions_.stats.counter("consumed").value();
+    result.violationCount = lifeguard_->violations.count();
+    result.violationFingerprint = lifeguard_->violations.setFingerprint();
+    result.shadowFingerprint = shadowFingerprint();
+
+    if (cfg_.verify)
+        verifyResultsAgainstFooter(result);
+    return result;
+}
+
+void
+ReplayPlatform::verifyResultsAgainstFooter(const RunResult &result) const
+{
+    const trace::TraceFooter &f = reader_.footer();
+    auto mismatch = [](const char *what, std::uint64_t got,
+                       std::uint64_t want) {
+        panic("concurrent replay diverged from the recording: %s = "
+              "%llu, recorded %llu",
+              what, static_cast<unsigned long long>(got),
+              static_cast<unsigned long long>(want));
+    };
+    if (result.shadowFingerprint != f.shadowFingerprint)
+        mismatch("shadow fingerprint", result.shadowFingerprint,
+                 f.shadowFingerprint);
+    // Violation *reports* are a delivery-schedule quantity: the
+    // Idempotent Filters absorb repeated checks, and how many repeats
+    // they absorb depends on stall-flush timing, which free-running
+    // consumers cannot reproduce. A first occurrence can never be
+    // absorbed, though, so found-any must agree (the distinct-set
+    // fingerprint is compared serial-vs-concurrent by the differential
+    // matrix; the footer only records the count).
+    if ((result.violationCount == 0) != (f.violations == 0))
+        mismatch("violations (found-any)", result.violationCount,
+                 f.violations);
+    if (result.versionsProduced != f.versionsProduced)
+        mismatch("versions produced", result.versionsProduced,
+                 f.versionsProduced);
+    if (result.versionsConsumed != f.versionsConsumed)
+        mismatch("versions consumed", result.versionsConsumed,
+                 f.versionsConsumed);
+    PARALOG_ASSERT(result.lifeguard.size() == f.lifeguard.size(),
+                   "recorded lifeguard thread count mismatch");
+    for (std::size_t i = 0; i < f.lifeguard.size(); ++i) {
+        if (result.lifeguard[i].recordsProcessed !=
+            f.lifeguard[i].recordsProcessed)
+            mismatch("records processed",
+                     result.lifeguard[i].recordsProcessed,
+                     f.lifeguard[i].recordsProcessed);
+    }
+}
+
+} // namespace paralog

@@ -68,6 +68,14 @@ struct RunResult
     /// CSV stat column — the legacy schema stays frozen.
     std::uint64_t shadowFingerprint = 0;
 
+    /// Hash of the set of *distinct* (kind, tid, addr) violations
+    /// (ViolationLog::setFingerprint). violationCount is a
+    /// report-granularity quantity — duplicate reports absorbed by the
+    /// Idempotent Filters vary with stall-flush timing — while the
+    /// distinct set is invariant across serial and host-parallel
+    /// monitoring; the concurrent-replay differential compares this.
+    std::uint64_t violationFingerprint = 0;
+
     Cycle
     appExecTotal() const
     {

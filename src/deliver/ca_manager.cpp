@@ -34,7 +34,10 @@ CaManager::broadcast(ThreadId issuer, RecordId issuer_event_rid,
         ++b.waitersRemaining;
     }
 
-    live_.emplace(b.seq, std::move(b));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        live_.emplace(b.seq, std::move(b));
+    }
     stats.counter("broadcasts").inc();
 
     // The issuing thread serializes: it waits for an acknowledgement
@@ -49,6 +52,7 @@ CaManager::injectBroadcast(CaBroadcast b)
     if (b.seq >= nextSeq_)
         nextSeq_ = b.seq + 1;
     stats.counter("broadcasts").inc();
+    std::lock_guard<std::mutex> lock(mutex_);
     live_.emplace(b.seq, std::move(b));
 }
 
@@ -59,9 +63,21 @@ CaManager::find(std::uint64_t seq) const
     return it == live_.end() ? nullptr : &it->second;
 }
 
+bool
+CaManager::lookup(std::uint64_t seq, CaBroadcast &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = live_.find(seq);
+    if (it == live_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
 void
 CaManager::noteWaiterPassed(std::uint64_t seq)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = live_.find(seq);
     if (it == live_.end())
         return;
@@ -74,6 +90,7 @@ CaManager::noteWaiterPassed(std::uint64_t seq)
 void
 CaManager::noteIssuerDelivered(std::uint64_t seq)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = live_.find(seq);
     if (it == live_.end())
         return;

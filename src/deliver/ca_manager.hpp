@@ -19,6 +19,7 @@
 #define PARALOG_DELIVER_CA_MANAGER_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -64,7 +65,17 @@ class CaManager
                     const std::vector<CaptureUnit *> &units,
                     const std::vector<bool> &thread_alive);
 
+    /**
+     * Pointer into the live table; valid only until the next
+     * noteWaiterPassed/noteIssuerDelivered (which may retire the
+     * entry). Single-threaded callers only — concurrent monitoring
+     * uses lookup().
+     */
     const CaBroadcast *find(std::uint64_t seq) const;
+
+    /** Copy-out lookup, safe against concurrent retirement. Returns
+     *  false when @p seq is not (or no longer) live. */
+    bool lookup(std::uint64_t seq, CaBroadcast &out) const;
 
     /**
      * Re-create a broadcast's barrier bookkeeping from a recorded
@@ -80,7 +91,12 @@ class CaManager
     /** The issuer's lifeguard processed the high-level event. */
     void noteIssuerDelivered(std::uint64_t seq);
 
-    std::size_t liveBroadcasts() const { return live_.size(); }
+    std::size_t
+    liveBroadcasts() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return live_.size();
+    }
 
     std::uint64_t issued() const { return nextSeq_; }
 
@@ -89,6 +105,10 @@ class CaManager
   private:
     std::uint32_t numThreads_;
     std::uint64_t nextSeq_ = 0;
+    /// Guards live_ only: broadcasts are issued by the (single)
+    /// application/producer side, but the barrier bookkeeping notes
+    /// arrive from every lifeguard consumer thread in concurrent mode.
+    mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, CaBroadcast> live_;
 };
 

@@ -116,15 +116,17 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
 
     // Issuer half of a ConflictAlert barrier: the high-level event may
     // only be processed after every other lifeguard has consumed all
-    // records preceding its CA record.
+    // records preceding its CA record. Copy-out lookup: the live entry
+    // can be retired concurrently by other lifeguards' barrier notes.
     if (rec->caSeq != kNoCaSeq) {
-        const CaBroadcast *b = ca_.find(rec->caSeq);
-        if (b && !issuerBarrierSatisfied(*b)) {
+        CaBroadcast b;
+        bool live = ca_.lookup(rec->caSeq, b);
+        if (live && !issuerBarrierSatisfied(b)) {
             if (!continuation)
                 caIssuerCtr_.inc();
             return note(DeliverStatus::kCaStall, rec);
         }
-        if (b)
+        if (live)
             noteIssuerDelivered(rec->caSeq);
     }
 
@@ -134,8 +136,9 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
 
     if (rec->type == EventType::kCaBegin ||
         rec->type == EventType::kCaEnd) {
-        const CaBroadcast *b = ca_.find(rec->value);
-        ThreadId issuer = b ? b->issuer : kInvalidThread;
+        CaBroadcast b;
+        bool live = ca_.lookup(rec->value, b);
+        ThreadId issuer = live ? b.issuer : kInvalidThread;
         // Maintain the hardware range table for remote syscalls.
         if (rec->caKind == HighLevelKind::kSyscallBegin &&
             issuer != kInvalidThread) {
@@ -144,13 +147,13 @@ OrderEnforcer::tryDeliverBatch(BatchItem &out, bool continuation)
                    issuer != kInvalidThread) {
             ranges_.remove(issuer);
         }
-        if (b && progress_.done(b->issuer) <= b->issuerEventRid) {
+        if (live && progress_.done(b.issuer) <= b.issuerEventRid) {
             waitingForIssuer_ = true;
-            waitSeq_ = b->seq;
-            waitIssuer_ = b->issuer;
-            waitIssuerRid_ = b->issuerEventRid;
-        } else if (b) {
-            noteWaiterPassed(b->seq);
+            waitSeq_ = b.seq;
+            waitIssuer_ = b.issuer;
+            waitIssuerRid_ = b.issuerEventRid;
+        } else if (live) {
+            noteWaiterPassed(b.seq);
         }
     } else if (rec->isMemAccess()) {
         out.racesSyscall = ranges_.races(rec->addr, rec->size);

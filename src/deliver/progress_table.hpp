@@ -8,11 +8,19 @@
  * Each entry conceptually lives on its own cache line; reads by remote
  * order-enforcing components cost a small fixed latency, modelled by the
  * consumer's retry interval.
+ *
+ * Concurrency: each entry has exactly one writer (lifeguard t publishes
+ * only done(t)) and any number of cross-thread readers. Entries are
+ * atomics — release on publish, acquire on read — so in concurrent
+ * monitoring mode "done(t) > rid" is the happens-before edge that makes
+ * the producing lifeguard's shadow-memory writes visible to the
+ * dependent consumer before it runs its own handler.
  */
 
 #ifndef PARALOG_DELIVER_PROGRESS_TABLE_HPP
 #define PARALOG_DELIVER_PROGRESS_TABLE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -24,29 +32,41 @@ class ProgressTable
 {
   public:
     explicit ProgressTable(std::uint32_t num_threads)
-        : done_(num_threads, 0)
+        : done_(num_threads)
     {
+        for (auto &d : done_)
+            d.value.store(0, std::memory_order_relaxed);
     }
 
     /** Advertise that all rids < @p done_count are complete for @p tid.
-     *  Never moves backwards (delayed advertising may under-report). */
+     *  Never moves backwards (delayed advertising may under-report).
+     *  Single writer per tid: the owning lifeguard. */
     void
     publish(ThreadId tid, RecordId done_count)
     {
-        if (done_count > done_[tid])
-            done_[tid] = done_count;
+        std::atomic<RecordId> &d = done_[tid].value;
+        if (done_count > d.load(std::memory_order_relaxed))
+            d.store(done_count, std::memory_order_release);
     }
 
     /** Mark the lifeguard finished: progress becomes infinite. */
-    void finish(ThreadId tid) { done_[tid] = kInvalidRecord; }
+    void
+    finish(ThreadId tid)
+    {
+        done_[tid].value.store(kInvalidRecord, std::memory_order_release);
+    }
 
-    RecordId done(ThreadId tid) const { return done_[tid]; }
+    RecordId
+    done(ThreadId tid) const
+    {
+        return done_[tid].value.load(std::memory_order_acquire);
+    }
 
     /** Arc (tid, rid) satisfied iff its producer completed past rid. */
     bool
     satisfied(const DepArc &arc) const
     {
-        return done_[arc.tid] > arc.rid;
+        return done(arc.tid) > arc.rid;
     }
 
     std::uint32_t size() const
@@ -55,7 +75,13 @@ class ProgressTable
     }
 
   private:
-    std::vector<RecordId> done_;
+    /// One entry per lifeguard, padded to its own cache line exactly as
+    /// the modelled hardware table lays them out.
+    struct alignas(64) Entry
+    {
+        std::atomic<RecordId> value;
+    };
+    std::vector<Entry> done_;
 };
 
 } // namespace paralog

@@ -1,5 +1,7 @@
 #include "lifeguard/lifeguard.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "lifeguard/addrcheck.hpp"
 #include "lifeguard/lockset.hpp"
@@ -11,12 +13,35 @@ namespace paralog {
 std::size_t
 ViolationLog::count(Violation::Kind kind) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
     for (const Violation &v : violations_) {
         if (v.kind == kind)
             ++n;
     }
     return n;
+}
+
+std::uint64_t
+ViolationLog::setFingerprint() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(violations_.size());
+    for (const Violation &v : violations_)
+        keys.push_back((static_cast<std::uint64_t>(v.kind) << 56) ^
+                       (static_cast<std::uint64_t>(v.tid) << 48) ^
+                       static_cast<std::uint64_t>(v.addr));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::uint64_t h = 14695981039346656037ULL; // FNV-1a offset basis
+    for (std::uint64_t key : keys) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (key >> (8 * byte)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
 }
 
 LgContext::LgContext(ShadowMemory &shadow, MetadataTlb &mtlb,

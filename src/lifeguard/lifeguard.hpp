@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,21 +52,49 @@ struct Violation
     Addr addr;
 };
 
+/** Shared across all lifeguard threads; reports may arrive from any of
+ *  them in concurrent monitoring mode, so the log carries its own lock.
+ *  all() returns a reference for single-threaded readers — concurrent
+ *  phases must only report/count, and inspect contents after joining. */
 class ViolationLog
 {
   public:
     void
     report(Violation::Kind kind, ThreadId tid, RecordId rid, Addr addr)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         violations_.push_back(Violation{kind, tid, rid, addr});
     }
 
-    std::size_t count() const { return violations_.size(); }
+    std::size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return violations_.size();
+    }
     std::size_t count(Violation::Kind kind) const;
+
+    /**
+     * Order- and duplicate-insensitive hash of the set of distinct
+     * (kind, tid, addr) triples reported. Report *counts* are a
+     * delivery-schedule quantity — the Idempotent Filters absorb
+     * repeated checks, and how many repeats they absorb depends on
+     * stall-flush timing — but a first occurrence can never be
+     * absorbed, so the distinct-violation set is invariant across
+     * serial and host-parallel monitoring of the same run.
+     */
+    std::uint64_t setFingerprint() const;
+
     const std::vector<Violation> &all() const { return violations_; }
-    void clear() { violations_.clear(); }
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        violations_.clear();
+    }
 
   private:
+    mutable std::mutex mutex_;
     std::vector<Violation> violations_;
 };
 

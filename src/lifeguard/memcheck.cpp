@@ -52,11 +52,19 @@ MemCheck::handle(const LgEvent &ev, LgContext &ctx)
         break;
 
       case LgEventType::kMemToMem: {
+        // Report every undefined source, not just the first: which
+        // sources share a row depends on IT merge/flush timing, so
+        // reporting a single representative would make the *set* of
+        // reported addresses schedule-dependent.
         bool init = ctx.metaAllEqual(ev.srcs.data(), ev.nsrcs, kInit);
-        if (!init && ev.nsrcs > 0 &&
-            checkedRange_.contains(ev.srcs[0].addr)) {
-            violations.report(Violation::Kind::kUninitRead, ev.tid,
-                              ev.rid, ev.srcs[0].addr);
+        if (!init) {
+            for (unsigned i = 0; i < ev.nsrcs; ++i) {
+                if (!ctx.metaAllEqual(&ev.srcs[i], 1, kInit) &&
+                    checkedRange_.contains(ev.srcs[i].addr)) {
+                    violations.report(Violation::Kind::kUninitRead,
+                                      ev.tid, ev.rid, ev.srcs[i].addr);
+                }
+            }
         }
         ctx.storeMeta(ev.addr, ev.size, init ? ones(ev.size) : 0);
         ctx.charge(2);
@@ -69,7 +77,24 @@ MemCheck::handle(const LgEvent &ev, LgContext &ctx)
         break;
 
       case LgEventType::kRegInheritMem: {
+        // The deferred check of an IT-absorbed load runs here: the
+        // register inherited from these bytes, so reading them while
+        // undefined is the same uninit-read the unabsorbed kLoad path
+        // reports (kMemToMem reports it too; leaving this path silent
+        // made absorbed loads false negatives). Every undefined source
+        // is reported: which sources share a row is a merge/flush-timing
+        // artifact, so a single representative would make the distinct
+        // set of reported addresses schedule-dependent.
         bool init = ctx.metaAllEqual(ev.srcs.data(), ev.nsrcs, kInit);
+        if (!init) {
+            for (unsigned i = 0; i < ev.nsrcs; ++i) {
+                if (!ctx.metaAllEqual(&ev.srcs[i], 1, kInit) &&
+                    checkedRange_.contains(ev.srcs[i].addr)) {
+                    violations.report(Violation::Kind::kUninitRead,
+                                      ev.tid, ev.rid, ev.srcs[i].addr);
+                }
+            }
+        }
         regMeta(ev.tid, ev.dst) = init ? kInit : kUninit;
         ctx.charge(2);
         break;

@@ -41,6 +41,13 @@ class MemCheck : public Lifeguard
         p.usesIt = true;
         p.usesIf = false;
         p.usesMtlb = true;
+        // Init bits are state transitions, not a lattice: a deferred
+        // uninit-read check must run before the store that initializes
+        // its bytes, so the self-RMW exemption is off (accel_config).
+        p.itExemptSelfRmw = false;
+        // Absorbed loads carry a deferred uninit-read check: a row
+        // overwrite must deliver it, not drop it (accel_config).
+        p.itFlushOnOverwrite = true;
         p.wantsRegOps = true;
         p.wantsJumps = false;
         p.heapOnly = false;

@@ -36,6 +36,14 @@ ShadowMemory::lookupChunk(Addr app_addr) const
 {
     std::uint64_t idx = app_addr / kChunkAppBytes;
     Shard &sh = shardFor(idx);
+    if (concurrent_) {
+        // No shared last-chunk cache (it would be a cross-thread race);
+        // the map itself is consulted under the shard lock. The chunk
+        // pointer stays valid after unlock: chunk storage is stable.
+        std::lock_guard<std::mutex> lock(sh.mapMutex);
+        const std::unique_ptr<Chunk> *slot = sh.chunks.find(idx);
+        return slot ? slot->get() : nullptr;
+    }
     if (idx == sh.cachedIdx)
         return sh.cachedChunk;
     const std::unique_ptr<Chunk> *slot = sh.chunks.find(idx);
@@ -51,6 +59,13 @@ ShadowMemory::ensureChunk(Addr app_addr)
 {
     std::uint64_t idx = app_addr / kChunkAppBytes;
     Shard &sh = shardFor(idx);
+    if (concurrent_) {
+        std::lock_guard<std::mutex> lock(sh.mapMutex);
+        std::unique_ptr<Chunk> &slot = sh.chunks[idx];
+        if (!slot)
+            slot = std::make_unique<Chunk>(chunkMetaBytes_, 0);
+        return *slot;
+    }
     if (idx == sh.cachedIdx)
         return *sh.cachedChunk;
     std::unique_ptr<Chunk> &slot = sh.chunks[idx];
@@ -112,19 +127,33 @@ ShadowMemory::readPacked(Addr app_addr, unsigned bytes) const
         const Chunk *c = lookupChunk(app_addr);
         if (!c)
             return 0;
+        std::uint64_t bit = off * bitsPerByte_;
+        std::uint64_t byte_idx = bit >> 3;
+        unsigned shift = bit & 7;
+        unsigned width = bytes * bitsPerByte_;
+        std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+        if (concurrent_) {
+            // Backing-byte-granular load: touch only the bytes the
+            // field actually occupies, never a neighbour line's
+            // metadata (see the header's concurrency notes). shift +
+            // width <= 64 for every supported ratio, so the assembled
+            // value fits one word.
+            unsigned nb = (shift + width + 7) / 8;
+            const std::uint8_t *d = c->data();
+            std::uint64_t word = 0;
+            for (unsigned i = 0; i < nb; ++i)
+                word |= static_cast<std::uint64_t>(d[byte_idx + i])
+                        << (8 * i);
+            return (word >> shift) & mask;
+        }
         // One unaligned 64-bit load covers the whole packed value: the
         // field is bytes * bitsPerByte_ <= 64 bits wide and starts at a
         // sub-byte shift of at most 8 - bitsPerByte_, which never
         // pushes it past the loaded word.
-        std::uint64_t bit = off * bitsPerByte_;
-        std::uint64_t byte_idx = bit >> 3;
         if (byte_idx + 8 <= chunkMetaBytes_) {
             std::uint64_t word;
             std::memcpy(&word, c->data() + byte_idx, 8);
-            word >>= (bit & 7);
-            unsigned width = bytes * bitsPerByte_;
-            std::uint64_t mask =
-                (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+            word >>= shift;
             return word & mask;
         }
     }
@@ -161,8 +190,26 @@ ShadowMemory::writePacked(Addr app_addr, unsigned bytes, std::uint64_t bits)
         }
         std::uint64_t bit = off * bitsPerByte_;
         std::uint64_t byte_idx = bit >> 3;
+        unsigned shift = bit & 7;
+        if (concurrent_) {
+            // Backing-byte-granular read-modify-write. Every touched
+            // byte covers an aligned application granule overlapping
+            // the accessed bytes, i.e. lines this access is ordered
+            // against — a 64-bit RMW would instead clobber concurrent
+            // updates to neighbour lines' metadata.
+            unsigned nb = (shift + width + 7) / 8;
+            std::uint8_t *d = c->data();
+            std::uint64_t word = 0;
+            for (unsigned i = 0; i < nb; ++i)
+                word |= static_cast<std::uint64_t>(d[byte_idx + i])
+                        << (8 * i);
+            word = (word & ~(mask << shift)) | (bits << shift);
+            for (unsigned i = 0; i < nb; ++i)
+                d[byte_idx + i] =
+                    static_cast<std::uint8_t>(word >> (8 * i));
+            return;
+        }
         if (byte_idx + 8 <= chunkMetaBytes_) {
-            unsigned shift = bit & 7;
             std::uint64_t word;
             std::memcpy(&word, c->data() + byte_idx, 8);
             word = (word & ~(mask << shift)) | (bits << shift);
@@ -251,13 +298,18 @@ ShadowMemory::rangeFindNot(const AddrRange &range, std::uint8_t value) const
             ++b0;
         }
         std::uint64_t b = b0;
-        for (; b + 8 <= b1; b += 8) {
-            std::uint64_t word;
-            std::memcpy(&word, d + b, 8);
-            if (word != pat64) {
-                for (unsigned k = 0; k < 8; ++k) {
-                    if (d[b + k] != pat)
-                        return scanByte(b + k, 0, gpb);
+        // Word-scan only in single-threaded mode: an 8-byte load reads
+        // neighbour lines' metadata, racing their owning threads. The
+        // byte loop below covers everything in concurrent mode.
+        if (!concurrent_) {
+            for (; b + 8 <= b1; b += 8) {
+                std::uint64_t word;
+                std::memcpy(&word, d + b, 8);
+                if (word != pat64) {
+                    for (unsigned k = 0; k < 8; ++k) {
+                        if (d[b + k] != pat)
+                            return scanByte(b + k, 0, gpb);
+                    }
                 }
             }
         }

@@ -36,13 +36,30 @@
  * invisible to results — chunk layout, metaAddr and all operation
  * semantics are unchanged, so any shard count produces bit-identical
  * metadata (and fingerprints) to the unsharded layout.
+ *
+ * Concurrent mode (setConcurrent): when lifeguard cores run on separate
+ * host threads, chunk-map lookups/inserts take a per-shard mutex, the
+ * shared last-chunk caches are bypassed, and the packed fast paths drop
+ * from word-granular to backing-byte-granular memory operations. The
+ * byte granularity is what makes unlocked metadata access sound: one
+ * backing byte covers 8/bitsPerByte consecutive aligned application
+ * bytes, which always lie inside a single 64-byte application line
+ * (condition 3 of section 5.3) — so two threads touch the same backing
+ * byte only when they access the same line, and same-line accesses are
+ * ordered by the delivery protocol (dependence arcs / versioning),
+ * with the progress table providing the release/acquire edge. The
+ * 64-bit word paths would break exactly that: an unaligned word RMW
+ * spans up to 64 application bytes of metadata, clobbering neighbour
+ * lines owned by other threads.
  */
 
 #ifndef PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
 #define PARALOG_LIFEGUARD_SHADOW_MEMORY_HPP
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -82,6 +99,16 @@ class ShadowMemory
     {
         return static_cast<std::uint32_t>(shards_.size());
     }
+
+    /**
+     * Switch between the single-threaded fast paths (default) and the
+     * concurrent-safe paths (see the file comment). Results are
+     * bit-identical either way; only the host-level memory operations
+     * differ. Must be called while no other thread is accessing the
+     * shadow.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
+    bool concurrent() const { return concurrent_; }
 
     /** Metadata value (bitsPerByte wide) for one application byte. */
     std::uint8_t read(Addr app_addr) const;
@@ -139,6 +166,10 @@ class ShadowMemory
         FlatAddrMap<std::unique_ptr<Chunk>> chunks;
         mutable std::uint64_t cachedIdx = ~0ULL;
         mutable Chunk *cachedChunk = nullptr;
+        /// Concurrent mode only: guards the chunk map (find/insert).
+        /// Chunk *contents* are unlocked — backing-byte granularity
+        /// plus protocol ordering make that race-free.
+        mutable std::mutex mapMutex;
     };
 
     Shard &
@@ -164,7 +195,9 @@ class ShadowMemory
     std::uint8_t valueMask_;
     std::uint64_t chunkMetaBytes_;
     std::uint64_t shardMask_;
-    mutable std::vector<Shard> shards_;
+    bool concurrent_ = false;
+    /// deque, not vector: Shard owns a mutex and must never move.
+    mutable std::deque<Shard> shards_;
 };
 
 } // namespace paralog

@@ -7,6 +7,7 @@ namespace paralog {
 bool
 VersionStore::produce(const VersionTag &v, const Versioned &data)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto wm = consumedWatermark_.find(v.tid);
     if (wm != consumedWatermark_.end() && v.rid <= wm->second) {
         stats.counter("produced_stale").inc();
@@ -27,12 +28,14 @@ VersionStore::produce(const VersionTag &v, const Versioned &data)
 bool
 VersionStore::available(const VersionTag &v) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return entries_.count(v) > 0;
 }
 
 VersionStore::Versioned
 VersionStore::consume(const VersionTag &v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(v);
     PARALOG_ASSERT(it != entries_.end(),
                    "consuming unavailable version (%u, %llu)", v.tid,
@@ -49,6 +52,7 @@ VersionStore::consume(const VersionTag &v)
 void
 VersionStore::markWriterDone(const VersionTag &v)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(v);
     if (it == entries_.end())
         return; // consumer ran first: handler order already matches

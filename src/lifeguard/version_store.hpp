@@ -18,6 +18,7 @@
 #define PARALOG_LIFEGUARD_VERSION_STORE_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/stats.hpp"
@@ -59,13 +60,19 @@ class VersionStore
      *  consumer already took the entry (it ran first: natural order). */
     void markWriterDone(const VersionTag &v);
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
 
     /** Visit every live entry (watchdog diagnostics, leak checks). */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &[tag, data] : entries_)
             fn(tag, data);
     }
@@ -83,6 +90,12 @@ class VersionStore
         }
     };
 
+    /// In concurrent monitoring mode the store is touched by every
+    /// lifeguard thread (producers snapshot, consumers take); one lock
+    /// covers both maps. The delivery protocol guarantees a consume is
+    /// never attempted before its produce, so lock ordering is trivial
+    /// and results stay schedule-independent.
+    mutable std::mutex mutex_;
     std::unordered_map<VersionTag, Versioned, TagHash> entries_;
     /// Highest consumed rid per consumer thread. Consumption follows
     /// stream (rid) order, so any produce at or below the watermark can

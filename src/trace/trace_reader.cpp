@@ -110,14 +110,37 @@ TraceReader::parseHeader()
 void
 TraceReader::indexChunks()
 {
+    // Learn the file size first: a chunk header whose payload length
+    // points past EOF is a truncated recording, and catching it here
+    // gives one clear diagnosis instead of a confusing tail of
+    // "footer chunk missing" after fseek() silently lands past the end.
+    long data_start = std::ftell(file_);
+    if (data_start < 0 || std::fseek(file_, 0, SEEK_END) != 0) {
+        fail("cannot determine file size");
+        return;
+    }
+    long file_size = std::ftell(file_);
+    if (file_size < 0 || std::fseek(file_, data_start, SEEK_SET) != 0) {
+        fail("cannot determine file size");
+        return;
+    }
+
     bool footer_seen = false;
     for (;;) {
         std::uint8_t h[16];
         std::size_t got = std::fread(h, 1, sizeof(h), file_);
-        if (got == 0)
-            break;
+        if (got == 0) {
+            if (std::ferror(file_)) {
+                fail("I/O error reading chunk header");
+                return;
+            }
+            break; // clean EOF at a chunk boundary
+        }
         if (got != sizeof(h)) {
-            fail("truncated chunk header");
+            fail(std::ferror(file_)
+                     ? "I/O error reading chunk header"
+                     : "EOF in the middle of a chunk header (truncated "
+                       "recording)");
             return;
         }
         std::uint32_t kind = get32(h);
@@ -128,6 +151,13 @@ TraceReader::indexChunks()
         ref.offset = std::ftell(file_);
         if (ref.offset < 0) {
             fail("ftell failed");
+            return;
+        }
+        if (ref.bytes >
+            static_cast<std::uint64_t>(file_size - ref.offset)) {
+            fail("chunk payload of " + std::to_string(ref.bytes) +
+                 " bytes at offset " + std::to_string(ref.offset) +
+                 " extends past end of file (truncated recording)");
             return;
         }
 
@@ -160,14 +190,33 @@ TraceReader::indexChunks()
 bool
 TraceReader::loadChunk(const ChunkRef &ref, std::vector<std::uint8_t> &out)
 {
+    // On any failure the buffer is cleared before returning: a partial
+    // fread leaves the tail of `out` holding stale bytes (from the
+    // previous chunk, or zero-fill), and a decoder that keeps running
+    // over them would misparse garbage instead of stopping at a clean
+    // "truncated" diagnosis.
     out.resize(ref.bytes);
-    if (std::fseek(file_, ref.offset, SEEK_SET) != 0 ||
-        (ref.bytes > 0 &&
-         std::fread(out.data(), 1, out.size(), file_) != out.size())) {
-        fail("truncated chunk payload");
+    if (std::fseek(file_, ref.offset, SEEK_SET) != 0) {
+        out.clear();
+        fail("seek to chunk payload failed");
+        return false;
+    }
+    std::size_t got =
+        ref.bytes > 0 ? std::fread(out.data(), 1, out.size(), file_) : 0;
+    if (got != out.size()) {
+        bool io_error = std::ferror(file_);
+        out.clear();
+        fail(io_error
+                 ? "I/O error reading chunk payload"
+                 : "EOF in the middle of a chunk payload (got " +
+                       std::to_string(got) + " of " +
+                       std::to_string(ref.bytes) + " bytes at offset " +
+                       std::to_string(ref.offset) +
+                       "; truncated recording)");
         return false;
     }
     if (crc32(out.data(), out.size()) != ref.crc) {
+        out.clear();
         fail("chunk CRC mismatch (corrupt trace)");
         return false;
     }
@@ -223,8 +272,13 @@ TraceReader::nextChunk(std::uint32_t kind, ThreadId tid, std::size_t &idx,
         (kind == kChunkOps ? opChunks_ : latChunks_)[tid];
     if (!ok_ || idx >= chunks.size())
         return false;
-    if (!loadChunk(chunks[idx], buf))
+    if (!loadChunk(chunks[idx], buf)) {
+        // loadChunk cleared `buf` (possibly reallocating): re-anchor the
+        // cursor so the stream never dangles into freed memory and every
+        // later next() sees a clean at-end state, not stale bytes.
+        cur = ByteCursor(buf.data(), buf.size());
         return false;
+    }
     ++idx;
     cur = ByteCursor(buf.data(), buf.size());
     return true;

@@ -281,6 +281,45 @@ TEST(CliParse, ReplayTakesAxesFromTheRecording)
               ParseStatus::kError);
 }
 
+TEST(CliParse, LgThreadsIsReplayOnly)
+{
+    // --lg-threads selects the replay engine's host threading and flows
+    // through to the run specs.
+    ParseResult r = parse({"--replay=/tmp/x.trace", "--lg-threads=4"});
+    ASSERT_EQ(r.status, ParseStatus::kOk);
+    EXPECT_EQ(r.options.lgThreads, 4u);
+    ASSERT_EQ(r.options.runSpecs().size(), 1u);
+    EXPECT_EQ(r.options.runSpecs()[0].opt.lgThreads, 4u);
+
+    // 0/1 explicitly select the serial engine — still replay-only.
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=0"}).status,
+              ParseStatus::kOk);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=1"}).status,
+              ParseStatus::kOk);
+
+    // Recording pins the serial engine: the combination is rejected
+    // outright (even with a 0/1 value), not silently normalized.
+    ParseResult rec =
+        parse({"--record=/tmp/x.trace", "--lg-threads=2"});
+    EXPECT_EQ(rec.status, ParseStatus::kError);
+    EXPECT_NE(rec.error.find("--lg-threads"), std::string::npos);
+    EXPECT_EQ(parse({"--record=/tmp/x", "--lg-threads=0"}).status,
+              ParseStatus::kError);
+
+    // Live runs have no concurrent engine: replay-only.
+    ParseResult live = parse({"--lg-threads=2"});
+    EXPECT_EQ(live.status, ParseStatus::kError);
+    EXPECT_NE(live.error.find("--replay"), std::string::npos);
+
+    // Value validation.
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=nope"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=9999"}).status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads"}).status,
+              ParseStatus::kError);
+}
+
 TEST(CliParse, RunSpecsExpandScenariosSeedsRepeats)
 {
     ParseResult r = parse({"--workload=lu,ocean", "--cores=1,2",
@@ -504,6 +543,48 @@ TEST_F(CliEndToEnd, InvalidComboExitsNonZeroWithUsage)
     int rc = runCli("--mode=timesliced --memory-model=tso", out);
     EXPECT_EQ(rc, 2) << out;
     EXPECT_NE(out.find("incompatible"), std::string::npos) << out;
+}
+
+TEST_F(CliEndToEnd, RecordRejectsLgThreads)
+{
+    // The flag-combination contract, end to end: --record pins the
+    // serial engine and must refuse --lg-threads with a clear error.
+    std::string out;
+    int rc = runCli("--record=/tmp/paralog_cli_never_written.trace "
+                    "--lg-threads=2",
+                    out);
+    EXPECT_EQ(rc, 2) << out;
+    EXPECT_NE(out.find("--lg-threads"), std::string::npos) << out;
+
+    // And --lg-threads without --replay is rejected too.
+    rc = runCli("--lg-threads=2", out);
+    EXPECT_EQ(rc, 2) << out;
+    EXPECT_NE(out.find("--replay"), std::string::npos) << out;
+}
+
+TEST_F(CliEndToEnd, ReplayWithLgThreadsRunsConcurrently)
+{
+    // Record through the driver, replay concurrently through the
+    // driver. The concurrent engine self-checks its analysis results
+    // against the recorded footer and panics on divergence, so a zero
+    // exit *is* the serial-equivalence proof at this level.
+    std::string trace_path = ::testing::TempDir() + "paralog_cli_lg_" +
+                             std::to_string(::getpid()) + ".trace";
+    std::string out;
+    int rc = runCli("--workload=lu --lifeguard=taintcheck "
+                    "--mode=parallel --cores=4 --scale=400 --record=" +
+                        trace_path,
+                    out);
+    ASSERT_EQ(rc, 0) << out;
+
+    rc = runCli("--replay=" + trace_path + " --lg-threads=4", out);
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("total cycles"), std::string::npos) << out;
+
+    // Serial selection via the same flag (0 = serial engine).
+    rc = runCli("--replay=" + trace_path + " --lg-threads=0", out);
+    EXPECT_EQ(rc, 0) << out;
+    std::remove(trace_path.c_str());
 }
 
 // -------------------------------------- matrix features, end to end

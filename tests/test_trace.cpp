@@ -205,6 +205,91 @@ TEST_F(TraceFormatTest, RejectsBadMagicTruncationAndCorruption)
     EXPECT_NE(reader.error().find("trace"), std::string::npos);
 }
 
+TEST_F(TraceFormatTest, TruncationAtEveryStructuralBoundary)
+{
+    // A recording cut short at *any* structural boundary — mid-header,
+    // at a chunk boundary, mid-chunk-header, at the payload start, mid
+    // payload, one byte short of a payload end — must come back as a
+    // clean reader error at construction time (the chunk index now
+    // checks payload extents against the file size), never as stale
+    // buffer bytes reaching a decoder. The footer is written last, so
+    // every proper prefix is missing it at minimum.
+    TempTrace tmp("bound");
+    RunSpec spec = makeSpec(WorkloadKind::kLu, LifeguardKind::kTaintCheck,
+                            2, MemoryModel::kSC, 300, tmp.path());
+    recordExperiment(spec);
+    std::vector<std::uint8_t> good = slurp(tmp.path());
+    ASSERT_GT(good.size(), trace::kHeaderBytes + 16u);
+
+    auto get32at = [&good](std::size_t off) {
+        return static_cast<std::uint32_t>(good[off]) |
+               static_cast<std::uint32_t>(good[off + 1]) << 8 |
+               static_cast<std::uint32_t>(good[off + 2]) << 16 |
+               static_cast<std::uint32_t>(good[off + 3]) << 24;
+    };
+
+    // Walk the chunk list to find every boundary.
+    std::vector<std::size_t> cuts{0, trace::kHeaderBytes / 2,
+                                  trace::kHeaderBytes - 1};
+    std::size_t off = trace::kHeaderBytes;
+    std::size_t chunks = 0;
+    while (off + 16 <= good.size()) {
+        std::size_t payload = get32at(off + 8);
+        cuts.push_back(off);           // at the chunk boundary
+        cuts.push_back(off + 8);       // mid chunk header
+        cuts.push_back(off + 16);      // payload start
+        if (payload > 1) {
+            cuts.push_back(off + 16 + payload / 2); // mid payload
+            cuts.push_back(off + 16 + payload - 1); // one byte short
+        }
+        off += 16 + payload;
+        ++chunks;
+    }
+    ASSERT_EQ(off, good.size()) << "chunk walk out of sync";
+    ASSERT_GE(chunks, 2u) << "need data chunks and a footer chunk";
+
+    for (std::size_t cut : cuts) {
+        if (cut >= good.size())
+            continue;
+        std::vector<std::uint8_t> bad = good;
+        bad.resize(cut);
+        spit(tmp.path(), bad);
+        trace::TraceReader reader(tmp.path());
+        EXPECT_FALSE(reader.ok()) << "cut at byte " << cut << " of "
+                                  << good.size() << " was accepted";
+        EXPECT_FALSE(reader.error().empty()) << "cut at byte " << cut;
+    }
+}
+
+TEST_F(TraceFormatTest, MidChunkEofIsDiagnosedNotDecoded)
+{
+    // Rewrite a data chunk's header to claim a payload running past
+    // EOF: the reader must refuse with a diagnosis naming the problem,
+    // and the op stream must yield nothing (no decode of stale bytes).
+    TempTrace tmp("midchunk");
+    RunSpec spec = makeSpec(WorkloadKind::kLu, LifeguardKind::kAddrCheck,
+                            1, MemoryModel::kSC, 300, tmp.path());
+    recordExperiment(spec);
+    std::vector<std::uint8_t> good = slurp(tmp.path());
+    ASSERT_GT(good.size(), trace::kHeaderBytes + 16u);
+
+    std::vector<std::uint8_t> bad = good;
+    std::size_t len_off = trace::kHeaderBytes + 8;
+    bad[len_off] = 0xFF; // inflate the first chunk's payload length
+    bad[len_off + 1] = 0xFF;
+    bad[len_off + 2] = 0xFF;
+    spit(tmp.path(), bad);
+
+    trace::TraceReader reader(tmp.path());
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("past end of file"), std::string::npos)
+        << reader.error();
+    trace::TraceOp op;
+    auto stream = reader.opStream(0);
+    EXPECT_FALSE(stream.next(op))
+        << "a failed reader must not hand records to the decoder";
+}
+
 // -------------------------------------------- replay determinism ----
 
 struct ReplayCell

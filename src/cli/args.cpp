@@ -305,6 +305,14 @@ usageText()
        << "                 identical to serial, simulated timing is\n"
        << "                 relaxed. Replay-only; rejected with --record\n"
        << "\n"
+       << "Monitoring service (a running paralogd, see README):\n"
+       << "  --submit=FILE   upload a recording to the daemon for\n"
+       << "                  re-monitoring and print its JSON verdict;\n"
+       << "                  --lifeguard=LIST selects the monitors\n"
+       << "                  (default: the recorded one)\n"
+       << "  --socket=PATH   the paralogd Unix-domain socket\n"
+       << "  --daemon-stats  print the daemon's metrics dump\n"
+       << "\n"
        << "Matrix execution:\n"
        << "  --jobs=N     run cells on N host threads (default 1); each\n"
        << "               cell owns its platform, so results are\n"
@@ -330,7 +338,9 @@ usageText()
        << "  paralog --workload=ocean --memory-model=tso --accel=off\n"
        << "  paralog --workload=lu --lifeguard=taintcheck --cores=4 "
        << "--record=lu.trace\n"
-       << "  paralog --replay=lu.trace --lifeguard=all --json\n";
+       << "  paralog --replay=lu.trace --lifeguard=all --json\n"
+       << "  paralog --submit=lu.trace --socket=/tmp/paralogd.sock "
+       << "--lifeguard=all\n";
     return os.str();
 }
 
@@ -557,6 +567,26 @@ const ValuedFlag kValuedFlags[] = {
          err = "--replay needs a file path (--replay=FILE)";
          return false;
      }},
+    {"--submit",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.submitPath = std::string(value);
+             return true;
+         }
+         err = "--submit needs a file path (--submit=FILE)";
+         return false;
+     }},
+    {"--socket",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.socketPath = std::string(value);
+             return true;
+         }
+         err = "--socket needs a socket path (--socket=PATH)";
+         return false;
+     }},
 };
 
 /// Flags that take no value, mapped to the CliOptions field they set.
@@ -565,6 +595,7 @@ const std::pair<const char *, bool CliOptions::*> kNoValueFlags[] = {
     {"--json", &CliOptions::json},
     {"--describe", &CliOptions::describe},
     {"--verbose", &CliOptions::verbose},
+    {"--daemon-stats", &CliOptions::daemonStats},
 };
 
 } // namespace
@@ -678,6 +709,25 @@ parseArgs(const std::vector<std::string_view> &args)
         return fail("--replay takes the scenario and platform axes from "
                     "the recording; only --lifeguard (and output/"
                     "execution flags) may be combined with it");
+
+    // Daemon-client modes: small, exclusive, and socket-bound.
+    if (!o.submitPath.empty() && o.daemonStats)
+        return fail("--submit and --daemon-stats are mutually exclusive");
+    if ((!o.submitPath.empty() || o.daemonStats) && o.socketPath.empty())
+        return fail("--submit/--daemon-stats need --socket=PATH (the "
+                    "paralogd socket)");
+    if (o.socketPath.empty() == false && o.submitPath.empty() &&
+        !o.daemonStats)
+        return fail("--socket does nothing without --submit or "
+                    "--daemon-stats");
+    if (!o.submitPath.empty() &&
+        (!o.replayPath.empty() || !o.recordPath.empty()))
+        return fail("--submit is mutually exclusive with --record and "
+                    "--replay (the daemon does the re-monitoring)");
+    if (!o.submitPath.empty() &&
+        (o.setFlags & ~static_cast<std::uint32_t>(kSetLifeguard)) != 0)
+        return fail("--submit sends the recording as-is; only "
+                    "--lifeguard may be combined with it");
 
     return res;
 }

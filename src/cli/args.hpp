@@ -85,6 +85,14 @@ struct CliOptions
     /// --replay=FILE: re-monitor a recording; scenario axes come from
     /// the file, --lifeguard optionally overrides the monitor.
     std::string replayPath;
+    /// --submit=FILE: upload a recording to a running paralogd for
+    /// re-monitoring (requires --socket; --lifeguard selects monitors).
+    std::string submitPath;
+    /// --socket=PATH: the paralogd Unix-domain socket that --submit
+    /// and --daemon-stats talk to.
+    std::string socketPath;
+    /// --daemon-stats: print the paralogd metrics dump from --socket.
+    bool daemonStats = false;
     std::uint32_t setFlags = 0; ///< SetFlag bits of explicit axes
 
     bool csv = false;      ///< machine-readable CSV output

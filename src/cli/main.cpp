@@ -13,7 +13,11 @@
  * the driver exits 1; the rest of the matrix still runs.
  */
 
+#include <csignal>
+#include <unistd.h>
+
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,10 +26,37 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
+#include "daemon/client.hpp"
 #include "trace/trace_reader.hpp"
 
 namespace paralog::cli {
 namespace {
+
+// ------------------------------------------------- interrupt handling
+//
+// First Ctrl-C: finish the cells already running, emit the partial
+// output with an `interrupted` marker, exit 130. Second Ctrl-C: the
+// user means it — hard exit.
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_sigint_count{0};
+
+extern "C" void
+onInterrupt(int)
+{
+    if (g_sigint_count.fetch_add(1, std::memory_order_relaxed) >= 1)
+        ::_exit(130);
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void
+installInterruptHandler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onInterrupt;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
 
 /** Lifeguard column label; baseline runs attach no lifeguard. */
 const char *
@@ -113,6 +144,17 @@ struct Cell
     {
         for (const CellResult &r : repeats) {
             if (r.failed)
+                return true;
+        }
+        return false;
+    }
+
+    /** True when any repeat never ran (matrix interrupted). */
+    bool
+    skipped() const
+    {
+        for (const CellResult &r : repeats) {
+            if (r.skipped)
                 return true;
         }
         return false;
@@ -309,11 +351,14 @@ printJsonCell(const Cell &cell, bool first)
 }
 
 void
-printJsonFooter(std::size_t cells, std::size_t failed)
+printJsonFooter(std::size_t cells, std::size_t failed,
+                std::size_t skipped, bool interrupted)
 {
     std::printf("\n  ],\n");
     std::printf("  \"cells_total\": %zu,\n", cells);
-    std::printf("  \"cells_failed\": %zu\n", failed);
+    std::printf("  \"cells_failed\": %zu,\n", failed);
+    std::printf("  \"cells_skipped\": %zu,\n", skipped);
+    std::printf("  \"interrupted\": %s\n", interrupted ? "true" : "false");
     std::printf("}\n");
 }
 
@@ -434,7 +479,7 @@ runCliMatrix(const CliOptions &opt)
     // `repeat` specs form one output cell, flushed as soon as its last
     // repeat arrives — so long sweeps stream rows while later cells are
     // still running on other job threads.
-    std::size_t cells_done = 0, cells_failed = 0;
+    std::size_t cells_done = 0, cells_failed = 0, cells_skipped = 0;
     Cell cell;
     auto on_cell = [&](std::size_t i, const CellResult &res) {
         if (cell.repeats.empty()) {
@@ -445,6 +490,12 @@ runCliMatrix(const CliOptions &opt)
         cell.repeats.push_back(res);
         if (cell.repeats.size() < opt.repeat)
             return;
+        if (cell.skipped()) {
+            // Interrupted before this cell ran: partial output only.
+            ++cells_skipped;
+            cell = Cell{};
+            return;
+        }
         if (cell.failed())
             ++cells_failed;
         if (opt.csv)
@@ -458,17 +509,65 @@ runCliMatrix(const CliOptions &opt)
         cell = Cell{};
     };
 
-    runMatrix(specs, opt.jobs, on_cell);
+    installInterruptHandler();
+    runMatrix(specs, opt.jobs, on_cell, &g_interrupted);
 
+    bool interrupted = g_interrupted.load(std::memory_order_relaxed);
     if (opt.json) {
-        printJsonFooter(num_cells, cells_failed);
+        printJsonFooter(num_cells, cells_failed, cells_skipped,
+                        interrupted);
         std::fflush(stdout);
+    } else if (opt.csv && interrupted) {
+        std::printf("# interrupted: %zu of %zu cells skipped\n",
+                    cells_skipped, num_cells);
+        std::fflush(stdout);
+    }
+    if (interrupted) {
+        std::fprintf(stderr,
+                     "paralog: interrupted — %zu of %zu cells skipped\n",
+                     cells_skipped, num_cells);
+        return 130;
     }
     if (cells_failed > 0) {
         std::fprintf(stderr, "paralog: %zu of %zu cells failed\n",
                      cells_failed, num_cells);
         return 1;
     }
+    return 0;
+}
+
+// ----------------------------------------------------- daemon client
+
+/** --submit: upload to paralogd, print its JSON verdict. */
+int
+runSubmit(const CliOptions &opt)
+{
+    paralog::daemon::SubmitOptions sopt;
+    sopt.socketPath = opt.socketPath;
+    if (opt.setFlags & kSetLifeguard)
+        sopt.lifeguards = opt.lifeguards;
+    paralog::daemon::SubmitResult res =
+        paralog::daemon::submitTrace(opt.submitPath, sopt);
+    if (!res.ok) {
+        std::fprintf(stderr, "paralog: --submit: %s\n",
+                     res.error.c_str());
+        return 1;
+    }
+    std::printf("%s\n", res.responseJson.c_str());
+    return res.status() == "ok" ? 0 : 1;
+}
+
+/** --daemon-stats: print the metrics dump. */
+int
+runDaemonStats(const CliOptions &opt)
+{
+    std::string text, err;
+    if (!paralog::daemon::fetchStats(opt.socketPath, text, err)) {
+        std::fprintf(stderr, "paralog: --daemon-stats: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", text.c_str());
     return 0;
 }
 
@@ -492,6 +591,10 @@ main(int argc, char **argv)
       case ParseStatus::kOk:
         break;
     }
+    if (parsed.options.daemonStats)
+        return runDaemonStats(parsed.options);
+    if (!parsed.options.submitPath.empty())
+        return runSubmit(parsed.options);
     if (!parsed.options.replayPath.empty()) {
         std::string err;
         if (!applyReplayHeader(parsed.options, err)) {

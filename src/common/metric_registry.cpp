@@ -1,0 +1,134 @@
+#include "common/metric_registry.hpp"
+
+#include <iomanip>
+
+#include "common/bitops.hpp"
+
+namespace paralog {
+
+namespace {
+
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v);
+}
+
+} // namespace
+
+void
+MetricMeter::sample(std::uint64_t v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+std::uint64_t
+MetricMeter::percentileLocked(double frac) const
+{
+    if (count_ == 0)
+        return 0;
+    // Smallest bucket upper bound covering >= frac of the samples;
+    // clamped to the observed max so p99 of a tight distribution never
+    // exceeds the largest value actually seen.
+    std::uint64_t need =
+        static_cast<std::uint64_t>(frac * static_cast<double>(count_));
+    if (need == 0)
+        need = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < 64; ++k) {
+        seen += buckets_[k];
+        if (seen >= need) {
+            std::uint64_t upper =
+                k >= 63 ? ~0ULL : (std::uint64_t{2} << k) - 1;
+            return std::min(upper, max_);
+        }
+    }
+    return max_;
+}
+
+MetricMeter::Snapshot
+MetricMeter::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = count_ ? min_ : 0;
+    s.max = max_;
+    s.p50 = percentileLocked(0.50);
+    s.p90 = percentileLocked(0.90);
+    s.p99 = percentileLocked(0.99);
+    return s;
+}
+
+MetricCounter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+MetricGauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+MetricMeter &
+MetricRegistry::meter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return meters_[name];
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t
+MetricRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second.value();
+}
+
+MetricMeter::Snapshot
+MetricRegistry::meterSnapshot(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = meters_.find(name);
+    return it == meters_.end() ? MetricMeter::Snapshot{}
+                               : it->second.snapshot();
+}
+
+void
+MetricRegistry::renderText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        os << "counter " << name << ' ' << c.value() << '\n';
+    for (const auto &[name, g] : gauges_)
+        os << "gauge " << name << ' ' << g.value() << '\n';
+    for (const auto &[name, m] : meters_) {
+        MetricMeter::Snapshot s = m.snapshot();
+        os << "meter " << name << " count=" << s.count
+           << " sum=" << s.sum << " mean=" << std::fixed
+           << std::setprecision(1) << s.mean() << " min=" << s.min
+           << " p50=" << s.p50 << " p90=" << s.p90 << " p99=" << s.p99
+           << " max=" << s.max << '\n';
+        os.unsetf(std::ios::fixed);
+    }
+}
+
+} // namespace paralog

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Service-grade metric registry for long-running modes (`paralogd`).
+ *
+ * StatSet (common/stats.hpp) is built for per-run simulation counters:
+ * single-writer, dumped once at the end. A daemon needs the opposite
+ * shape — many writer threads (accept loop, sessions, job workers)
+ * bumping shared counters and latency histograms for the lifetime of
+ * the process, and a stats endpoint that renders a consistent snapshot
+ * at any moment while traffic continues. MetricRegistry provides that:
+ *
+ *  - counters: monotonic, relaxed-atomic, safe for concurrent inc()
+ *  - gauges:   set/add from any thread (queue depths, active sessions)
+ *  - meters:   mutex-guarded latency/size histograms with approximate
+ *              percentiles (power-of-two buckets, like Histogram) plus
+ *              exact count/sum/min/max
+ *
+ * Lookup lazily creates the metric under the registry mutex; the
+ * returned references are stable for the registry's lifetime (map
+ * nodes), so call sites cache them. renderText() emits one
+ * `name value` line per scalar and a `name{count,mean,p50,p90,p99,max}`
+ * line per meter, in name order — the `paralogd` stats endpoint's wire
+ * format, and what the ops runbook greps.
+ */
+
+#ifndef PARALOG_COMMON_METRIC_REGISTRY_HPP
+#define PARALOG_COMMON_METRIC_REGISTRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace paralog {
+
+/** Monotonic event counter (jobs accepted, bytes ingested, ...). */
+class MetricCounter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous level (queue depth, active sessions, busy workers). */
+class MetricGauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void
+    add(std::int64_t d)
+    {
+        value_.fetch_add(d, std::memory_order_relaxed);
+    }
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Concurrent latency/size distribution. Bucket k counts samples in
+ * [2^k, 2^(k+1)) (bucket 0 holds 0 and 1), so percentiles are
+ * approximate at power-of-two granularity — the right fidelity for an
+ * ops dashboard, at a mutex-per-sample cost that is negligible at job
+ * and session granularity.
+ */
+class MetricMeter
+{
+  public:
+    void sample(std::uint64_t v);
+
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::uint64_t p50 = 0;
+        std::uint64_t p90 = 0;
+        std::uint64_t p99 = 0;
+        double
+        mean() const
+        {
+            return count ? static_cast<double>(sum) /
+                               static_cast<double>(count)
+                         : 0.0;
+        }
+    };
+
+    /** Consistent snapshot (taken under the meter's mutex). */
+    Snapshot snapshot() const;
+
+  private:
+    std::uint64_t percentileLocked(double frac) const;
+
+    mutable std::mutex mutex_;
+    std::uint64_t buckets_[64] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ULL;
+    std::uint64_t max_ = 0;
+};
+
+class MetricRegistry
+{
+  public:
+    /** Lazily-created, stable references. Thread-safe. */
+    MetricCounter &counter(const std::string &name);
+    MetricGauge &gauge(const std::string &name);
+    MetricMeter &meter(const std::string &name);
+
+    /** Counter value, 0 when the counter was never touched. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Gauge value, 0 when never touched. */
+    std::int64_t gaugeValue(const std::string &name) const;
+    /** Meter snapshot, all-zero when never touched. */
+    MetricMeter::Snapshot meterSnapshot(const std::string &name) const;
+
+    /**
+     * Render every metric, sorted by name:
+     *
+     *   counter <name> <value>
+     *   gauge <name> <value>
+     *   meter <name> count=N sum=N mean=F min=N p50=N p90=N p99=N max=N
+     *
+     * Safe while other threads keep writing (counters/gauges are read
+     * relaxed; meters snapshot under their mutex).
+     */
+    void renderText(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_; ///< guards map insertion/lookup only
+    std::map<std::string, MetricCounter> counters_;
+    std::map<std::string, MetricGauge> gauges_;
+    std::map<std::string, MetricMeter> meters_;
+};
+
+} // namespace paralog
+
+#endif // PARALOG_COMMON_METRIC_REGISTRY_HPP

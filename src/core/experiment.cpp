@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "core/replay.hpp"
 #include "trace/recorder.hpp"
@@ -174,7 +175,7 @@ runCell(const RunSpec &spec, bool inject_failure)
     auto t0 = std::chrono::steady_clock::now();
     try {
         if (inject_failure)
-            panic("injected failure (PARALOG_FAIL_CELL)");
+            panic("injected failure (cell.fail)");
         cell.result = runSpecExperiment(spec);
     } catch (const std::exception &e) {
         cell.failed = true;
@@ -194,7 +195,8 @@ runCell(const RunSpec &spec, bool inject_failure)
 std::vector<CellResult>
 runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
           const std::function<void(std::size_t, const CellResult &)>
-              &on_cell)
+              &on_cell,
+          const std::atomic<bool> *cancel)
 {
     const std::size_t n = specs.size();
     std::vector<CellResult> results(n);
@@ -207,9 +209,10 @@ runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
     // would std::terminate — keep callbacks non-throwing.)
     PanicThrowScope panic_scope;
 
+    // Fault-injection point "cell.fail" (legacy: PARALOG_FAIL_CELL).
     std::size_t fail_cell = n; // out of range: no injection
-    if (const char *s = std::getenv("PARALOG_FAIL_CELL"))
-        fail_cell = std::strtoull(s, nullptr, 10);
+    if (std::optional<std::uint64_t> v = faultValue("cell.fail"))
+        fail_cell = static_cast<std::size_t>(*v);
 
     std::atomic<std::size_t> next{0};
     std::mutex emit_mutex;
@@ -221,7 +224,11 @@ runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
-            CellResult cell = runCell(specs[i], i == fail_cell);
+            CellResult cell;
+            if (cancel && cancel->load(std::memory_order_relaxed))
+                cell.skipped = true; // cancelled before this cell began
+            else
+                cell = runCell(specs[i], i == fail_cell);
             std::lock_guard<std::mutex> lock(emit_mutex);
             results[i] = std::move(cell);
             done[i] = true;

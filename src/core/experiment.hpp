@@ -15,6 +15,7 @@
 #ifndef PARALOG_CORE_EXPERIMENT_HPP
 #define PARALOG_CORE_EXPERIMENT_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -100,6 +101,7 @@ struct CellResult
 {
     RunResult result;
     bool failed = false;
+    bool skipped = false; ///< never ran: the matrix was cancelled first
     std::string error; ///< panic/exception message, set iff failed
     double wallMs = 0; ///< host wall-clock of this run
 };
@@ -116,14 +118,22 @@ struct CellResult
  * results become available (under an internal lock — keep it cheap),
  * so callers can stream output while later cells are still running.
  *
- * Test hook: when the environment variable PARALOG_FAIL_CELL names a
+ * Cooperative cancellation: when @p cancel is non-null and becomes
+ * true, cells that have not started yet come back `skipped` (their
+ * on_cell still fires, preserving in-order streaming); cells already
+ * running finish normally. Setting it from a signal handler is fine —
+ * the flag is only ever loaded here.
+ *
+ * Test hook: when the fault-injection point "cell.fail" (see
+ * common/fault_injection.hpp; legacy alias PARALOG_FAIL_CELL) names a
  * spec index, that cell panics instead of running — the deterministic
  * way to exercise mid-matrix failure handling at any jobs count.
  */
 std::vector<CellResult>
 runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
           const std::function<void(std::size_t, const CellResult &)>
-              &on_cell = {});
+              &on_cell = {},
+          const std::atomic<bool> *cancel = nullptr);
 
 } // namespace paralog
 

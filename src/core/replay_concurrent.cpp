@@ -52,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "common/logging.hpp"
 #include "common/spsc_ring.hpp"
 
@@ -378,11 +379,12 @@ ReplayPlatform::runConcurrent()
     const std::uint32_t nConsumers =
         std::min<std::uint32_t>(cfg_.lgThreads, k_);
 
-    // Failure-containment test hook (mirrors PARALOG_FAIL_CELL): panic
-    // on the consumer thread that owns the named lifeguard stream.
+    // Failure-containment test hook (fault point "lg.fail", legacy
+    // PARALOG_FAIL_LG): panic on the consumer thread that owns the
+    // named lifeguard stream.
     ThreadId failTid = kInvalidThread;
-    if (const char *env = std::getenv("PARALOG_FAIL_LG"))
-        failTid = static_cast<ThreadId>(std::strtoul(env, nullptr, 10));
+    if (std::optional<std::uint64_t> v = faultValue("lg.fail"))
+        failTid = static_cast<ThreadId>(*v);
 
     // LockSet writes metadata from application-*read* handlers (it
     // violates condition 2 of section 5.3), so unordered cross-thread
@@ -410,7 +412,7 @@ ReplayPlatform::runConcurrent()
                     continue;
                 all_done = false;
                 if (mine[i].first == failTid)
-                    panic("PARALOG_FAIL_LG: injected failure on "
+                    panic("lg.fail (PARALOG_FAIL_LG): injected failure on "
                           "lifeguard thread %u",
                           mine[i].first);
                 std::uint64_t before = core->stats.recordsProcessed;

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Client side of the paralogd protocol (protocol.hpp): upload a
+ * recorded trace for re-monitoring, or fetch the stats dump. Used by
+ * `paralog --submit` and by the chaos tests — hence the deliberately
+ * exposed misbehavior knobs (tiny send chunks, inter-chunk stalls,
+ * mid-upload disconnects, payload corruption). A well-behaved caller
+ * leaves them at their defaults.
+ */
+
+#ifndef PARALOG_DAEMON_CLIENT_HPP
+#define PARALOG_DAEMON_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lifeguard/lifeguard.hpp"
+
+namespace paralog::daemon {
+
+struct SubmitOptions
+{
+    std::string socketPath;
+    /// Lifeguards to re-monitor under; empty = the recorded one.
+    std::vector<LifeguardKind> lifeguards;
+
+    // -------- misbehavior knobs (chaos tests; defaults are benign)
+    /// Send granularity in bytes (small values exercise split reads).
+    std::size_t chunkBytes = 64 * 1024;
+    /// Sleep between sent chunks (slow-loris client).
+    int interChunkDelayMs = 0;
+    /// Disconnect after sending this fraction of the stream ([0,1));
+    /// negative = never.
+    double disconnectAfterFraction = -1.0;
+    /// XOR 0x01 into the byte at this stream offset (>= 0) before
+    /// sending — a corrupt-CRC client. Negative = send faithfully.
+    long corruptByteOffset = -1;
+    /// Give up if no response arrives within this long (0 = forever).
+    int timeoutMs = 120000;
+};
+
+struct SubmitResult
+{
+    bool ok = false;          ///< transport-level success
+    std::string error;        ///< transport error when !ok
+    std::string responseJson; ///< daemon's JSON (may report failure)
+    int heartbeats = 0;       ///< "PLHB" lines seen before the response
+
+    /// Convenience: the "status" field of responseJson ("ok",
+    /// "failed", "shed", "rejected"), or "" when !ok.
+    std::string status() const;
+};
+
+/** Upload @p tracePath per @p opt and wait for the verdict. */
+SubmitResult submitTrace(const std::string &tracePath,
+                         const SubmitOptions &opt);
+
+/** Fetch the metrics dump. Returns false and sets @p error on
+ *  transport failure; the text lands in @p out. */
+bool fetchStats(const std::string &socketPath, std::string &out,
+                std::string &error);
+
+} // namespace paralog::daemon
+
+#endif // PARALOG_DAEMON_CLIENT_HPP

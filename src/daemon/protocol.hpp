@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paralogd wire protocol, version 1. Byte-oriented and deliberately
+ * dumb: a client connects, sends one request, reads one response, and
+ * the connection closes. All integers little-endian.
+ *
+ * Submit request (re-monitor an uploaded recording):
+ *
+ *   "PLSUBMT1"                      8-byte request magic
+ *   u32 flags                       reserved, must be 0
+ *   u32 nLifeguards                 0 = re-monitor under the recorded
+ *                                   lifeguard only
+ *   u8  kind[nLifeguards]           LifeguardKind values to run
+ *   <paralog-trace-v1 byte stream>  header, chunks, footer — exactly
+ *                                   the on-disk format (format.hpp)
+ *
+ * The daemon validates the stream as it arrives (stream_ingest.hpp):
+ * the upload is accepted the moment its footer chunk verifies. Anything
+ * wrong — bad magic, chunk CRC mismatch, truncation, over-budget size —
+ * fails only that session, with the reason in the response.
+ *
+ * Stats request: the 8 bytes "PLSTATS1", nothing else.
+ *
+ * Response (both request kinds): zero or more heartbeat lines "PLHB\n"
+ * (sent while the job is queued/running so slow clients can tell a
+ * long job from a dead daemon), then the line "PLRESP1\n", then a JSON
+ * object (submit) or the metrics text dump (stats), then close. The
+ * JSON is flat and grep-friendly; see README for the field glossary.
+ */
+
+#ifndef PARALOG_DAEMON_PROTOCOL_HPP
+#define PARALOG_DAEMON_PROTOCOL_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace paralog::daemon {
+
+inline constexpr std::array<char, 8> kSubmitMagic = {'P', 'L', 'S', 'U',
+                                                     'B', 'M', 'T', '1'};
+inline constexpr std::array<char, 8> kStatsMagic = {'P', 'L', 'S', 'T',
+                                                    'A', 'T', 'S', '1'};
+/** Bytes after the submit magic before the lifeguard kind list. */
+inline constexpr std::size_t kSubmitHeaderBytes = 8;
+/** Sanity cap on the requested lifeguard list. */
+inline constexpr std::uint32_t kMaxRequestLifeguards = 16;
+
+inline constexpr char kHeartbeatLine[] = "PLHB\n";
+inline constexpr char kResponseLine[] = "PLRESP1\n";
+
+} // namespace paralog::daemon
+
+#endif // PARALOG_DAEMON_PROTOCOL_HPP

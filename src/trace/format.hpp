@@ -35,6 +35,8 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
+#include <string>
 
 #include "core/run_stats.hpp"
 #include "lifeguard/lifeguard.hpp"
@@ -142,10 +144,10 @@ struct TraceFooter
     std::uint64_t shadowFingerprint = 0;
 };
 
-/** CRC-32 (IEEE 802.3, reflected) over @p data. */
-inline std::uint32_t
-crc32(const std::uint8_t *data, std::size_t n,
-      std::uint32_t seed = 0xFFFFFFFFu)
+namespace detail {
+
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
 {
     static const auto table = [] {
         std::array<std::uint32_t, 256> t{};
@@ -157,11 +159,10 @@ crc32(const std::uint8_t *data, std::size_t n,
         }
         return t;
     }();
-    std::uint32_t crc = seed;
-    for (std::size_t i = 0; i < n; ++i)
-        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
-    return crc ^ 0xFFFFFFFFu;
+    return table;
 }
+
+} // namespace detail
 
 /** FNV-1a over a byte span (the header's config fingerprint). */
 inline std::uint64_t
@@ -173,6 +174,129 @@ fnv1a(const std::uint8_t *data, std::size_t n)
         h *= 1099511628211ULL;
     }
     return h;
+}
+
+/** CRC-32 (IEEE 802.3, reflected) over @p data. */
+inline std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n,
+      std::uint32_t seed = 0xFFFFFFFFu)
+{
+    const auto &table = detail::crc32Table();
+    std::uint32_t crc = seed;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/**
+ * Incremental CRC-32 over a byte stream fed in arbitrary pieces —
+ * value() after any update sequence equals crc32() over the
+ * concatenation. The streaming-ingest path checks chunk payloads as
+ * bytes arrive, without buffering the whole payload first.
+ */
+class Crc32
+{
+  public:
+    void
+    update(const std::uint8_t *data, std::size_t n)
+    {
+        const auto &table = detail::crc32Table();
+        for (std::size_t i = 0; i < n; ++i)
+            state_ = table[(state_ ^ data[i]) & 0xFF] ^ (state_ >> 8);
+    }
+    std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+    void reset() { state_ = 0xFFFFFFFFu; }
+
+  private:
+    std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+// Little-endian integer accessors shared by the writer, the reader and
+// the streaming-ingest validator.
+inline std::uint32_t
+get32le(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline std::uint64_t
+get64le(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(get32le(p)) |
+           static_cast<std::uint64_t>(get32le(p + 4)) << 32;
+}
+
+inline void
+put32le(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void
+put64le(std::uint8_t *p, std::uint64_t v)
+{
+    put32le(p, static_cast<std::uint32_t>(v));
+    put32le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/** The fixed header fields, decoded. */
+struct ParsedHeader
+{
+    TraceConfig cfg;
+    std::uint64_t configFingerprint = 0;
+    std::uint64_t totalOps = 0;
+    std::uint64_t totalRecords = 0;
+    std::uint64_t footerOffset = 0;
+};
+
+/**
+ * Validate and decode the 96-byte file header (magic, version, header
+ * size, config fingerprint, plausible thread count). Returns an empty
+ * string on success, else the reason — shared by the file reader and
+ * the streaming-ingest validator so the two paths cannot drift.
+ * Finalization (footerOffset != 0) is *not* checked here: a stream
+ * being ingested is judged complete by its footer chunk instead.
+ */
+inline std::string
+parseTraceHeader(const std::uint8_t *h, ParsedHeader &out)
+{
+    if (std::memcmp(h, kMagic.data(), kMagic.size()) != 0)
+        return "bad magic (not a paralog trace)";
+    if (get32le(h + 8) != kFormatVersion)
+        return "unsupported format version " +
+               std::to_string(get32le(h + 8));
+    if (get32le(h + 12) != kHeaderBytes)
+        return "unexpected header size";
+    out.configFingerprint = get64le(h + 16);
+    if (out.configFingerprint != fnv1a(h + 24, 40))
+        return "config fingerprint mismatch (corrupt header)";
+    out.cfg.workload = static_cast<WorkloadKind>(h[24]);
+    out.cfg.lifeguard = static_cast<LifeguardKind>(h[25]);
+    out.cfg.mode = static_cast<MonitorMode>(h[26]);
+    out.cfg.memoryModel = static_cast<MemoryModel>(h[27]);
+    out.cfg.depTracking = static_cast<DepTracking>(h[28]);
+    out.cfg.conflictAlerts = h[29] & kCfgConflictAlerts;
+    out.cfg.accelIT = h[29] & kCfgAccelIT;
+    out.cfg.accelIF = h[29] & kCfgAccelIF;
+    out.cfg.accelMTLB = h[29] & kCfgAccelMTLB;
+    out.cfg.filterBits = h[30];
+    out.cfg.appThreads = get32le(h + 32);
+    out.cfg.shadowShards = get32le(h + 36);
+    out.cfg.scale = get64le(h + 40);
+    out.cfg.seed = get64le(h + 48);
+    out.cfg.logBufferBytes = get64le(h + 56);
+    out.totalOps = get64le(h + 64);
+    out.totalRecords = get64le(h + 72);
+    out.footerOffset = get64le(h + 80);
+    if (out.cfg.appThreads == 0 || out.cfg.appThreads > 1024)
+        return "implausible thread count";
+    return "";
 }
 
 } // namespace paralog::trace

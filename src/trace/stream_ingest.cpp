@@ -1,0 +1,187 @@
+#include "trace/stream_ingest.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace paralog::trace {
+
+const char *
+ingestErrorName(IngestError e)
+{
+    switch (e) {
+    case IngestError::kNone:
+        return "none";
+    case IngestError::kBadMagic:
+        return "bad-magic";
+    case IngestError::kBadVersion:
+        return "bad-version";
+    case IngestError::kBadHeader:
+        return "bad-header";
+    case IngestError::kBadChunk:
+        return "bad-chunk";
+    case IngestError::kCrcMismatch:
+        return "crc-mismatch";
+    case IngestError::kTooLarge:
+        return "too-large";
+    case IngestError::kTrailingData:
+        return "trailing-data";
+    case IngestError::kTruncated:
+        return "truncated";
+    }
+    return "unknown";
+}
+
+bool
+StreamIngest::failWith(IngestError e, const std::string &why)
+{
+    if (error_ == IngestError::kNone) {
+        error_ = e;
+        errorText_ = why;
+    }
+    state_ = State::kFailed;
+    return false;
+}
+
+bool
+StreamIngest::consumeHeader(const std::uint8_t *&p, std::size_t &n)
+{
+    std::size_t take = std::min<std::size_t>(n, kHeaderBytes - accumFill_);
+    std::memcpy(accum_ + accumFill_, p, take);
+    accumFill_ += take;
+    p += take;
+    n -= take;
+    if (accumFill_ < kHeaderBytes)
+        return true;
+
+    std::string why = parseTraceHeader(accum_, header_);
+    if (!why.empty()) {
+        IngestError e = IngestError::kBadHeader;
+        if (why.find("magic") != std::string::npos)
+            e = IngestError::kBadMagic;
+        else if (why.find("version") != std::string::npos)
+            e = IngestError::kBadVersion;
+        return failWith(e, why);
+    }
+    state_ = State::kChunkHeader;
+    accumFill_ = 0;
+    return true;
+}
+
+bool
+StreamIngest::consumeChunkHeader(const std::uint8_t *&p, std::size_t &n)
+{
+    constexpr std::size_t kChunkHeaderBytes = 16;
+    std::size_t take =
+        std::min<std::size_t>(n, kChunkHeaderBytes - accumFill_);
+    std::memcpy(accum_ + accumFill_, p, take);
+    accumFill_ += take;
+    p += take;
+    n -= take;
+    if (accumFill_ < kChunkHeaderBytes)
+        return true;
+
+    chunkKind_ = get32le(accum_);
+    std::uint32_t payload_bytes = get32le(accum_ + 8);
+    chunkCrc_ = get32le(accum_ + 12);
+    if (payload_bytes == 0)
+        return failWith(IngestError::kBadChunk, "empty chunk payload");
+    if (payload_bytes > limits_.maxChunkBytes)
+        return failWith(IngestError::kBadChunk,
+                        "chunk payload of " +
+                            std::to_string(payload_bytes) +
+                            " bytes exceeds the " +
+                            std::to_string(limits_.maxChunkBytes) +
+                            "-byte limit");
+    payloadLeft_ = payload_bytes;
+    crc_.reset();
+    state_ = State::kPayload;
+    accumFill_ = 0;
+    return true;
+}
+
+bool
+StreamIngest::consumePayload(const std::uint8_t *&p, std::size_t &n)
+{
+    std::size_t take =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, payloadLeft_));
+    crc_.update(p, take);
+    p += take;
+    n -= take;
+    payloadLeft_ -= take;
+    if (payloadLeft_ > 0)
+        return true;
+
+    if (crc_.value() != chunkCrc_)
+        return failWith(IngestError::kCrcMismatch,
+                        "chunk CRC mismatch (kind " +
+                            std::to_string(chunkKind_) + ")");
+    ++chunksValidated_;
+    if (chunkKind_ == kChunkFooter) {
+        complete_ = true;
+        state_ = State::kComplete;
+    } else {
+        state_ = State::kChunkHeader;
+    }
+    return true;
+}
+
+bool
+StreamIngest::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (state_ == State::kFailed)
+        return false;
+    if (n > 0 && state_ == State::kComplete)
+        return failWith(IngestError::kTrailingData,
+                        "bytes after the footer chunk");
+    if (bytesConsumed_ + n > limits_.maxTotalBytes)
+        return failWith(IngestError::kTooLarge,
+                        "stream exceeds the " +
+                            std::to_string(limits_.maxTotalBytes) +
+                            "-byte limit");
+    bytesConsumed_ += n;
+
+    const std::uint8_t *p = data;
+    while (n > 0) {
+        bool ok = true;
+        switch (state_) {
+        case State::kHeader:
+            ok = consumeHeader(p, n);
+            break;
+        case State::kChunkHeader:
+            ok = consumeChunkHeader(p, n);
+            break;
+        case State::kPayload:
+            ok = consumePayload(p, n);
+            break;
+        case State::kComplete:
+            ok = failWith(IngestError::kTrailingData,
+                          "bytes after the footer chunk");
+            break;
+        case State::kFailed:
+            ok = false;
+            break;
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+StreamIngest::finish()
+{
+    if (state_ == State::kFailed)
+        return false;
+    if (!complete_) {
+        const char *what = "stream ended before the footer chunk";
+        if (state_ == State::kHeader)
+            what = "stream ended inside the file header";
+        else if (state_ == State::kPayload)
+            what = "stream ended inside a chunk payload";
+        failWith(IngestError::kTruncated, what);
+        return false;
+    }
+    return true;
+}
+
+} // namespace paralog::trace

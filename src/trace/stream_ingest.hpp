@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Incremental validator for a `paralog-trace-v1` byte stream arriving
+ * in arbitrary pieces (a socket, a pipe, a file read in fragments).
+ *
+ * The file reader (trace_reader.hpp) validates a complete file it can
+ * seek around in; a daemon ingesting an upload cannot wait for the
+ * whole stream before judging it. StreamIngest checks everything that
+ * can be checked as bytes arrive:
+ *
+ *   - the 96-byte header (magic, version, config fingerprint, thread
+ *     count) as soon as 96 bytes have been fed — via the same
+ *     parseTraceHeader() the file reader uses, so the paths can't drift;
+ *   - every chunk header (known size limits) and every chunk payload's
+ *     CRC-32, computed incrementally so payloads are never buffered;
+ *   - completion: a stream is complete exactly when its footer chunk
+ *     has been fully received and verified. Bytes after the footer are
+ *     an error (kTrailingData), as is EOF before it (kTruncated).
+ *
+ * A StreamIngest validates one stream; errors are sticky (the first
+ * failure wins and further feed() calls are ignored), so one corrupt
+ * or truncated upload poisons only its own session — never the daemon.
+ */
+
+#ifndef PARALOG_TRACE_STREAM_INGEST_HPP
+#define PARALOG_TRACE_STREAM_INGEST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "trace/format.hpp"
+
+namespace paralog::trace {
+
+/** Why an ingest failed — stable taxonomy for accounting/metrics. */
+enum class IngestError
+{
+    kNone = 0,
+    kBadMagic,    ///< first 8 bytes are not "PLTRACE1"
+    kBadVersion,  ///< unsupported format version
+    kBadHeader,   ///< header decodes but is self-inconsistent
+    kBadChunk,    ///< chunk header violates structural limits
+    kCrcMismatch, ///< chunk payload CRC-32 check failed
+    kTooLarge,    ///< stream exceeded Limits::maxTotalBytes
+    kTrailingData,///< bytes arrived after the footer chunk
+    kTruncated,   ///< EOF before the footer chunk completed
+};
+
+/** Short stable name for @p e ("crc-mismatch", "truncated", ...). */
+const char *ingestErrorName(IngestError e);
+
+class StreamIngest
+{
+  public:
+    /** Structural bounds enforced during ingest (admission control
+     *  applies stricter per-client budgets on top of these). */
+    struct Limits
+    {
+        std::uint64_t maxTotalBytes = 256ull << 20;
+        std::uint32_t maxChunkBytes = 16u << 20;
+    };
+
+    StreamIngest() = default;
+    explicit StreamIngest(const Limits &limits) : limits_(limits) {}
+
+    /**
+     * Feed the next @p n stream bytes. Returns true while the stream
+     * is still healthy; false once it has failed (sticky — subsequent
+     * calls are no-ops). Feeding after complete() fails the stream
+     * with kTrailingData.
+     */
+    bool feed(const std::uint8_t *data, std::size_t n);
+
+    /**
+     * Signal EOF. A stream that is not complete() becomes kTruncated.
+     * Returns complete() && !failed().
+     */
+    bool finish();
+
+    bool failed() const { return error_ != IngestError::kNone; }
+    /** Footer chunk fully received and CRC-verified. */
+    bool complete() const { return complete_; }
+    IngestError errorCode() const { return error_; }
+    const std::string &error() const { return errorText_; }
+
+    /** True once the 96-byte header has been fed and validated. */
+    bool headerDone() const { return state_ != State::kHeader; }
+    /** Valid once headerDone(). */
+    const ParsedHeader &header() const { return header_; }
+
+    std::uint64_t bytesConsumed() const { return bytesConsumed_; }
+    std::uint64_t chunksValidated() const { return chunksValidated_; }
+
+  private:
+    enum class State
+    {
+        kHeader,      ///< accumulating the 96-byte file header
+        kChunkHeader, ///< accumulating a 16-byte chunk header
+        kPayload,     ///< streaming a chunk payload through the CRC
+        kComplete,    ///< footer verified; any further byte is an error
+        kFailed,
+    };
+
+    bool failWith(IngestError e, const std::string &why);
+    bool consumeHeader(const std::uint8_t *&p, std::size_t &n);
+    bool consumeChunkHeader(const std::uint8_t *&p, std::size_t &n);
+    bool consumePayload(const std::uint8_t *&p, std::size_t &n);
+
+    Limits limits_;
+    State state_ = State::kHeader;
+    IngestError error_ = IngestError::kNone;
+    std::string errorText_;
+    bool complete_ = false;
+
+    std::uint8_t accum_[kHeaderBytes] = {}; ///< header/chunk-header bytes
+    std::size_t accumFill_ = 0;
+
+    // Current chunk (valid in kPayload).
+    std::uint32_t chunkKind_ = 0;
+    std::uint32_t chunkCrc_ = 0;
+    std::uint64_t payloadLeft_ = 0;
+    Crc32 crc_;
+
+    ParsedHeader header_;
+    std::uint64_t bytesConsumed_ = 0;
+    std::uint64_t chunksValidated_ = 0;
+};
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_STREAM_INGEST_HPP

@@ -4,26 +4,6 @@
 
 namespace paralog::trace {
 
-namespace {
-
-std::uint32_t
-get32(const std::uint8_t *p)
-{
-    return static_cast<std::uint32_t>(p[0]) |
-           static_cast<std::uint32_t>(p[1]) << 8 |
-           static_cast<std::uint32_t>(p[2]) << 16 |
-           static_cast<std::uint32_t>(p[3]) << 24;
-}
-
-std::uint64_t
-get64(const std::uint8_t *p)
-{
-    return static_cast<std::uint64_t>(get32(p)) |
-           static_cast<std::uint64_t>(get32(p + 4)) << 32;
-}
-
-} // namespace
-
 TraceReader::TraceReader(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "rb");
@@ -58,47 +38,17 @@ TraceReader::parseHeader()
         fail("file shorter than the header");
         return;
     }
-    if (std::memcmp(h, kMagic.data(), kMagic.size()) != 0) {
-        fail("bad magic (not a paralog trace)");
+    ParsedHeader parsed;
+    std::string why = parseTraceHeader(h, parsed);
+    if (!why.empty()) {
+        fail(why);
         return;
     }
-    if (get32(h + 8) != kFormatVersion) {
-        fail("unsupported format version " +
-             std::to_string(get32(h + 8)));
-        return;
-    }
-    if (get32(h + 12) != kHeaderBytes) {
-        fail("unexpected header size");
-        return;
-    }
-    configFingerprint_ = get64(h + 16);
-    if (configFingerprint_ != fnv1a(h + 24, 40)) {
-        fail("config fingerprint mismatch (corrupt header)");
-        return;
-    }
-    cfg_.workload = static_cast<WorkloadKind>(h[24]);
-    cfg_.lifeguard = static_cast<LifeguardKind>(h[25]);
-    cfg_.mode = static_cast<MonitorMode>(h[26]);
-    cfg_.memoryModel = static_cast<MemoryModel>(h[27]);
-    cfg_.depTracking = static_cast<DepTracking>(h[28]);
-    cfg_.conflictAlerts = h[29] & kCfgConflictAlerts;
-    cfg_.accelIT = h[29] & kCfgAccelIT;
-    cfg_.accelIF = h[29] & kCfgAccelIF;
-    cfg_.accelMTLB = h[29] & kCfgAccelMTLB;
-    cfg_.filterBits = h[30];
-    cfg_.appThreads = get32(h + 32);
-    cfg_.shadowShards = get32(h + 36);
-    cfg_.scale = get64(h + 40);
-    cfg_.seed = get64(h + 48);
-    cfg_.logBufferBytes = get64(h + 56);
-    totalOps_ = get64(h + 64);
-    totalRecords_ = get64(h + 72);
-    footerOffset_ = get64(h + 80);
-
-    if (cfg_.appThreads == 0 || cfg_.appThreads > 1024) {
-        fail("implausible thread count");
-        return;
-    }
+    cfg_ = parsed.cfg;
+    configFingerprint_ = parsed.configFingerprint;
+    totalOps_ = parsed.totalOps;
+    totalRecords_ = parsed.totalRecords;
+    footerOffset_ = parsed.footerOffset;
     if (footerOffset_ == 0) {
         fail("recording was never finalized (no footer)");
         return;
@@ -143,11 +93,11 @@ TraceReader::indexChunks()
                        "recording)");
             return;
         }
-        std::uint32_t kind = get32(h);
-        std::uint32_t tid = get32(h + 4);
+        std::uint32_t kind = get32le(h);
+        std::uint32_t tid = get32le(h + 4);
         ChunkRef ref;
-        ref.bytes = get32(h + 8);
-        ref.crc = get32(h + 12);
+        ref.bytes = get32le(h + 8);
+        ref.crc = get32le(h + 12);
         ref.offset = std::ftell(file_);
         if (ref.offset < 0) {
             fail("ftell failed");

@@ -1,39 +1,28 @@
 #include "trace/trace_writer.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 
 #include "common/varint.hpp"
 
 namespace paralog::trace {
 
-namespace {
-
-void
-put32(std::uint8_t *p, std::uint32_t v)
-{
-    p[0] = static_cast<std::uint8_t>(v);
-    p[1] = static_cast<std::uint8_t>(v >> 8);
-    p[2] = static_cast<std::uint8_t>(v >> 16);
-    p[3] = static_cast<std::uint8_t>(v >> 24);
-}
-
-void
-put64(std::uint8_t *p, std::uint64_t v)
-{
-    put32(p, static_cast<std::uint32_t>(v));
-    put32(p + 4, static_cast<std::uint32_t>(v >> 32));
-}
-
-} // namespace
-
 TraceWriter::TraceWriter(const std::string &path, const TraceConfig &cfg)
-    : cfg_(cfg), opBuf_(cfg.appThreads), latBuf_(cfg.appThreads),
+    : cfg_(cfg), path_(path), tmpPath_(path + ".tmp"),
+      opBuf_(cfg.appThreads), latBuf_(cfg.appThreads),
       latRun_(cfg.appThreads), opCount(cfg.appThreads, 0),
       recordCount(cfg.appThreads, 0)
 {
-    file_ = std::fopen(path.c_str(), "wb");
+    // Crash safety: all writing happens to `path.tmp`; only a
+    // successful finalize() fsyncs and atomically renames it to `path`.
+    // An interrupted recording therefore never leaves a
+    // plausible-looking truncated trace at the requested name — at
+    // worst a `.tmp` leftover, which the reader rejects (no footer).
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
     if (!file_) {
-        fail("cannot open '" + path + "' for writing");
+        fail("cannot open '" + tmpPath_ + "' for writing");
         return;
     }
     writeHeader();
@@ -41,8 +30,13 @@ TraceWriter::TraceWriter(const std::string &path, const TraceConfig &cfg)
 
 TraceWriter::~TraceWriter()
 {
-    if (file_)
+    if (file_) {
+        // Abandoned mid-recording (no finalize, or a failed one):
+        // close and remove the partial temp file.
         std::fclose(file_);
+        file_ = nullptr;
+        std::remove(tmpPath_.c_str());
+    }
 }
 
 void
@@ -58,8 +52,8 @@ TraceWriter::writeHeader()
 {
     std::uint8_t h[kHeaderBytes] = {};
     std::memcpy(h, kMagic.data(), kMagic.size());
-    put32(h + 8, kFormatVersion);
-    put32(h + 12, kHeaderBytes);
+    put32le(h + 8, kFormatVersion);
+    put32le(h + 12, kHeaderBytes);
     h[24] = static_cast<std::uint8_t>(cfg_.workload);
     h[25] = static_cast<std::uint8_t>(cfg_.lifeguard);
     h[26] = static_cast<std::uint8_t>(cfg_.mode);
@@ -70,15 +64,15 @@ TraceWriter::writeHeader()
             (cfg_.accelIF ? kCfgAccelIF : 0) |
             (cfg_.accelMTLB ? kCfgAccelMTLB : 0);
     h[30] = cfg_.filterBits;
-    put32(h + 32, cfg_.appThreads);
-    put32(h + 36, cfg_.shadowShards);
-    put64(h + 40, cfg_.scale);
-    put64(h + 48, cfg_.seed);
-    put64(h + 56, cfg_.logBufferBytes);
-    put64(h + 64, totalOps_);
-    put64(h + 72, totalRecords_);
-    put64(h + 80, footerOffset_); // 0 until finalize rewrites the header
-    put64(h + 16, fnv1a(h + 24, 40));
+    put32le(h + 32, cfg_.appThreads);
+    put32le(h + 36, cfg_.shadowShards);
+    put64le(h + 40, cfg_.scale);
+    put64le(h + 48, cfg_.seed);
+    put64le(h + 56, cfg_.logBufferBytes);
+    put64le(h + 64, totalOps_);
+    put64le(h + 72, totalRecords_);
+    put64le(h + 80, footerOffset_); // 0 until finalize rewrites the header
+    put64le(h + 16, fnv1a(h + 24, 40));
 
     if (std::fwrite(h, 1, sizeof(h), file_) != sizeof(h))
         fail("short write (header)");
@@ -91,10 +85,10 @@ TraceWriter::flushChunk(std::uint32_t kind, std::uint32_t tid,
     if (!ok_ || payload.empty())
         return;
     std::uint8_t h[16];
-    put32(h, kind);
-    put32(h + 4, tid);
-    put32(h + 8, static_cast<std::uint32_t>(payload.size()));
-    put32(h + 12, crc32(payload.data(), payload.size()));
+    put32le(h, kind);
+    put32le(h + 4, tid);
+    put32le(h + 8, static_cast<std::uint32_t>(payload.size()));
+    put32le(h + 12, crc32(payload.data(), payload.size()));
     if (std::fwrite(h, 1, sizeof(h), file_) != sizeof(h) ||
         std::fwrite(payload.data(), 1, payload.size(), file_) !=
             payload.size())
@@ -217,9 +211,17 @@ TraceWriter::finalize(const TraceFooter &footer)
     if (file_) {
         if (std::fflush(file_) != 0)
             fail("flush failed");
+        // Durability before visibility: rename() must never publish a
+        // file whose bytes the kernel has not accepted yet.
+        if (ok_ && ::fsync(::fileno(file_)) != 0)
+            fail("fsync failed");
         std::fclose(file_);
         file_ = nullptr;
     }
+    if (ok_ && std::rename(tmpPath_.c_str(), path_.c_str()) != 0)
+        fail("rename '" + tmpPath_ + "' -> '" + path_ + "' failed");
+    if (!ok_)
+        std::remove(tmpPath_.c_str());
     return ok_;
 }
 

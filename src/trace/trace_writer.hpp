@@ -64,6 +64,8 @@ class TraceWriter
 
     std::FILE *file_ = nullptr;
     TraceConfig cfg_;
+    std::string path_;    ///< final name, created only by finalize()
+    std::string tmpPath_; ///< path_ + ".tmp": where writing happens
     bool ok_ = true;
     bool finalized_ = false;
     std::string error_;

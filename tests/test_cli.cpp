@@ -10,6 +10,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -355,6 +356,75 @@ TEST(CliParse, LockSetTsoComboAccepted)
               ParseStatus::kOk);
 }
 
+TEST(CliParse, SubmitNeedsSocketAndViceVersa)
+{
+    ParseResult ok = parse({"--submit=/tmp/x.trace",
+                            "--socket=/tmp/paralogd.sock"});
+    ASSERT_EQ(ok.status, ParseStatus::kOk);
+    EXPECT_EQ(ok.options.submitPath, "/tmp/x.trace");
+    EXPECT_EQ(ok.options.socketPath, "/tmp/paralogd.sock");
+    EXPECT_FALSE(ok.options.daemonStats);
+
+    ParseResult no_sock = parse({"--submit=/tmp/x.trace"});
+    ASSERT_EQ(no_sock.status, ParseStatus::kError);
+    EXPECT_NE(no_sock.error.find("need --socket"), std::string::npos);
+
+    ParseResult sock_alone = parse({"--socket=/tmp/paralogd.sock"});
+    ASSERT_EQ(sock_alone.status, ParseStatus::kError);
+    EXPECT_NE(sock_alone.error.find("--socket does nothing"),
+              std::string::npos);
+}
+
+TEST(CliParse, DaemonStatsParsesAndExcludesSubmit)
+{
+    ParseResult ok =
+        parse({"--daemon-stats", "--socket=/tmp/paralogd.sock"});
+    ASSERT_EQ(ok.status, ParseStatus::kOk);
+    EXPECT_TRUE(ok.options.daemonStats);
+    EXPECT_EQ(ok.options.socketPath, "/tmp/paralogd.sock");
+
+    EXPECT_EQ(parse({"--daemon-stats"}).status, ParseStatus::kError);
+
+    ParseResult both = parse({"--submit=/tmp/x.trace", "--daemon-stats",
+                              "--socket=/tmp/paralogd.sock"});
+    ASSERT_EQ(both.status, ParseStatus::kError);
+    EXPECT_NE(both.error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliParse, SubmitExcludesLocalRecordReplayAndMatrixAxes)
+{
+    // The daemon does the re-monitoring; local record/replay flags and
+    // matrix axes contradict that. Only --lifeguard may ride along.
+    ParseResult rec = parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                             "--record=/tmp/y.trace"});
+    ASSERT_EQ(rec.status, ParseStatus::kError);
+    EXPECT_NE(rec.error.find("mutually exclusive with --record"),
+              std::string::npos);
+    EXPECT_EQ(parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                     "--replay=/tmp/y.trace"})
+                  .status,
+              ParseStatus::kError);
+
+    ParseResult axis = parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                              "--workload=ocean"});
+    ASSERT_EQ(axis.status, ParseStatus::kError);
+    EXPECT_NE(axis.error.find("only --lifeguard"), std::string::npos);
+    EXPECT_EQ(parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                     "--cores=2"})
+                  .status,
+              ParseStatus::kError);
+    EXPECT_EQ(parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                     "--scale=1000"})
+                  .status,
+              ParseStatus::kError);
+
+    ParseResult lg = parse({"--submit=/tmp/x.trace", "--socket=/tmp/s",
+                            "--lifeguard=addrcheck,lockset"});
+    ASSERT_EQ(lg.status, ParseStatus::kOk);
+    ASSERT_EQ(lg.options.lifeguards.size(), 2u);
+    EXPECT_EQ(lg.options.lifeguards[0], LifeguardKind::kAddrCheck);
+}
+
 // ------------------------------------------- in-process matrix runner
 
 /** Small deterministic spec list covering distinct scenarios. */
@@ -435,6 +505,50 @@ TEST(RunMatrix, RealPanicIsContainedToItsCell)
     for (std::size_t i = 1; i < res.size(); ++i)
         EXPECT_FALSE(res[i].failed) << res[i].error;
     EXPECT_FALSE(setPanicThrows(false));
+}
+
+TEST(RunMatrix, PreCancelledMatrixSkipsEveryCell)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs();
+    std::atomic<bool> cancel{true};
+    std::vector<std::size_t> emitted;
+    std::vector<CellResult> res = runMatrix(
+        specs, 2,
+        [&](std::size_t i, const CellResult &) { emitted.push_back(i); },
+        &cancel);
+    ASSERT_EQ(res.size(), specs.size());
+    for (const CellResult &cell : res) {
+        EXPECT_TRUE(cell.skipped);
+        EXPECT_FALSE(cell.failed);
+    }
+    // Skipped cells still stream in order — partial output depends on it.
+    ASSERT_EQ(emitted.size(), specs.size());
+    for (std::size_t i = 0; i < emitted.size(); ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(RunMatrix, MidRunCancelSkipsTheTailOnly)
+{
+    setQuiet(true);
+    std::vector<RunSpec> specs = smallSpecs(2);
+    std::atomic<bool> cancel{false};
+    // Cancel from inside the first emission, as a SIGINT would
+    // mid-matrix: already-finished cells keep their results, the tail
+    // comes back skipped.
+    std::vector<CellResult> res = runMatrix(
+        specs, 1,
+        [&](std::size_t, const CellResult &) { cancel.store(true); },
+        &cancel);
+    ASSERT_EQ(res.size(), specs.size());
+    EXPECT_FALSE(res.front().skipped);
+    EXPECT_FALSE(res.front().failed);
+    EXPECT_TRUE(res.back().skipped);
+    std::size_t skipped = 0;
+    for (const CellResult &cell : res)
+        skipped += cell.skipped ? 1 : 0;
+    EXPECT_GE(skipped, 1u);
+    EXPECT_LT(skipped, specs.size());
 }
 
 // ------------------------------------------------------- end-to-end runs
@@ -889,6 +1003,63 @@ TEST_F(CliEndToEnd, ReplayOfMissingOrBogusFileFailsCleanly)
     std::fclose(f);
     EXPECT_EQ(runCli("--replay=" + bogus.path(), out), 2) << out;
     EXPECT_NE(out.find("magic"), std::string::npos) << out;
+}
+
+// --------------------------------------------- interrupts and daemon
+
+TEST_F(CliEndToEnd, SigintEmitsPartialCsvAndExits130)
+{
+    // First Ctrl-C mid-matrix: the cells already running finish, the
+    // tail is skipped, the CSV carries an `# interrupted` marker, and
+    // the driver exits 130. A big sequential matrix guarantees the
+    // signal lands while most cells are still queued.
+    const char *bin = std::getenv("PARALOG_CLI");
+    ASSERT_NE(bin, nullptr);
+    std::string cmd =
+        std::string("'") + bin +
+        "' --csv --workload=all --lifeguard=all --cores=2,4 "
+        "--scale=1000000 --jobs=1 2>/dev/null & pid=$!; sleep 1; "
+        "kill -INT $pid; wait $pid; echo \"EXIT:$?\"";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        out.append(buf, n);
+    pclose(pipe);
+
+    EXPECT_NE(out.find("EXIT:130"), std::string::npos) << out;
+    EXPECT_NE(out.find("# interrupted:"), std::string::npos) << out;
+    EXPECT_NE(out.find("cells skipped"), std::string::npos) << out;
+    // The header still printed — the partial CSV is parseable.
+    EXPECT_NE(out.find("workload,lifeguard,mode,cores"),
+              std::string::npos)
+        << out;
+}
+
+TEST_F(CliEndToEnd, SubmitWithoutDaemonFailsCleanly)
+{
+    // The client flags end to end, with no daemon listening: a clear
+    // connect error on stderr and a non-zero exit, not a hang.
+    CliTraceFile trace("nodaemon");
+    std::FILE *f = std::fopen(trace.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("irrelevant: never read, connect fails first", f);
+    std::fclose(f);
+
+    std::string out;
+    int rc = runCli("--submit=" + trace.path() +
+                        " --socket=/nonexistent/paralogd.sock",
+                    out);
+    EXPECT_EQ(rc, 1) << out;
+    EXPECT_NE(out.find("--submit"), std::string::npos) << out;
+    EXPECT_NE(out.find("connect"), std::string::npos) << out;
+
+    rc = runCli("--daemon-stats --socket=/nonexistent/paralogd.sock",
+                out);
+    EXPECT_EQ(rc, 1) << out;
+    EXPECT_NE(out.find("--daemon-stats"), std::string::npos) << out;
 }
 
 TEST_F(CliEndToEnd, ShadowShardsAreResultInvariant)

@@ -5,8 +5,11 @@
  * and that the mechanisms are observably load-bearing.
  */
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.hpp"
 #include "harness/paralog_test.hpp"
 #include "lifeguard/addrcheck.hpp"
 
@@ -129,6 +132,88 @@ TEST_F(FailureInjection, ZeroThresholdStillCorrect)
     Platform p(cfg);
     RunResult r = p.run();
     EXPECT_EQ(r.violationCount, 0u);
+}
+
+// ----------------------------------------- the fault-injection registry
+
+/** Registry unit tests run with a scrubbed environment and no
+ *  programmatic arms left behind. */
+class FaultRegistry : public test::QuietTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("PARALOG_FAULT");
+        ::unsetenv("PARALOG_FAIL_CELL");
+        ::unsetenv("PARALOG_FAIL_LG");
+        clearAllFaults();
+    }
+    void TearDown() override { SetUp(); }
+};
+
+TEST_F(FaultRegistry, UnarmedPointIsSilent)
+{
+    EXPECT_FALSE(faultValue("cell.fail").has_value());
+    EXPECT_FALSE(faultHits("cell.fail", 0));
+}
+
+TEST_F(FaultRegistry, ProgrammaticArmAndClear)
+{
+    armFault("daemon.stall-worker", 25);
+    ASSERT_TRUE(faultValue("daemon.stall-worker").has_value());
+    EXPECT_EQ(*faultValue("daemon.stall-worker"), 25u);
+    EXPECT_TRUE(faultHits("daemon.stall-worker", 25));
+    EXPECT_FALSE(faultHits("daemon.stall-worker", 24));
+    clearFault("daemon.stall-worker");
+    EXPECT_FALSE(faultValue("daemon.stall-worker").has_value());
+}
+
+TEST_F(FaultRegistry, EnvSpecParsesEntriesAndBareNames)
+{
+    ::setenv("PARALOG_FAULT", "cell.fail=3;daemon.stall-worker=50,job.fail",
+             1);
+    EXPECT_EQ(*faultValue("cell.fail"), 3u);
+    EXPECT_EQ(*faultValue("daemon.stall-worker"), 50u);
+    EXPECT_EQ(*faultValue("job.fail"), 0u); // bare name arms with 0
+    EXPECT_FALSE(faultValue("lg.fail").has_value());
+}
+
+TEST_F(FaultRegistry, LegacyAliasesStillArmTheNewNames)
+{
+    ::setenv("PARALOG_FAIL_CELL", "2", 1);
+    ::setenv("PARALOG_FAIL_LG", "1", 1);
+    EXPECT_EQ(*faultValue("cell.fail"), 2u);
+    EXPECT_EQ(*faultValue("lg.fail"), 1u);
+
+    // An explicit PARALOG_FAULT entry wins over the alias...
+    ::setenv("PARALOG_FAULT", "cell.fail=5", 1);
+    EXPECT_EQ(*faultValue("cell.fail"), 5u);
+    // ...and a programmatic arm wins over both.
+    armFault("cell.fail", 9);
+    EXPECT_EQ(*faultValue("cell.fail"), 9u);
+}
+
+TEST_F(FaultRegistry, ArmedCellFailIsContainedByRunMatrix)
+{
+    // The registry path end-to-end: arm cell.fail programmatically (no
+    // environment involved) and watch the matrix contain exactly that
+    // cell.
+    armFault("cell.fail", 0);
+    std::vector<RunSpec> specs(2);
+    for (RunSpec &s : specs) {
+        s.workload = WorkloadKind::kLu;
+        s.lifeguard = LifeguardKind::kTaintCheck;
+        s.mode = MonitorMode::kParallel;
+        s.cores = 2;
+        s.opt = opts(2000);
+    }
+    std::vector<CellResult> cells = runMatrix(specs, 1);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_TRUE(cells[0].failed);
+    EXPECT_NE(cells[0].error.find("injected failure"),
+              std::string::npos);
+    EXPECT_FALSE(cells[1].failed);
 }
 
 TEST_F(FailureInjection, OneEntryStoreBufferStillCorrectUnderTso)

@@ -9,6 +9,7 @@
  * re-monitoring is covered as the approximate mode it is.
  */
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "core/replay.hpp"
 #include "harness/paralog_test.hpp"
 #include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
 
 namespace paralog {
 namespace {
@@ -161,6 +163,62 @@ TEST_F(TraceFormatTest, RecordingIsDeterministic)
     recordExperiment(spec);
     EXPECT_EQ(slurp(a.path()), slurp(b.path()))
         << "same spec must produce byte-identical recordings";
+}
+
+TEST_F(TraceFormatTest, RecordingIsCrashSafe)
+{
+    // The writer stages everything in `<path>.tmp` and only a
+    // successful finalize() fsync+renames it into place: a recording
+    // killed mid-write leaves either nothing at the requested name, or
+    // a `.tmp` leftover the reader rejects — never a plausible-looking
+    // truncated trace.
+    TempTrace tmp("crashsafe");
+    const std::string side = tmp.path() + ".tmp";
+
+    // Simulate a hard kill: a child process records past several chunk
+    // flushes and exits without finalize (no destructor cleanup).
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        trace::TraceConfig cfg;
+        cfg.appThreads = 1;
+        trace::TraceWriter w(tmp.path(), cfg);
+        std::vector<std::uint8_t> op(64, 0xAB);
+        for (int i = 0; i < 4000; ++i) {
+            w.appendOpBytes(0, op);
+            w.noteOp(0, false);
+        }
+        ::_exit(0); // dies mid-recording
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+    // The requested name never appeared; the leftover temp file is
+    // rejected (no footer, header still marked unfinalized).
+    EXPECT_TRUE(slurp(tmp.path()).empty());
+    ASSERT_FALSE(slurp(side).empty());
+    EXPECT_FALSE(trace::TraceReader(side).ok());
+    std::remove(side.c_str());
+
+    // An abandoned writer in-process (destructor, no finalize) cleans
+    // up its temp file and publishes nothing.
+    {
+        trace::TraceConfig cfg;
+        cfg.appThreads = 1;
+        trace::TraceWriter w(tmp.path(), cfg);
+        w.appendOpBytes(0, {1, 2, 3});
+        w.noteOp(0, true);
+    }
+    EXPECT_TRUE(slurp(tmp.path()).empty());
+    EXPECT_TRUE(slurp(side).empty());
+
+    // A completed recording publishes atomically: valid final file, no
+    // temp residue.
+    RunSpec spec = makeSpec(WorkloadKind::kLu, LifeguardKind::kTaintCheck,
+                            1, MemoryModel::kSC, 300, tmp.path());
+    recordExperiment(spec);
+    EXPECT_TRUE(trace::TraceReader(tmp.path()).ok());
+    EXPECT_TRUE(slurp(side).empty());
 }
 
 TEST_F(TraceFormatTest, RejectsBadMagicTruncationAndCorruption)

@@ -108,6 +108,32 @@ struct EventRecord
 
     /** Modelled compressed size in the log buffer (~1 B per record). */
     std::uint32_t compressedBytes() const;
+
+    /** Back to the default-constructed state, but keeping `arcs`'
+     *  capacity: decode hot paths reuse one record across millions of
+     *  calls, and `*this = EventRecord{}` would free the vector's
+     *  buffer every time. */
+    void
+    reset()
+    {
+        type = EventType::kNone;
+        tid = kInvalidThread;
+        rid = kInvalidRecord;
+        dst = 0;
+        src = 0;
+        size = 0;
+        addr = 0;
+        value = 0;
+        range = AddrRange{};
+        syscall = SyscallKind::kNone;
+        caKind = HighLevelKind::kMallocEnd;
+        caSeq = kNoCaSeq;
+        arcs.clear();
+        version = VersionTag{};
+        consumesVersion = false;
+        wrapper = false;
+        chargedBytes = 0;
+    }
 };
 
 /**

@@ -231,6 +231,7 @@ CliOptions::experimentOptions() const
     opt.shadowShards = shadowShards;
     opt.maxCycles = maxCycles;
     opt.lgThreads = lgThreads;
+    opt.decodeJobs = decodeJobs;
     return opt;
 }
 
@@ -246,7 +247,7 @@ CliOptions::runSpecs() const
             for (std::uint32_t r = 0; r < repeat; ++r)
                 specs.push_back(RunSpec{s.workload, s.lifeguard, s.mode,
                                         s.cores, opt, recordPath,
-                                        replayPath});
+                                        traceFormat, replayPath});
         }
     }
     return specs;
@@ -290,9 +291,13 @@ usageText()
        << "                          are bit-identical for any value)\n"
        << "  --max-cycles=N          simulated-time watchdog override\n"
        << "\n"
-       << "Record / replay (paralog-trace-v1, see README):\n"
+       << "Record / replay (paralog-trace-v1/v2, see README):\n"
        << "  --record=FILE  persist the run's event-stream journal; the\n"
        << "                 matrix must be a single parallel-mode cell\n"
+       << "  --trace-format=v1|v2\n"
+       << "                 container version --record writes or\n"
+       << "                 --migrate produces (record default v1;\n"
+       << "                 migrate default v2). Readers auto-detect\n"
        << "  --replay=FILE  re-monitor a recording (no application\n"
        << "                 simulation); scenario axes come from the\n"
        << "                 file. --lifeguard=LIST replays once per\n"
@@ -304,6 +309,16 @@ usageText()
        << "                 concurrent engine: analysis results stay\n"
        << "                 identical to serial, simulated timing is\n"
        << "                 relaxed. Replay-only; rejected with --record\n"
+       << "  --decode-jobs=N\n"
+       << "                 pre-decode a v2 recording's op chunks on N\n"
+       << "                 worker threads at replay open (default 1 =\n"
+       << "                 lazy serial decode). Wall-clock knob only:\n"
+       << "                 results are identical for any value\n"
+       << "  --migrate=SRC  rewrite the recording at SRC into --out=DST\n"
+       << "                 using --trace-format (v1<->v2 both ways);\n"
+       << "                 replay results are bit-identical across the\n"
+       << "                 conversion. No other flags apply\n"
+       << "  --out=DST      the --migrate target path\n"
        << "\n"
        << "Monitoring service (a running paralogd, see README):\n"
        << "  --submit=FILE   upload a recording to the daemon for\n"
@@ -339,6 +354,7 @@ usageText()
        << "  paralog --workload=lu --lifeguard=taintcheck --cores=4 "
        << "--record=lu.trace\n"
        << "  paralog --replay=lu.trace --lifeguard=all --json\n"
+       << "  paralog --migrate=lu.trace --out=lu.v2.trace\n"
        << "  paralog --submit=lu.trace --socket=/tmp/paralogd.sock "
        << "--lifeguard=all\n";
     return os.str();
@@ -557,6 +573,57 @@ const ValuedFlag kValuedFlags[] = {
          err = "--record needs a file path (--record=FILE)";
          return false;
      }},
+    {"--trace-format",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (value == "v1" || value == "1") {
+             o.traceFormat = 1;
+             o.traceFormatSet = true;
+             return true;
+         }
+         if (value == "v2" || value == "2") {
+             o.traceFormat = 2;
+             o.traceFormatSet = true;
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --trace-format (want v1|v2)";
+         return false;
+     }},
+    {"--migrate",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.migratePath = std::string(value);
+             return true;
+         }
+         err = "--migrate needs a trace path (--migrate=SRC)";
+         return false;
+     }},
+    {"--out",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         if (!value.empty()) {
+             o.outPath = std::string(value);
+             return true;
+         }
+         err = "--out needs a file path (--out=DST)";
+         return false;
+     }},
+    {"--decode-jobs",
+     [](std::string_view, std::string_view value, CliOptions &o,
+        std::string &err) {
+         std::uint64_t n = 0;
+         if (parseU64(value, n) && n >= 1 && n <= kMaxJobs) {
+             o.decodeJobs = static_cast<std::uint32_t>(n);
+             o.decodeJobsSet = true;
+             return true;
+         }
+         err = "invalid value '" + std::string(value) +
+               "' for --decode-jobs (want 1.." + std::to_string(kMaxJobs) +
+               ")";
+         return false;
+     }},
     {"--replay",
      [](std::string_view, std::string_view value, CliOptions &o,
         std::string &err) {
@@ -700,6 +767,34 @@ parseArgs(const std::vector<std::string_view> &args)
     if (o.lgThreadsSet && o.replayPath.empty())
         return fail("--lg-threads applies to replay only (combine it "
                     "with --replay=FILE)");
+
+    // --decode-jobs tunes the replay reader's eager v2-chunk decode; it
+    // never changes results, but accepting it elsewhere would imply it
+    // does something there.
+    if (o.decodeJobsSet && o.replayPath.empty())
+        return fail("--decode-jobs applies to replay only (combine it "
+                    "with --replay=FILE)");
+
+    // --trace-format picks the container --record writes or --migrate
+    // produces; replay and live runs auto-detect.
+    if (o.traceFormatSet && o.recordPath.empty() && o.migratePath.empty())
+        return fail("--trace-format applies to --record and --migrate "
+                    "(readers auto-detect the version)");
+
+    // --migrate is an offline file rewrite: no simulation, no scenario.
+    if (!o.outPath.empty() && o.migratePath.empty())
+        return fail("--out does nothing without --migrate=SRC");
+    if (!o.migratePath.empty()) {
+        if (o.outPath.empty())
+            return fail("--migrate needs a target path (--out=DST)");
+        if (!o.recordPath.empty() || !o.replayPath.empty() ||
+            !o.submitPath.empty() || o.daemonStats)
+            return fail("--migrate is mutually exclusive with --record, "
+                        "--replay, --submit and --daemon-stats");
+        if (o.setFlags != 0 || o.lgThreadsSet || o.decodeJobsSet)
+            return fail("--migrate rewrites the recording as-is; only "
+                        "--trace-format may be combined with it");
+    }
 
     // --replay takes every scenario axis from the recording; only the
     // lifeguard may be overridden (re-monitoring under a different

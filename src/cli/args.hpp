@@ -80,8 +80,23 @@ struct CliOptions
     std::uint32_t jobs = 1;   ///< host threads running matrix cells
     std::uint32_t repeat = 1; ///< repeats per cell, aggregated
 
-    /// --record=FILE: persist the (single) run as paralog-trace-v1.
+    /// --record=FILE: persist the (single) run as a trace file.
     std::string recordPath;
+    /// --trace-format=v1|v2: container version for --record and the
+    /// target version for --migrate (1 = paralog-trace-v1, 2 = v2).
+    std::uint32_t traceFormat = 1;
+    bool traceFormatSet = false; ///< flag given (drives --migrate default)
+    /// --migrate=SRC: rewrite the recording at SRC into --out=DST using
+    /// --trace-format (default v2 when unset). Exclusive with every
+    /// run mode.
+    std::string migratePath;
+    /// --out=DST: the migration target path (required with --migrate).
+    std::string outPath;
+    /// --decode-jobs=N: worker threads that pre-decode v2 ops chunks at
+    /// replay open (1 = lazy serial decode). Replay-only; wall-clock
+    /// knob, results identical for any value.
+    std::uint32_t decodeJobs = 1;
+    bool decodeJobsSet = false; ///< flag given (drives conflict checks)
     /// --replay=FILE: re-monitor a recording; scenario axes come from
     /// the file, --lifeguard optionally overrides the monitor.
     std::string replayPath;

@@ -27,6 +27,7 @@
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
 #include "daemon/client.hpp"
+#include "trace/migrate.hpp"
 #include "trace/trace_reader.hpp"
 
 namespace paralog::cli {
@@ -557,6 +558,28 @@ runSubmit(const CliOptions &opt)
     return res.status() == "ok" ? 0 : 1;
 }
 
+/** --migrate: rewrite a recording into --trace-format (default v2). */
+int
+runMigrate(const CliOptions &opt)
+{
+    std::uint32_t dst_format = opt.traceFormatSet ? opt.traceFormat : 2;
+    paralog::trace::MigrateResult res = paralog::trace::migrateTrace(
+        opt.migratePath, opt.outPath, dst_format);
+    if (!res.ok) {
+        std::fprintf(stderr, "paralog: --migrate: %s\n",
+                     res.error.c_str());
+        return 1;
+    }
+    std::printf("migrated %s (v%u, %llu bytes) -> %s (v%u, %llu bytes), "
+                "%llu chunks\n",
+                opt.migratePath.c_str(), res.srcFormat,
+                static_cast<unsigned long long>(res.srcBytes),
+                opt.outPath.c_str(), res.dstFormat,
+                static_cast<unsigned long long>(res.dstBytes),
+                static_cast<unsigned long long>(res.chunks));
+    return 0;
+}
+
 /** --daemon-stats: print the metrics dump. */
 int
 runDaemonStats(const CliOptions &opt)
@@ -591,6 +614,8 @@ main(int argc, char **argv)
       case ParseStatus::kOk:
         break;
     }
+    if (!parsed.options.migratePath.empty())
+        return runMigrate(parsed.options);
     if (parsed.options.daemonStats)
         return runDaemonStats(parsed.options);
     if (!parsed.options.submitPath.empty())

@@ -1,0 +1,117 @@
+#include "common/lz.hpp"
+
+#include <cstring>
+
+#include "common/varint.hpp"
+
+namespace paralog {
+
+namespace {
+
+// Greedy hash-table matcher: one candidate position per 4-byte-prefix
+// hash bucket, most recent wins. The columnar op streams this coder is
+// pointed at are dominated by short repeating patterns, where the most
+// recent occurrence is also the one giving self-overlapping run
+// matches, so a single-entry table performs within a few percent of a
+// chain while keeping compression O(n).
+inline constexpr std::size_t kHashBits = 15;
+
+inline std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+} // namespace
+
+void
+lzCompress(const std::uint8_t *data, std::size_t n,
+           std::vector<std::uint8_t> &out)
+{
+    putVarint(out, n);
+    if (n == 0)
+        return;
+
+    std::vector<std::size_t> table(std::size_t(1) << kHashBits,
+                                   SIZE_MAX);
+    std::size_t pos = 0;
+    std::size_t lit_start = 0;
+
+    auto flush = [&](std::size_t lit_end) {
+        putVarint(out, lit_end - lit_start);
+        out.insert(out.end(), data + lit_start, data + lit_end);
+    };
+
+    while (pos + kLzMinMatch <= n) {
+        std::uint32_t h = hash4(data + pos);
+        std::size_t cand = table[h];
+        table[h] = pos;
+
+        std::size_t len = 0;
+        if (cand != SIZE_MAX &&
+            std::memcmp(data + cand, data + pos, kLzMinMatch) == 0) {
+            len = kLzMinMatch;
+            while (pos + len < n && data[cand + len] == data[pos + len])
+                ++len;
+        }
+        if (len < kLzMinMatch) {
+            ++pos;
+            continue;
+        }
+        flush(pos);
+        putVarint(out, len - kLzMinMatch);
+        putVarint(out, pos - cand);
+        // Seed the table inside the match so the next repeat of this
+        // region is found; sampling every other byte keeps long runs
+        // cheap to skip over.
+        std::size_t stop = pos + len;
+        for (pos += 1; pos + kLzMinMatch <= stop; pos += 2)
+            table[hash4(data + pos)] = pos;
+        pos = stop;
+        lit_start = pos;
+    }
+    // Trailing literals (none when the input ended exactly on a match —
+    // the decoder stops at rawLen and expects no empty tail token).
+    if (lit_start < n)
+        flush(n);
+}
+
+bool
+lzDecompress(const std::uint8_t *data, std::size_t n,
+             std::vector<std::uint8_t> &out, std::size_t max_out)
+{
+    ByteCursor c(data, n);
+    std::uint64_t raw_len = 0;
+    if (!c.getVarint(raw_len) || raw_len > max_out)
+        return false;
+    out.clear();
+    out.reserve(raw_len);
+
+    while (out.size() < raw_len) {
+        std::uint64_t lit = 0;
+        if (!c.getVarint(lit) || lit > c.remaining() ||
+            lit > raw_len - out.size())
+            return false;
+        out.insert(out.end(), c.pos, c.pos + lit);
+        c.pos += lit;
+        if (out.size() == raw_len)
+            break;
+
+        std::uint64_t len = 0, dist = 0;
+        if (!c.getVarint(len) || !c.getVarint(dist))
+            return false;
+        len += kLzMinMatch;
+        if (dist == 0 || dist > out.size() || len > raw_len - out.size())
+            return false;
+        // Matches may self-overlap (dist < len): copy byte-wise from
+        // the already-reconstructed output.
+        std::size_t from = out.size() - static_cast<std::size_t>(dist);
+        for (std::uint64_t i = 0; i < len; ++i)
+            out.push_back(out[from + i]);
+    }
+    return c.atEnd();
+}
+
+} // namespace paralog

@@ -109,7 +109,8 @@ recordExperiment(const RunSpec &spec)
     tc.seed = cfg.sim.seed;
     tc.logBufferBytes = cfg.sim.logBufferBytes;
 
-    trace::TraceRecorder recorder(spec.recordPath, tc);
+    trace::TraceRecorder recorder(spec.recordPath, tc,
+                                  spec.recordFormat);
     if (!recorder.ok())
         panic("record: %s", recorder.error().c_str());
     cfg.recorder = &recorder;
@@ -137,6 +138,7 @@ replayExperiment(const RunSpec &spec)
     if (spec.opt.maxCycles != 0)
         cfg.maxCycles = spec.opt.maxCycles;
     cfg.lgThreads = spec.opt.lgThreads;
+    cfg.decodeJobs = spec.opt.decodeJobs;
     ReplayPlatform rp(std::move(cfg));
     return rp.run();
 }

@@ -43,6 +43,9 @@ struct ExperimentOptions
     /// Host lifeguard threads for replay runs (ReplayConfig::lgThreads):
     /// 0/1 = serial engine, >= 2 = concurrent engine. Ignored live.
     std::uint32_t lgThreads = 0;
+    /// v2-chunk decode workers for replay runs
+    /// (ReplayConfig::decodeJobs). Ignored live and for v1 traces.
+    std::uint32_t decodeJobs = 1;
 
     /** Scale override from the environment (PARALOG_SCALE), if set. */
     static std::uint64_t envScale(std::uint64_t fallback);
@@ -72,8 +75,11 @@ struct RunSpec
     MonitorMode mode;
     std::uint32_t cores;
     ExperimentOptions opt;
-    /// Record the run as a `paralog-trace-v1` file (parallel mode only).
+    /// Record the run as a trace file (parallel mode only).
     std::string recordPath;
+    /// Container for recordPath: trace::kFormatVersion (v1) or
+    /// trace::kFormatVersionV2.
+    std::uint32_t recordFormat = 1;
     /// Replay this recording instead of running live: the scenario
     /// axes come from the file; `lifeguard` still selects the monitor
     /// (a kind different from the recorded one re-monitors the

@@ -96,7 +96,10 @@ ReplayCore::apply()
 }
 
 ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
-    : cfg_(std::move(cfg)), reader_(cfg_.path),
+    : cfg_(std::move(cfg)),
+      reader_(cfg_.path,
+              trace::TraceReader::Options{
+                  true, cfg_.decodeJobs > 1 ? cfg_.decodeJobs : 1}),
       lifeguardKind_(cfg_.lifeguard)
 {
     if (!reader_.ok())
@@ -470,6 +473,11 @@ ReplayPlatform::verifyAgainstFooter(const RunResult &result) const
         mismatch("total cycles", result.totalCycles, f.totalCycles);
     if (result.violationCount != f.violations)
         mismatch("violations", result.violationCount, f.violations);
+    // Older recordings predate the footer's violation fingerprint.
+    if (f.hasViolationFingerprint &&
+        result.violationFingerprint != f.violationFingerprint)
+        mismatch("violation fingerprint", result.violationFingerprint,
+                 f.violationFingerprint);
     if (result.versionsProduced != f.versionsProduced)
         mismatch("versions produced", result.versionsProduced,
                  f.versionsProduced);

@@ -62,6 +62,13 @@ struct ReplayConfig
      * (see runConcurrent).
      */
     std::uint32_t lgThreads = 0;
+    /**
+     * Worker threads for decoding v2 ops chunks at open (> 1 decodes
+     * every chunk eagerly in parallel; 0/1 decodes lazily as replay
+     * reaches each chunk). No effect on v1 recordings. Results are
+     * identical either way — this is purely a wall-clock knob.
+     */
+    std::uint32_t decodeJobs = 1;
 };
 
 /** Feeds one recorded thread's journal into its capture unit. */

@@ -552,6 +552,12 @@ ReplayPlatform::verifyResultsAgainstFooter(const RunResult &result) const
     if ((result.violationCount == 0) != (f.violations == 0))
         mismatch("violations (found-any)", result.violationCount,
                  f.violations);
+    // The distinct-set fingerprint *is* schedule-invariant (unlike the
+    // report count), so footers that carry one pin it exactly.
+    if (f.hasViolationFingerprint &&
+        result.violationFingerprint != f.violationFingerprint)
+        mismatch("violation fingerprint", result.violationFingerprint,
+                 f.violationFingerprint);
     if (result.versionsProduced != f.versionsProduced)
         mismatch("versions produced", result.versionsProduced,
                  f.versionsProduced);

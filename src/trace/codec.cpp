@@ -122,7 +122,7 @@ bool
 RecordDecoder::decode(ByteCursor &c, std::uint32_t payload_bytes,
                       EventRecord &out)
 {
-    out = EventRecord{};
+    out.reset(); // in place: keeps arcs' capacity across calls
 
     // ---- sideband ----
     std::uint64_t flags = 0, rid_delta = 0;

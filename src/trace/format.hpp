@@ -28,6 +28,14 @@
  * kinds, footer fields appended at the end) bumps nothing — readers
  * must reject unknown op codes and ignore unknown chunk kinds. Any
  * change to existing encodings is a new magic.
+ *
+ * `paralog-trace-v2` (magic "PLTRACE2") is exactly that: the header
+ * layout, chunk framing, latency and footer payload encodings are
+ * byte-identical to v1, but kChunkOps payloads hold a compressed
+ * columnar re-blocking of the v1 op bytes (v2_block.hpp) instead of
+ * the raw journal stream. Decoding a v2 ops chunk reproduces the v1
+ * op bytes exactly, so every consumer above the chunk layer — the op
+ * cursor, the record codec, replay — is format-agnostic.
  */
 
 #ifndef PARALOG_TRACE_FORMAT_HPP
@@ -48,6 +56,9 @@ namespace paralog::trace {
 inline constexpr std::array<char, 8> kMagic = {'P', 'L', 'T', 'R',
                                                'A', 'C', 'E', '1'};
 inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::array<char, 8> kMagicV2 = {'P', 'L', 'T', 'R',
+                                                 'A', 'C', 'E', '2'};
+inline constexpr std::uint32_t kFormatVersionV2 = 2;
 inline constexpr std::uint32_t kHeaderBytes = 96;
 
 /** Chunk kinds. Readers ignore unknown kinds (forward compatibility). */
@@ -142,6 +153,11 @@ struct TraceFooter
     std::uint64_t versionsConsumed = 0;
     std::uint64_t versionStallRetries = 0;
     std::uint64_t shadowFingerprint = 0;
+    // Appended after the original fields (additive evolution): absent
+    // in recordings made before it existed, so presence is tracked
+    // explicitly rather than inferred from a sentinel value.
+    std::uint64_t violationFingerprint = 0;
+    bool hasViolationFingerprint = false;
 };
 
 namespace detail {
@@ -249,6 +265,7 @@ put64le(std::uint8_t *p, std::uint64_t v)
 struct ParsedHeader
 {
     TraceConfig cfg;
+    std::uint32_t formatVersion = kFormatVersion; ///< 1 or 2
     std::uint64_t configFingerprint = 0;
     std::uint64_t totalOps = 0;
     std::uint64_t totalRecords = 0;
@@ -266,9 +283,15 @@ struct ParsedHeader
 inline std::string
 parseTraceHeader(const std::uint8_t *h, ParsedHeader &out)
 {
-    if (std::memcmp(h, kMagic.data(), kMagic.size()) != 0)
+    if (std::memcmp(h, kMagic.data(), kMagic.size()) == 0)
+        out.formatVersion = kFormatVersion;
+    else if (std::memcmp(h, kMagicV2.data(), kMagicV2.size()) == 0)
+        out.formatVersion = kFormatVersionV2;
+    else
         return "bad magic (not a paralog trace)";
-    if (get32le(h + 8) != kFormatVersion)
+    // The version word must agree with the magic: the magic names the
+    // format, the word exists so a mismatch is diagnosable.
+    if (get32le(h + 8) != out.formatVersion)
         return "unsupported format version " +
                std::to_string(get32le(h + 8));
     if (get32le(h + 12) != kHeaderBytes)

@@ -1,0 +1,62 @@
+#include "trace/migrate.hpp"
+
+#include <sys/stat.h>
+
+#include "trace/trace_reader.hpp"
+#include "trace/trace_writer.hpp"
+
+namespace paralog::trace {
+
+MigrateResult
+migrateTrace(const std::string &src, const std::string &dst,
+             std::uint32_t dst_format)
+{
+    MigrateResult res;
+    res.dstFormat = dst_format;
+    if (dst_format != kFormatVersion && dst_format != kFormatVersionV2) {
+        res.error =
+            "unknown target format version " + std::to_string(dst_format);
+        return res;
+    }
+
+    TraceReader reader(src);
+    if (!reader.ok()) {
+        res.error = reader.error();
+        return res;
+    }
+    res.srcFormat = reader.formatVersion();
+    res.srcBytes = reader.fileBytes();
+
+    TraceWriter writer(dst, reader.config(), dst_format);
+    writer.opCount = reader.footer().opCount;
+    writer.recordCount = reader.footer().recordCount;
+    writer.setTotals(reader.totalOps(), reader.totalRecords());
+
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; writer.ok() && i < reader.chunkCount(); ++i) {
+        std::uint32_t kind = reader.chunkKind(i);
+        if (kind != kChunkOps && kind != kChunkMetaLatency)
+            continue; // the footer is re-encoded below
+        if (!reader.chunkPayload(i, payload)) {
+            res.error = reader.error();
+            return res;
+        }
+        if (kind == kChunkOps)
+            writer.writeOpsChunk(reader.chunkTid(i), payload);
+        else
+            writer.writeLatencyChunk(reader.chunkTid(i), payload);
+        ++res.chunks;
+    }
+    if (!writer.finalize(reader.footer())) {
+        res.error = writer.error();
+        return res;
+    }
+
+    struct stat st;
+    if (::stat(dst.c_str(), &st) == 0 && st.st_size >= 0)
+        res.dstBytes = static_cast<std::uint64_t>(st.st_size);
+    res.ok = true;
+    return res;
+}
+
+} // namespace paralog::trace

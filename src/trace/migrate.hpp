@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Offline trace migration between the v1 and v2 containers.
+ *
+ * Migration is chunk-by-chunk and order-preserving: every ops chunk is
+ * decoded to its v1 op bytes and re-emitted in the target format,
+ * latency chunks are copied verbatim, and the footer is re-encoded
+ * from the parsed source footer (preserving the presence/absence of
+ * appended fields). Because the two containers share header layout,
+ * chunk framing and all payload encodings except the ops re-blocking,
+ * a v1 → v2 → v1 round trip reproduces the original file
+ * byte-for-byte. Unknown chunk kinds — which readers of either format
+ * ignore — are not carried across.
+ */
+
+#ifndef PARALOG_TRACE_MIGRATE_HPP
+#define PARALOG_TRACE_MIGRATE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace paralog::trace {
+
+struct MigrateResult
+{
+    bool ok = false;
+    std::string error;
+    std::uint32_t srcFormat = 0;
+    std::uint32_t dstFormat = 0;
+    std::uint64_t srcBytes = 0;
+    std::uint64_t dstBytes = 0;
+    std::uint64_t chunks = 0; ///< ops + latency chunks carried over
+};
+
+/** Rewrite the recording at @p src into @p dst using @p dst_format
+ *  (kFormatVersion or kFormatVersionV2). Same-format migration is a
+ *  valid (normalizing) copy. */
+MigrateResult migrateTrace(const std::string &src, const std::string &dst,
+                           std::uint32_t dst_format);
+
+} // namespace paralog::trace
+
+#endif // PARALOG_TRACE_MIGRATE_HPP

@@ -5,8 +5,9 @@
 namespace paralog::trace {
 
 TraceRecorder::TraceRecorder(const std::string &path,
-                             const TraceConfig &cfg)
-    : writer_(path, cfg), threads_(cfg.appThreads)
+                             const TraceConfig &cfg,
+                             std::uint32_t format)
+    : writer_(path, cfg, format), threads_(cfg.appThreads)
 {
 }
 
@@ -142,6 +143,8 @@ TraceRecorder::finalize(const RunResult &result,
     footer.versionsConsumed = result.versionsConsumed;
     footer.versionStallRetries = result.versionStallRetries;
     footer.shadowFingerprint = shadow_fingerprint;
+    footer.violationFingerprint = result.violationFingerprint;
+    footer.hasViolationFingerprint = true;
     return writer_.finalize(footer);
 }
 

@@ -29,7 +29,11 @@ namespace paralog::trace {
 class TraceRecorder : public CaptureJournal
 {
   public:
-    TraceRecorder(const std::string &path, const TraceConfig &cfg);
+    /** @p format selects the container: kFormatVersion (v1, default)
+     *  or kFormatVersionV2. The journal encoding is identical; only
+     *  the on-disk ops-chunk layout differs. */
+    TraceRecorder(const std::string &path, const TraceConfig &cfg,
+                  std::uint32_t format = kFormatVersion);
 
     bool ok() const { return writer_.ok(); }
     const std::string &error() const { return writer_.error(); }

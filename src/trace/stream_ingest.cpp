@@ -138,10 +138,13 @@ StreamIngest::feed(const std::uint8_t *data, std::size_t n)
                         "stream exceeds the " +
                             std::to_string(limits_.maxTotalBytes) +
                             "-byte limit");
-    bytesConsumed_ += n;
 
     const std::uint8_t *p = data;
     while (n > 0) {
+        // Account bytes as they are actually processed, so that on a
+        // rejected chunk bytesConsumed() stops at the bad chunk rather
+        // than covering everything the caller happened to hand us.
+        std::size_t before = n;
         bool ok = true;
         switch (state_) {
         case State::kHeader:
@@ -161,6 +164,7 @@ StreamIngest::feed(const std::uint8_t *data, std::size_t n)
             ok = false;
             break;
         }
+        bytesConsumed_ += before - n;
         if (!ok)
             return false;
     }

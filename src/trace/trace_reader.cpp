@@ -1,45 +1,112 @@
 #include "trace/trace_reader.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "trace/v2_block.hpp"
 
 namespace paralog::trace {
 
-TraceReader::TraceReader(const std::string &path)
+namespace {
+
+/** Structural ceiling on one decoded v2 ops chunk: the writer flushes
+ *  at ~56 KB of v1 bytes, so anything near this limit is hostile. */
+inline constexpr std::size_t kMaxDecodedChunkBytes = 16u << 20;
+
+} // namespace
+
+TraceReader::TraceReader(const std::string &path, const Options &opts)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    if (!file_) {
-        fail("cannot open '" + path + "'");
-        return;
-    }
-    parseHeader();
+    openSpan(path, opts);
+    if (ok_)
+        parseHeader();
     if (ok_)
         indexChunks();
+    if (ok_ && formatVersion_ == kFormatVersionV2 && opts.decodeJobs > 1)
+        predecodeParallel(opts.decodeJobs);
 }
 
 TraceReader::~TraceReader()
 {
-    if (file_)
-        std::fclose(file_);
+    if (map_)
+        ::munmap(map_, mapLen_);
 }
 
 void
 TraceReader::fail(const std::string &why)
 {
     if (ok_)
-        error_ = "paralog-trace-v1: " + why;
+        error_ = (formatVersion_ == kFormatVersionV2
+                      ? "paralog-trace-v2: "
+                      : "paralog-trace-v1: ") +
+                 why;
     ok_ = false;
+}
+
+void
+TraceReader::openSpan(const std::string &path, const Options &opts)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        fail("cannot open '" + path + "'");
+        return;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        fail("cannot stat '" + path + "'");
+        return;
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    if (size_ > 0 && opts.preferMmap) {
+        void *m = ::mmap(nullptr, static_cast<std::size_t>(size_),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) {
+            map_ = m;
+            mapLen_ = static_cast<std::size_t>(size_);
+            data_ = static_cast<const std::uint8_t *>(m);
+        }
+    }
+    if (!map_ && size_ > 0) {
+        // Heap fallback: read the whole file once. Same span interface,
+        // no lifetime differences for anything above this function.
+        fileBuf_.resize(static_cast<std::size_t>(size_));
+        std::uint64_t off = 0;
+        while (off < size_) {
+            ssize_t got = ::read(fd, fileBuf_.data() + off,
+                                 static_cast<std::size_t>(size_ - off));
+            if (got <= 0) {
+                ::close(fd);
+                fail("I/O error reading '" + path + "'");
+                return;
+            }
+            off += static_cast<std::uint64_t>(got);
+        }
+        data_ = fileBuf_.data();
+    }
+    ::close(fd);
 }
 
 void
 TraceReader::parseHeader()
 {
-    std::uint8_t h[kHeaderBytes];
-    if (std::fread(h, 1, sizeof(h), file_) != sizeof(h)) {
+    if (size_ < kHeaderBytes) {
         fail("file shorter than the header");
         return;
     }
     ParsedHeader parsed;
-    std::string why = parseTraceHeader(h, parsed);
+    std::string why = parseTraceHeader(data_, parsed);
+    // Report under the right banner even when the header itself is the
+    // problem — the magic decides which format we were reading.
+    formatVersion_ = parsed.formatVersion;
     if (!why.empty()) {
         fail(why);
         return;
@@ -60,117 +127,154 @@ TraceReader::parseHeader()
 void
 TraceReader::indexChunks()
 {
-    // Learn the file size first: a chunk header whose payload length
-    // points past EOF is a truncated recording, and catching it here
-    // gives one clear diagnosis instead of a confusing tail of
-    // "footer chunk missing" after fseek() silently lands past the end.
-    long data_start = std::ftell(file_);
-    if (data_start < 0 || std::fseek(file_, 0, SEEK_END) != 0) {
-        fail("cannot determine file size");
-        return;
-    }
-    long file_size = std::ftell(file_);
-    if (file_size < 0 || std::fseek(file_, data_start, SEEK_SET) != 0) {
-        fail("cannot determine file size");
-        return;
-    }
-
+    std::uint64_t pos = kHeaderBytes;
     bool footer_seen = false;
-    for (;;) {
-        std::uint8_t h[16];
-        std::size_t got = std::fread(h, 1, sizeof(h), file_);
-        if (got == 0) {
-            if (std::ferror(file_)) {
-                fail("I/O error reading chunk header");
-                return;
-            }
-            break; // clean EOF at a chunk boundary
-        }
-        if (got != sizeof(h)) {
-            fail(std::ferror(file_)
-                     ? "I/O error reading chunk header"
-                     : "EOF in the middle of a chunk header (truncated "
-                       "recording)");
+    while (pos < size_) {
+        if (size_ - pos < 16) {
+            fail("EOF in the middle of a chunk header (truncated "
+                 "recording)");
             return;
         }
-        std::uint32_t kind = get32le(h);
-        std::uint32_t tid = get32le(h + 4);
+        const std::uint8_t *h = data_ + pos;
         ChunkRef ref;
+        ref.kind = get32le(h);
+        ref.tid = get32le(h + 4);
         ref.bytes = get32le(h + 8);
         ref.crc = get32le(h + 12);
-        ref.offset = std::ftell(file_);
-        if (ref.offset < 0) {
-            fail("ftell failed");
-            return;
-        }
-        if (ref.bytes >
-            static_cast<std::uint64_t>(file_size - ref.offset)) {
+        ref.offset = pos + 16;
+        if (ref.bytes > size_ - ref.offset) {
             fail("chunk payload of " + std::to_string(ref.bytes) +
                  " bytes at offset " + std::to_string(ref.offset) +
                  " extends past end of file (truncated recording)");
             return;
         }
+        pos = ref.offset + ref.bytes;
 
-        if (kind == kChunkOps || kind == kChunkMetaLatency) {
-            if (tid >= cfg_.appThreads) {
+        std::size_t idx = chunks_.size();
+        if (ref.kind == kChunkOps || ref.kind == kChunkMetaLatency) {
+            if (ref.tid >= cfg_.appThreads) {
                 fail("chunk for out-of-range thread");
                 return;
             }
-            (kind == kChunkOps ? opChunks_ : latChunks_)[tid].push_back(
-                ref);
-        } else if (kind == kChunkFooter) {
+            (ref.kind == kChunkOps ? opChunks_ : latChunks_)[ref.tid]
+                .push_back(idx);
+        }
+        chunks_.push_back(ref);
+        if (ref.kind == kChunkFooter) {
+            // The footer is validated eagerly (CRC included): replay
+            // needs it before any stream is consumed, and a recording
+            // whose results are unreadable is useless anyway.
+            chunkChecked_.resize(chunks_.size(), 0);
             std::vector<std::uint8_t> payload;
-            if (!loadChunk(ref, payload))
+            if (!chunkPayload(idx, payload))
                 return;
             parseFooter(payload);
+            if (!ok_)
+                return;
             footer_seen = true;
-            continue; // loadChunk advanced the file position
         }
-        // Unknown kinds are skipped (forward compatibility).
-        if (std::fseek(file_, ref.offset + static_cast<long>(ref.bytes),
-                       SEEK_SET) != 0) {
-            fail("seek past chunk failed");
-            return;
-        }
+        // Unknown kinds are indexed but never consumed (forward
+        // compatibility).
     }
+    chunkChecked_.resize(chunks_.size(), 0);
     if (!footer_seen)
         fail("footer chunk missing");
 }
 
 bool
-TraceReader::loadChunk(const ChunkRef &ref, std::vector<std::uint8_t> &out)
+TraceReader::checkChunk(std::size_t i)
 {
-    // On any failure the buffer is cleared before returning: a partial
-    // fread leaves the tail of `out` holding stale bytes (from the
-    // previous chunk, or zero-fill), and a decoder that keeps running
-    // over them would misparse garbage instead of stopping at a clean
-    // "truncated" diagnosis.
-    out.resize(ref.bytes);
-    if (std::fseek(file_, ref.offset, SEEK_SET) != 0) {
-        out.clear();
-        fail("seek to chunk payload failed");
+    if (!ok_)
         return false;
-    }
-    std::size_t got =
-        ref.bytes > 0 ? std::fread(out.data(), 1, out.size(), file_) : 0;
-    if (got != out.size()) {
-        bool io_error = std::ferror(file_);
-        out.clear();
-        fail(io_error
-                 ? "I/O error reading chunk payload"
-                 : "EOF in the middle of a chunk payload (got " +
-                       std::to_string(got) + " of " +
-                       std::to_string(ref.bytes) + " bytes at offset " +
-                       std::to_string(ref.offset) +
-                       "; truncated recording)");
-        return false;
-    }
-    if (crc32(out.data(), out.size()) != ref.crc) {
-        out.clear();
+    if (i < chunkChecked_.size() && chunkChecked_[i])
+        return true;
+    const ChunkRef &ref = chunks_[i];
+    if (crc32(data_ + ref.offset, ref.bytes) != ref.crc) {
         fail("chunk CRC mismatch (corrupt trace)");
         return false;
     }
+    if (i < chunkChecked_.size())
+        chunkChecked_[i] = 1;
     return true;
+}
+
+bool
+TraceReader::chunkPayload(std::size_t i, std::vector<std::uint8_t> &out)
+{
+    out.clear();
+    if (chunkChecked_.size() < chunks_.size())
+        chunkChecked_.resize(chunks_.size(), 0);
+    if (!checkChunk(i))
+        return false;
+    const ChunkRef &ref = chunks_[i];
+    if (ref.kind == kChunkOps && formatVersion_ == kFormatVersionV2) {
+        if (!decoded_.empty() && !decoded_[i].empty()) {
+            out = decoded_[i];
+            return true;
+        }
+        if (!decodeOpsBlock(data_ + ref.offset, ref.bytes, out,
+                            kMaxDecodedChunkBytes)) {
+            out.clear();
+            fail("v2 ops chunk does not decode (corrupt trace)");
+            return false;
+        }
+        return true;
+    }
+    out.assign(data_ + ref.offset, data_ + ref.offset + ref.bytes);
+    return true;
+}
+
+void
+TraceReader::predecodeParallel(unsigned jobs)
+{
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < chunks_.size(); ++i)
+        if (chunks_[i].kind == kChunkOps)
+            work.push_back(i);
+    if (work.empty())
+        return;
+    decoded_.resize(chunks_.size());
+
+    // Transient worker pool over an atomic work index — the same shape
+    // runMatrix uses. Chunks decode independently, so the result is
+    // identical to the lazy path regardless of scheduling.
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::string first_error;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t w = next.fetch_add(1);
+            if (w >= work.size())
+                return;
+            std::size_t i = work[w];
+            const ChunkRef &ref = chunks_[i];
+            std::string why;
+            if (crc32(data_ + ref.offset, ref.bytes) != ref.crc)
+                why = "chunk CRC mismatch (corrupt trace)";
+            else if (!decodeOpsBlock(data_ + ref.offset, ref.bytes,
+                                     decoded_[i],
+                                     kMaxDecodedChunkBytes))
+                why = "v2 ops chunk does not decode (corrupt trace)";
+            if (!why.empty()) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (first_error.empty())
+                    first_error = why;
+            }
+        }
+    };
+    unsigned n = std::min<std::size_t>(jobs, work.size());
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    if (!first_error.empty()) {
+        fail(first_error);
+        return;
+    }
+    for (std::size_t i : work)
+        chunkChecked_[i] = 1;
 }
 
 void
@@ -210,27 +314,61 @@ TraceReader::parseFooter(const std::vector<std::uint8_t> &payload)
            c.getVarint(footer_.versionsConsumed) &&
            c.getVarint(footer_.versionStallRetries) &&
            c.getVarint(footer_.shadowFingerprint);
-    if (!good)
+    if (!good) {
         fail("malformed footer");
+        return;
+    }
+    // Appended-field region: absent in older recordings, ignored
+    // beyond what this reader knows (additive evolution).
+    if (!c.atEnd()) {
+        if (!c.getVarint(footer_.violationFingerprint)) {
+            fail("malformed footer");
+            return;
+        }
+        footer_.hasViolationFingerprint = true;
+    }
+    // A parallel recording runs one lifeguard core per app core; a
+    // footer disagreeing with the header's thread count (e.g. an empty
+    // lifeguard list behind an intact config fingerprint — the header
+    // checksum does not cover the footer) would otherwise surface as
+    // an assertion failure deep inside replay's footer self-check.
+    if (cfg_.mode == MonitorMode::kParallel &&
+        footer_.lifeguard.size() != cfg_.appThreads)
+        fail("footer has lifeguard stats for " +
+             std::to_string(footer_.lifeguard.size()) +
+             " cores in a " + std::to_string(cfg_.appThreads) +
+             "-core parallel recording (corrupt or tampered footer)");
 }
 
 bool
-TraceReader::nextChunk(std::uint32_t kind, ThreadId tid, std::size_t &idx,
-                       std::vector<std::uint8_t> &buf, ByteCursor &cur)
+TraceReader::cursorForChunk(std::size_t i, std::vector<std::uint8_t> &buf,
+                            ByteCursor &cur)
 {
-    const auto &chunks =
-        (kind == kChunkOps ? opChunks_ : latChunks_)[tid];
-    if (!ok_ || idx >= chunks.size())
-        return false;
-    if (!loadChunk(chunks[idx], buf)) {
-        // loadChunk cleared `buf` (possibly reallocating): re-anchor the
-        // cursor so the stream never dangles into freed memory and every
-        // later next() sees a clean at-end state, not stale bytes.
-        cur = ByteCursor(buf.data(), buf.size());
+    if (!checkChunk(i)) {
+        buf.clear();
+        cur = ByteCursor(buf.data(), 0);
         return false;
     }
-    ++idx;
-    cur = ByteCursor(buf.data(), buf.size());
+    const ChunkRef &ref = chunks_[i];
+    if (ref.kind == kChunkOps && formatVersion_ == kFormatVersionV2) {
+        if (!decoded_.empty() && !decoded_[i].empty()) {
+            // Eagerly decoded at open(): zero-copy from the shared
+            // buffer (streams never mutate what they read).
+            cur = ByteCursor(decoded_[i].data(), decoded_[i].size());
+            return true;
+        }
+        if (!decodeOpsBlock(data_ + ref.offset, ref.bytes, buf,
+                            kMaxDecodedChunkBytes)) {
+            buf.clear();
+            cur = ByteCursor(buf.data(), 0);
+            fail("v2 ops chunk does not decode (corrupt trace)");
+            return false;
+        }
+        cur = ByteCursor(buf.data(), buf.size());
+        return true;
+    }
+    // v1 ops and latency chunks: read straight out of the mapping.
+    cur = ByteCursor(data_ + ref.offset, ref.bytes);
     return true;
 }
 
@@ -255,9 +393,14 @@ TraceReader::latencyStream(ThreadId tid)
 bool
 TraceReader::OpStream::next(TraceOp &out)
 {
-    if (cur_.atEnd() &&
-        !reader_->nextChunk(kChunkOps, tid_, chunkIdx_, buf_, cur_))
-        return false;
+    while (cur_.atEnd()) {
+        const auto &order = reader_->opChunks_[tid_];
+        if (!reader_->ok_ || chunkIdx_ >= order.size())
+            return false;
+        std::size_t i = order[chunkIdx_++];
+        if (!reader_->cursorForChunk(i, buf_, cur_))
+            return false;
+    }
 
     auto bad = [this](const char *why) {
         reader_->fail(std::string("malformed op stream: ") + why);
@@ -275,7 +418,7 @@ TraceReader::OpStream::next(TraceOp &out)
     cycle_ += d_cycle;
     lgStep_ += d_lg;
 
-    out = TraceOp{};
+    out.reset(); // in place: keeps the nested vectors' capacity
     out.op = static_cast<OpCode>(opcode);
     out.gseq = gseq_;
     out.cycle = cycle_;
@@ -371,10 +514,14 @@ bool
 TraceReader::LatencyStream::next(Cycle &latency)
 {
     while (runLeft_ == 0) {
-        if (cur_.atEnd() &&
-            !reader_->nextChunk(kChunkMetaLatency, tid_, chunkIdx_, buf_,
-                                cur_))
-            return false;
+        while (cur_.atEnd()) {
+            const auto &order = reader_->latChunks_[tid_];
+            if (!reader_->ok_ || chunkIdx_ >= order.size())
+                return false;
+            std::size_t i = order[chunkIdx_++];
+            if (!reader_->cursorForChunk(i, buf_, cur_))
+                return false;
+        }
         if (!cur_.getVarint(runLatency_) || !cur_.getVarint(runLeft_)) {
             reader_->fail("malformed latency stream");
             return false;

@@ -1,17 +1,31 @@
 /**
  * @file
- * Streaming reader for `paralog-trace-v1` files. open() validates the
- * magic, format version and header; chunks are indexed up front (one
- * sequential header scan) and their payloads loaded — and CRC-checked —
- * lazily, one chunk at a time per stream, so reading stays bounded in
- * memory like writing. Files without a footer (crashed recordings) are
- * rejected.
+ * Reader for `paralog-trace-v1` and `paralog-trace-v2` files.
+ *
+ * The whole file is mapped read-only (mmap; a heap read is the
+ * fallback when mapping is unavailable) and open() validates the
+ * header, indexes every chunk with one pass over the mapping, and
+ * parses the footer. Chunk payload CRCs are checked lazily on first
+ * access, preserving the streaming reader's corruption semantics:
+ * opening a trace with a flipped payload byte succeeds, consuming the
+ * poisoned chunk fails the reader.
+ *
+ * v1 ops chunks and latency chunks are consumed zero-copy — cursors
+ * point straight into the mapping. v2 ops chunks decode back into
+ * exact v1 op bytes (v2_block.hpp) either lazily per chunk, or — with
+ * Options::decodeJobs > 1 — eagerly at open() on a transient worker
+ * pool, after which every stream reads from the pre-decoded buffers.
+ * Everything above the chunk layer is format-agnostic.
+ *
+ * Files without a footer (crashed recordings) are rejected, as is a
+ * parallel-mode footer whose lifeguard stats list does not match the
+ * recorded thread count (a structurally valid but self-inconsistent
+ * footer would otherwise surface as an assertion deep inside replay).
  */
 
 #ifndef PARALOG_TRACE_TRACE_READER_HPP
 #define PARALOG_TRACE_TRACE_READER_HPP
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,12 +55,56 @@ struct TraceOp
     std::uint8_t size = 0;
     RecordId visLimit = kInvalidRecord; // kVisLimit
     CaBroadcast ca;                // kCaBroadcast
+
+    /** Back to the default-constructed state, keeping the capacity of
+     *  the three nested vectors (arcs, rec.arcs, ca.arrivalRid) — the
+     *  op streams reuse one TraceOp per caller across the whole
+     *  journal, and `*this = TraceOp{}` would free them every op. */
+    void
+    reset()
+    {
+        op = OpCode::kRetire;
+        gseq = 0;
+        cycle = 0;
+        lgStep = 0;
+        retired = 0;
+        rec.reset();
+        chargedBytes = 0;
+        rid = 0;
+        arcs.clear();
+        version = VersionTag{};
+        addr = 0;
+        size = 0;
+        visLimit = kInvalidRecord;
+        ca.seq = 0;
+        ca.issuer = kInvalidThread;
+        ca.issuerEventRid = kInvalidRecord;
+        ca.kind = HighLevelKind::kMallocEnd;
+        ca.range = AddrRange{};
+        ca.arrivalRid.clear();
+    }
 };
 
 class TraceReader
 {
   public:
-    explicit TraceReader(const std::string &path);
+    struct Options
+    {
+        /** Map the file instead of reading it onto the heap. The heap
+         *  path exists for platforms/filesystems where mmap fails and
+         *  so tests can cover both. */
+        bool preferMmap = true;
+        /** > 1: decode all v2 ops chunks eagerly at open() with this
+         *  many worker threads (no effect on v1 files). 1 = decode
+         *  lazily, chunk by chunk, as streams reach them. */
+        unsigned decodeJobs = 1;
+    };
+
+    explicit TraceReader(const std::string &path)
+        : TraceReader(path, Options{})
+    {
+    }
+    TraceReader(const std::string &path, const Options &opts);
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
@@ -60,6 +118,23 @@ class TraceReader
     std::uint64_t configFingerprint() const { return configFingerprint_; }
     std::uint64_t totalOps() const { return totalOps_; }
     std::uint64_t totalRecords() const { return totalRecords_; }
+    /** kFormatVersion or kFormatVersionV2. */
+    std::uint32_t formatVersion() const { return formatVersion_; }
+    /** True when the file is mmap()ed (false on the heap fallback). */
+    bool mapped() const { return map_ != nullptr; }
+    std::uint64_t fileBytes() const { return size_; }
+
+    // ---- chunk inventory (file order) for migration and the trace
+    // inspector; payload access CRC-checks and, for v2 ops chunks,
+    // decodes back to v1 op bytes. ----
+    std::size_t chunkCount() const { return chunks_.size(); }
+    std::uint32_t chunkKind(std::size_t i) const { return chunks_[i].kind; }
+    std::uint32_t chunkTid(std::size_t i) const { return chunks_[i].tid; }
+    std::uint32_t chunkBytes(std::size_t i) const
+    {
+        return chunks_[i].bytes;
+    }
+    bool chunkPayload(std::size_t i, std::vector<std::uint8_t> &out);
 
     /**
      * Sequential cursor over one thread's journal ops. Loads (and
@@ -76,8 +151,8 @@ class TraceReader
         friend class TraceReader;
         TraceReader *reader_ = nullptr;
         ThreadId tid_ = 0;
-        std::size_t chunkIdx_ = 0; ///< next chunk to load
-        std::vector<std::uint8_t> buf_;
+        std::size_t chunkIdx_ = 0; ///< next chunk (per-thread index)
+        std::vector<std::uint8_t> buf_; ///< lazy v2 decode target
         ByteCursor cur_;
         RecordDecoder decoder_;
         std::uint64_t gseq_ = 0;
@@ -99,7 +174,9 @@ class TraceReader
         TraceReader *reader_ = nullptr;
         ThreadId tid_ = 0;
         std::size_t chunkIdx_ = 0;
-        std::vector<std::uint8_t> buf_;
+        std::vector<std::uint8_t> buf_; ///< unused (latency is never
+                                        ///< re-coded); keeps the chunk
+                                        ///< loader interface uniform
         ByteCursor cur_;
         Cycle runLatency_ = 0;
         std::uint64_t runLeft_ = 0;
@@ -111,30 +188,48 @@ class TraceReader
   private:
     struct ChunkRef
     {
-        long offset = 0; ///< payload file offset
+        std::uint64_t offset = 0; ///< payload offset in the mapping
         std::uint32_t bytes = 0;
         std::uint32_t crc = 0;
+        std::uint32_t kind = 0;
+        std::uint32_t tid = 0;
     };
 
     void fail(const std::string &why);
-    bool loadChunk(const ChunkRef &ref, std::vector<std::uint8_t> &out);
-    bool nextChunk(std::uint32_t kind, ThreadId tid, std::size_t &idx,
-                   std::vector<std::uint8_t> &buf, ByteCursor &cur);
+    void openSpan(const std::string &path, const Options &opts);
     void parseHeader();
     void indexChunks();
     void parseFooter(const std::vector<std::uint8_t> &payload);
+    void predecodeParallel(unsigned jobs);
+    /** CRC-check chunk @p i; false (reader failed) on mismatch. */
+    bool checkChunk(std::size_t i);
+    /** Point @p cur at chunk @p i's v1 op/latency bytes, CRC-checking
+     *  and (v2 ops) decoding as needed. @p buf backs lazy decodes. */
+    bool cursorForChunk(std::size_t i, std::vector<std::uint8_t> &buf,
+                       ByteCursor &cur);
 
-    std::FILE *file_ = nullptr;
     bool ok_ = true;
     std::string error_;
     TraceConfig cfg_;
     TraceFooter footer_;
+    std::uint32_t formatVersion_ = kFormatVersion;
     std::uint64_t configFingerprint_ = 0;
     std::uint64_t totalOps_ = 0;
     std::uint64_t totalRecords_ = 0;
     std::uint64_t footerOffset_ = 0;
-    std::vector<std::vector<ChunkRef>> opChunks_;  ///< per thread
-    std::vector<std::vector<ChunkRef>> latChunks_; ///< per thread
+
+    // The file span: mmap'ed (map_ owns it) or heap-read (fileBuf_).
+    const std::uint8_t *data_ = nullptr;
+    std::uint64_t size_ = 0;
+    void *map_ = nullptr;
+    std::size_t mapLen_ = 0;
+    std::vector<std::uint8_t> fileBuf_;
+
+    std::vector<ChunkRef> chunks_;        ///< every chunk, file order
+    std::vector<char> chunkChecked_;      ///< CRC verified already
+    std::vector<std::vector<std::size_t>> opChunks_;  ///< per-thread
+    std::vector<std::vector<std::size_t>> latChunks_; ///< indices
+    std::vector<std::vector<std::uint8_t>> decoded_;  ///< eager v2
 };
 
 } // namespace paralog::trace

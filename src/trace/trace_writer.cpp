@@ -6,15 +6,21 @@
 #include <cstring>
 
 #include "common/varint.hpp"
+#include "trace/v2_block.hpp"
 
 namespace paralog::trace {
 
-TraceWriter::TraceWriter(const std::string &path, const TraceConfig &cfg)
-    : cfg_(cfg), path_(path), tmpPath_(path + ".tmp"),
+TraceWriter::TraceWriter(const std::string &path, const TraceConfig &cfg,
+                         std::uint32_t format)
+    : cfg_(cfg), format_(format), path_(path), tmpPath_(path + ".tmp"),
       opBuf_(cfg.appThreads), latBuf_(cfg.appThreads),
       latRun_(cfg.appThreads), opCount(cfg.appThreads, 0),
       recordCount(cfg.appThreads, 0)
 {
+    if (format_ != kFormatVersion && format_ != kFormatVersionV2) {
+        fail("unknown trace format version " + std::to_string(format_));
+        return;
+    }
     // Crash safety: all writing happens to `path.tmp`; only a
     // successful finalize() fsyncs and atomically renames it to `path`.
     // An interrupted recording therefore never leaves a
@@ -51,8 +57,10 @@ void
 TraceWriter::writeHeader()
 {
     std::uint8_t h[kHeaderBytes] = {};
-    std::memcpy(h, kMagic.data(), kMagic.size());
-    put32le(h + 8, kFormatVersion);
+    const auto &magic =
+        format_ == kFormatVersionV2 ? kMagicV2 : kMagic;
+    std::memcpy(h, magic.data(), magic.size());
+    put32le(h + 8, format_);
     put32le(h + 12, kHeaderBytes);
     h[24] = static_cast<std::uint8_t>(cfg_.workload);
     h[25] = static_cast<std::uint8_t>(cfg_.lifeguard);
@@ -84,6 +92,20 @@ TraceWriter::flushChunk(std::uint32_t kind, std::uint32_t tid,
 {
     if (!ok_ || payload.empty())
         return;
+    if (kind == kChunkOps && format_ == kFormatVersionV2) {
+        // v2: the chunk payload is the columnar re-blocking of the
+        // buffered v1 op bytes. The buffer always holds whole ops
+        // (appendOpBytes is called with one complete op at a time and
+        // only flushes between calls), so the scan cannot legitimately
+        // fail — a failure here means the recorder emitted bytes the
+        // format grammar does not describe.
+        std::vector<std::uint8_t> block;
+        if (!encodeOpsBlock(payload.data(), payload.size(), block)) {
+            fail("op stream does not scan as v1 ops (recorder bug)");
+            return;
+        }
+        payload.swap(block);
+    }
     std::uint8_t h[16];
     put32le(h, kind);
     put32le(h + 4, tid);
@@ -117,6 +139,30 @@ TraceWriter::appendOpBytes(ThreadId tid,
     buf.insert(buf.end(), op.begin(), op.end());
     if (buf.size() >= kChunkTargetBytes)
         flushChunk(kChunkOps, tid, buf);
+}
+
+void
+TraceWriter::writeOpsChunk(ThreadId tid,
+                           const std::vector<std::uint8_t> &v1_ops)
+{
+    if (!ok_)
+        return;
+    if (!opBuf_[tid].empty()) {
+        fail("writeOpsChunk with buffered ops pending");
+        return;
+    }
+    std::vector<std::uint8_t> payload = v1_ops;
+    flushChunk(kChunkOps, tid, payload);
+}
+
+void
+TraceWriter::writeLatencyChunk(ThreadId tid,
+                               const std::vector<std::uint8_t> &payload)
+{
+    if (!ok_)
+        return;
+    std::vector<std::uint8_t> copy = payload;
+    flushChunk(kChunkMetaLatency, tid, copy);
 }
 
 void
@@ -195,6 +241,10 @@ TraceWriter::finalize(const TraceFooter &footer)
     putVarint(f, footer.versionsConsumed);
     putVarint(f, footer.versionStallRetries);
     putVarint(f, footer.shadowFingerprint);
+    // Additive field: old readers ignore trailing footer bytes, old
+    // recordings simply lack it (migration preserves the absence).
+    if (footer.hasViolationFingerprint)
+        putVarint(f, footer.violationFingerprint);
 
     long footer_at = ok_ ? std::ftell(file_) : -1;
     flushChunk(kChunkFooter, kNoThread, f);

@@ -1,12 +1,18 @@
 /**
  * @file
- * Streaming writer for `paralog-trace-v1` files (format.hpp). Journal
- * op bytes are buffered per thread and flushed as CRC-protected chunks
- * once they reach the target chunk size, so memory stays bounded while
- * recording arbitrarily long runs; finalize() flushes the tails, writes
- * the footer chunk and rewrites the header with the final counts and
- * config fingerprint. A file without a footer (crashed recording) is
- * rejected by the reader.
+ * Streaming writer for `paralog-trace-v1` and `paralog-trace-v2` files
+ * (format.hpp). Journal op bytes are buffered per thread and flushed as
+ * CRC-protected chunks once they reach the target chunk size, so memory
+ * stays bounded while recording arbitrarily long runs; finalize()
+ * flushes the tails, writes the footer chunk and rewrites the header
+ * with the final counts and config fingerprint. A file without a footer
+ * (crashed recording) is rejected by the reader.
+ *
+ * The two formats differ only in the ops-chunk payload: in v2 mode the
+ * buffered v1 op bytes are re-blocked and compressed (v2_block.hpp) at
+ * flush time — chunk boundaries, latency and footer encodings are
+ * shared, so a v1 and a v2 recording of the same run have identical
+ * chunk sequences.
  */
 
 #ifndef PARALOG_TRACE_TRACE_WRITER_HPP
@@ -23,7 +29,10 @@ namespace paralog::trace {
 class TraceWriter
 {
   public:
-    TraceWriter(const std::string &path, const TraceConfig &cfg);
+    /** @p format is kFormatVersion (v1, the default) or
+     *  kFormatVersionV2. */
+    TraceWriter(const std::string &path, const TraceConfig &cfg,
+                std::uint32_t format = kFormatVersion);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -42,6 +51,27 @@ class TraceWriter
     /** Append one metadata-access latency for lifeguard thread @p tid
      *  (run-length encoded). */
     void appendMetaLatency(ThreadId tid, Cycle latency);
+
+    // ---- migration support (trace/migrate.cpp): re-emit chunks from
+    // an existing recording while preserving its chunk boundaries. ----
+
+    /** Emit @p v1_ops (whole v1 op bytes) as exactly one ops chunk,
+     *  bypassing the per-thread buffer (which must be empty). */
+    void writeOpsChunk(ThreadId tid,
+                       const std::vector<std::uint8_t> &v1_ops);
+
+    /** Emit one latency chunk verbatim. */
+    void writeLatencyChunk(ThreadId tid,
+                           const std::vector<std::uint8_t> &payload);
+
+    /** Override the header totals (migration copies them from the
+     *  source header instead of counting ops via noteOp). */
+    void
+    setTotals(std::uint64_t total_ops, std::uint64_t total_records)
+    {
+        totalOps_ = total_ops;
+        totalRecords_ = total_records;
+    }
 
     /**
      * Flush everything, write the footer chunk and rewrite the header.
@@ -64,6 +94,7 @@ class TraceWriter
 
     std::FILE *file_ = nullptr;
     TraceConfig cfg_;
+    std::uint32_t format_ = kFormatVersion;
     std::string path_;    ///< final name, created only by finalize()
     std::string tmpPath_; ///< path_ + ".tmp": where writing happens
     bool ok_ = true;

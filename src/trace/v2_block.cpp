@@ -1,0 +1,230 @@
+#include "trace/v2_block.hpp"
+
+#include "common/lz.hpp"
+#include "common/varint.hpp"
+#include "trace/codec.hpp"
+#include "trace/format.hpp"
+
+namespace paralog::trace {
+
+namespace {
+
+/** Skip one varint; false on truncation or over-long encoding. */
+bool
+skipVarint(ByteCursor &c)
+{
+    std::uint64_t v = 0;
+    return c.getVarint(v);
+}
+
+bool
+skipBytes(ByteCursor &c, std::uint64_t n)
+{
+    if (c.remaining() < n)
+        return false;
+    c.pos += n;
+    return true;
+}
+
+/** Skip an append body: charged-bytes varint, sideband, payload. The
+ *  payload is exactly the charged size (codec.hpp invariant), so the
+ *  scan needs no predictor state. */
+bool
+skipAppendBody(ByteCursor &c)
+{
+    std::uint64_t charged = 0, flags = 0;
+    if (!c.getVarint(charged) || !c.getVarint(flags) || !skipVarint(c))
+        return false; // charged, sideband flags, rid delta
+    std::uint64_t fixed = 0;
+    fixed += (flags & kSbDst) ? 1 : 0;
+    fixed += (flags & kSbSrc) ? 1 : 0;
+    fixed += (flags & kSbSize) ? 1 : 0;
+    if (!skipBytes(c, fixed))
+        return false;
+    if ((flags & kSbValue) && !skipVarint(c))
+        return false;
+    if ((flags & kSbAddr) && !skipVarint(c))
+        return false;
+    if ((flags & kSbRange) && !(skipVarint(c) && skipVarint(c)))
+        return false;
+    if ((flags & kSbCaSeq) && !skipVarint(c))
+        return false;
+    if ((flags & kSbVersionTag) && !(skipVarint(c) && skipVarint(c)))
+        return false;
+    if (flags & kSbArcs) {
+        std::uint64_t arcs = 0;
+        if (!c.getVarint(arcs) || arcs > 4096)
+            return false;
+    }
+    return skipBytes(c, charged);
+}
+
+bool
+skipOpBody(OpCode op, ByteCursor &c)
+{
+    switch (op) {
+      case OpCode::kRetire:
+      case OpCode::kVisLimit:
+        return skipVarint(c);
+      case OpCode::kAppend:
+      case OpCode::kAppendCa:
+        return skipAppendBody(c);
+      case OpCode::kAttachArcs: {
+        std::uint64_t n = 0;
+        if (!skipVarint(c) || !c.getVarint(n) || n > 4096)
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i)
+            if (!skipBytes(c, 1) || !skipVarint(c))
+                return false;
+        return true;
+      }
+      case OpCode::kAnnotateConsume:
+        return skipVarint(c) && skipVarint(c) && skipVarint(c);
+      case OpCode::kInsertProduce:
+        return skipVarint(c) && skipVarint(c) && skipVarint(c) &&
+               skipVarint(c) && skipBytes(c, 1);
+      case OpCode::kCaBroadcast: {
+        std::uint64_t n = 0;
+        if (!(skipVarint(c) && skipVarint(c) && skipBytes(c, 1) &&
+              skipVarint(c) && skipVarint(c)))
+            return false;
+        if (!c.getVarint(n) || n > 1024)
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i)
+            if (!skipVarint(c))
+                return false;
+        return true;
+      }
+    }
+    return false;
+}
+
+/** Copy the next varint of @p src into @p dst; false on truncation. */
+bool
+copyVarint(ByteCursor &src, std::vector<std::uint8_t> &dst)
+{
+    const std::uint8_t *start = src.pos;
+    if (!skipVarint(src))
+        return false;
+    dst.insert(dst.end(), start, src.pos);
+    return true;
+}
+
+inline constexpr std::size_t kColumnCount = 6;
+
+} // namespace
+
+bool
+scanOneOp(const std::uint8_t *&pos, const std::uint8_t *end,
+          std::size_t &prelude_end)
+{
+    ByteCursor c(pos, static_cast<std::size_t>(end - pos));
+    std::uint8_t opcode = 0;
+    if (!c.getByte(opcode) || opcode > kMaxOpCode)
+        return false;
+    if (!skipVarint(c) || !skipVarint(c) || !skipVarint(c))
+        return false; // d_gseq, d_cycle, d_lgStep
+    prelude_end = static_cast<std::size_t>(c.pos - pos);
+    if (!skipOpBody(static_cast<OpCode>(opcode), c))
+        return false;
+    pos = c.pos;
+    return true;
+}
+
+bool
+encodeOpsBlock(const std::uint8_t *v1, std::size_t n,
+               std::vector<std::uint8_t> &out)
+{
+    std::vector<std::uint8_t> cols[kColumnCount];
+    std::uint64_t op_count = 0;
+
+    const std::uint8_t *p = v1;
+    const std::uint8_t *end = v1 + n;
+    while (p < end) {
+        const std::uint8_t *op_start = p;
+        std::size_t prelude_end = 0;
+        if (!scanOneOp(p, end, prelude_end))
+            return false;
+        ++op_count;
+
+        cols[0].push_back(op_start[0]);
+        ByteCursor pre(op_start + 1, prelude_end - 1);
+        if (!copyVarint(pre, cols[1]) || !copyVarint(pre, cols[2]) ||
+            !copyVarint(pre, cols[3]))
+            return false;
+        std::size_t body_len =
+            static_cast<std::size_t>(p - op_start) - prelude_end;
+        putVarint(cols[4], body_len);
+        cols[5].insert(cols[5].end(), op_start + prelude_end, p);
+    }
+
+    std::vector<std::uint8_t> section;
+    section.reserve(n + op_count + 64);
+    putVarint(section, op_count);
+    for (const auto &col : cols) {
+        putVarint(section, col.size());
+        section.insert(section.end(), col.begin(), col.end());
+    }
+    putVarint(out, n);
+    lzCompress(section.data(), section.size(), out);
+    return true;
+}
+
+bool
+decodeOpsBlock(const std::uint8_t *v2, std::size_t n,
+               std::vector<std::uint8_t> &out,
+               std::size_t max_v1_bytes)
+{
+    ByteCursor c(v2, n);
+    std::uint64_t v1_len = 0;
+    if (!c.getVarint(v1_len) || v1_len > max_v1_bytes)
+        return false;
+
+    // The column section is the v1 bytes plus one length varint per op
+    // plus framing; 2x + slack is a generous structural ceiling that
+    // still stops a hostile stream from forcing a huge allocation.
+    std::vector<std::uint8_t> section;
+    if (!lzDecompress(c.pos, c.remaining(), section,
+                      2 * static_cast<std::size_t>(v1_len) + 1024))
+        return false;
+
+    ByteCursor s(section.data(), section.size());
+    std::uint64_t op_count = 0;
+    if (!s.getVarint(op_count) || op_count > v1_len)
+        return false;
+    ByteCursor col[kColumnCount];
+    for (auto &cc : col) {
+        std::uint64_t len = 0;
+        if (!s.getVarint(len) || len > s.remaining())
+            return false;
+        cc = ByteCursor(s.pos, static_cast<std::size_t>(len));
+        s.pos += len;
+    }
+    if (!s.atEnd())
+        return false;
+
+    out.clear();
+    out.reserve(v1_len);
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+        std::uint8_t opcode = 0;
+        if (!col[0].getByte(opcode) || opcode > kMaxOpCode)
+            return false;
+        out.push_back(opcode);
+        if (!copyVarint(col[1], out) || !copyVarint(col[2], out) ||
+            !copyVarint(col[3], out))
+            return false;
+        std::uint64_t body_len = 0;
+        if (!col[4].getVarint(body_len) ||
+            body_len > col[5].remaining() ||
+            out.size() + body_len > v1_len)
+            return false;
+        out.insert(out.end(), col[5].pos, col[5].pos + body_len);
+        col[5].pos += body_len;
+    }
+    for (const auto &cc : col)
+        if (!cc.atEnd())
+            return false; // leftover column bytes: corrupt framing
+    return out.size() == v1_len;
+}
+
+} // namespace paralog::trace

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Regenerate the committed trace corpus and its paralog-dump goldens.
+#
+#   tests/corpus/generate.sh [BUILD_DIR]        (default: ./build)
+#
+# The corpus pins the on-disk trace formats across releases: every
+# lifeguard x {SC, TSO}, recorded in both the v1 and v2 containers, at
+# a small fixed scale. Recordings are byte-deterministic for a given
+# spec, so regenerating on any machine reproduces the same files —
+# test_corpus replays each one against its recorded footer and diffs
+# paralog-dump output against the goldens.
+#
+# Only rerun this after a DELIBERATE, documented format change (see
+# README.md in this directory), and commit the resulting diff in the
+# same change that motivates it.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+CORPUS_DIR="$(cd "$(dirname "$0")" && pwd)"
+PARALOG="$BUILD_DIR/paralog"
+DUMP="$BUILD_DIR/paralog-dump"
+
+[ -x "$PARALOG" ] || { echo "error: $PARALOG not built" >&2; exit 1; }
+[ -x "$DUMP" ] || { echo "error: $DUMP not built" >&2; exit 1; }
+
+mkdir -p "$CORPUS_DIR/golden"
+
+for lg in addrcheck taintcheck memcheck lockset; do
+    for mm in sc tso; do
+        for fmt in v1 v2; do
+            stem="${lg}_${mm}_${fmt}"
+            out="$CORPUS_DIR/$stem.trace"
+            "$PARALOG" --workload=lu --lifeguard="$lg" --mode=parallel \
+                --cores=2 --scale=300 --seed=1 --memory-model="$mm" \
+                --trace-format="$fmt" --record="$out" > /dev/null
+            "$DUMP" --ops=3 "$out" > "$CORPUS_DIR/golden/$stem.dump"
+            echo "  $stem.trace ($(wc -c < "$out") bytes)"
+        done
+    done
+done
+echo "corpus regenerated under $CORPUS_DIR"

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The cross-version trace-corpus regression gate. `tests/corpus/` holds
+ * committed mini recordings — every lifeguard x {SC, TSO}, in both the
+ * v1 and v2 containers — made by `tests/corpus/generate.sh`. This suite
+ * replays each one against the footer it was recorded with: any change
+ * to the trace formats, the record codec, delivery ordering, or the
+ * lifeguards that would break replay of *existing* recordings fails
+ * here, before it ships. It also pins `paralog-dump`'s output against
+ * committed goldens (PARALOG_DUMP points at the built inspector).
+ *
+ * CMake sets PARALOG_CORPUS to the committed corpus directory. A
+ * missing corpus file is a hard failure, not a skip — the gate only
+ * works if the corpus stays in the tree.
+ *
+ * Re-baselining (after a deliberate, documented format change) is
+ * `tests/corpus/generate.sh <build-dir>`; see tests/corpus/README.md
+ * for the policy.
+ */
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replay.hpp"
+#include "harness/paralog_test.hpp"
+#include "trace/trace_reader.hpp"
+
+namespace paralog {
+namespace {
+
+struct CorpusEntry
+{
+    LifeguardKind lifeguard;
+    MemoryModel memoryModel;
+    std::uint32_t format; // 1 or 2
+
+    std::string
+    stem() const
+    {
+        std::string lg;
+        switch (lifeguard) {
+          case LifeguardKind::kAddrCheck:  lg = "addrcheck"; break;
+          case LifeguardKind::kTaintCheck: lg = "taintcheck"; break;
+          case LifeguardKind::kMemCheck:   lg = "memcheck"; break;
+          case LifeguardKind::kLockSet:    lg = "lockset"; break;
+        }
+        return lg +
+               (memoryModel == MemoryModel::kSC ? "_sc" : "_tso") +
+               "_v" + std::to_string(format);
+    }
+};
+
+std::vector<CorpusEntry>
+allEntries()
+{
+    std::vector<CorpusEntry> entries;
+    for (LifeguardKind lg :
+         {LifeguardKind::kAddrCheck, LifeguardKind::kTaintCheck,
+          LifeguardKind::kMemCheck, LifeguardKind::kLockSet}) {
+        for (MemoryModel mm : {MemoryModel::kSC, MemoryModel::kTSO}) {
+            for (std::uint32_t fmt : {1u, 2u})
+                entries.push_back(CorpusEntry{lg, mm, fmt});
+        }
+    }
+    return entries;
+}
+
+std::string
+corpusDir()
+{
+    const char *dir = std::getenv("PARALOG_CORPUS");
+    return dir ? dir : "";
+}
+
+std::string
+slurpText(const std::string &path)
+{
+    std::string text;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+/** Scoped panic-throw so a replay divergence fails the test instead of
+ *  aborting the whole suite. */
+class PanicThrowScope
+{
+  public:
+    PanicThrowScope() : prev_(setPanicThrows(true)) {}
+    ~PanicThrowScope() { setPanicThrows(prev_); }
+
+  private:
+    bool prev_;
+};
+
+class CorpusGate : public test::QuietTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (corpusDir().empty())
+            GTEST_SKIP() << "PARALOG_CORPUS not set (run under CTest)";
+    }
+
+    std::string
+    tracePath(const CorpusEntry &e) const
+    {
+        return corpusDir() + "/" + e.stem() + ".trace";
+    }
+
+    /** Replay @p path under its recorded lifeguard. The serial engine
+     *  self-checks every stat against the footer (panics — here,
+     *  throws — on divergence). */
+    RunResult
+    replay(const std::string &path, std::uint32_t lg_threads = 0,
+           std::uint32_t decode_jobs = 1)
+    {
+        ReplayConfig cfg;
+        cfg.path = path;
+        cfg.lgThreads = lg_threads;
+        cfg.decodeJobs = decode_jobs;
+        ReplayPlatform rp(std::move(cfg));
+        return rp.run();
+    }
+};
+
+TEST_F(CorpusGate, CorpusIsCompleteAndWellFormed)
+{
+    for (const CorpusEntry &e : allEntries()) {
+        std::string path = tracePath(e);
+        struct stat st;
+        ASSERT_EQ(::stat(path.c_str(), &st), 0)
+            << path << " is missing — the corpus must stay committed "
+            << "(tests/corpus/generate.sh regenerates it)";
+        trace::TraceReader reader(path);
+        ASSERT_TRUE(reader.ok()) << path << ": " << reader.error();
+        EXPECT_EQ(reader.formatVersion(), e.format) << path;
+        EXPECT_EQ(reader.config().lifeguard, e.lifeguard) << path;
+        EXPECT_EQ(reader.config().memoryModel, e.memoryModel) << path;
+        EXPECT_EQ(reader.config().mode, MonitorMode::kParallel) << path;
+        EXPECT_TRUE(reader.footer().hasViolationFingerprint) << path;
+    }
+}
+
+TEST_F(CorpusGate, SerialReplayMatchesEveryRecordedFooter)
+{
+    PanicThrowScope throws;
+    for (const CorpusEntry &e : allEntries()) {
+        std::string path = tracePath(e);
+        trace::TraceReader reader(path);
+        ASSERT_TRUE(reader.ok()) << path << ": " << reader.error();
+        const trace::TraceFooter footer = reader.footer();
+
+        RunResult result;
+        try {
+            result = replay(path);
+        } catch (const std::exception &ex) {
+            FAIL() << path << " diverged from its recorded footer: "
+                   << ex.what();
+        }
+        EXPECT_EQ(result.shadowFingerprint, footer.shadowFingerprint)
+            << path;
+        EXPECT_EQ(result.violationCount, footer.violations) << path;
+        EXPECT_EQ(result.violationFingerprint,
+                  footer.violationFingerprint)
+            << path;
+        EXPECT_EQ(result.totalCycles, footer.totalCycles) << path;
+    }
+}
+
+TEST_F(CorpusGate, V1AndV2PairsReplayIdentically)
+{
+    PanicThrowScope throws;
+    for (const CorpusEntry &e : allEntries()) {
+        if (e.format != 1)
+            continue;
+        CorpusEntry twin = e;
+        twin.format = 2;
+        RunResult from1, from2;
+        try {
+            from1 = replay(tracePath(e));
+            from2 = replay(tracePath(twin));
+        } catch (const std::exception &ex) {
+            FAIL() << e.stem() << "/" << twin.stem() << ": "
+                   << ex.what();
+        }
+        EXPECT_EQ(from1.totalCycles, from2.totalCycles) << e.stem();
+        EXPECT_EQ(from1.shadowFingerprint, from2.shadowFingerprint)
+            << e.stem();
+        EXPECT_EQ(from1.violationFingerprint, from2.violationFingerprint)
+            << e.stem();
+        EXPECT_EQ(from1.violationCount, from2.violationCount)
+            << e.stem();
+        EXPECT_EQ(from1.retiredTotal(), from2.retiredTotal())
+            << e.stem();
+    }
+}
+
+TEST_F(CorpusGate, ConcurrentReplayAndParallelDecodeAgree)
+{
+    // The host-parallel engine (lg-threads=2) plus the v2 reader's
+    // eager parallel chunk decode, over committed recordings — the
+    // combination the tsan CI label exists for.
+    PanicThrowScope throws;
+    for (const CorpusEntry &e : allEntries()) {
+        if (e.format != 2)
+            continue;
+        std::string path = tracePath(e);
+        trace::TraceReader reader(path);
+        ASSERT_TRUE(reader.ok()) << path << ": " << reader.error();
+        const trace::TraceFooter footer = reader.footer();
+
+        RunResult result;
+        try {
+            result = replay(path, /*lg_threads=*/2, /*decode_jobs=*/3);
+        } catch (const std::exception &ex) {
+            FAIL() << path << ": " << ex.what();
+        }
+        EXPECT_EQ(result.shadowFingerprint, footer.shadowFingerprint)
+            << path;
+        EXPECT_EQ(result.violationFingerprint,
+                  footer.violationFingerprint)
+            << path;
+    }
+}
+
+// --------------------------------------------- paralog-dump goldens
+
+class DumpGoldens : public test::QuietTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (corpusDir().empty() || !std::getenv("PARALOG_DUMP"))
+            GTEST_SKIP()
+                << "PARALOG_CORPUS/PARALOG_DUMP not set (run under "
+                   "CTest)";
+    }
+
+    /** Run the built inspector; returns its exit code, fills @p out. */
+    int
+    runDump(const std::string &flags_and_path, std::string &out)
+    {
+        std::string cmd = "'" + std::string(std::getenv("PARALOG_DUMP")) +
+                          "' " + flags_and_path + " 2>&1";
+        FILE *pipe = popen(cmd.c_str(), "r");
+        if (!pipe) {
+            ADD_FAILURE() << "popen failed for: " << cmd;
+            return -1;
+        }
+        out.clear();
+        char buf[4096];
+        std::size_t n;
+        while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+            out.append(buf, n);
+        int status = pclose(pipe);
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+};
+
+TEST_F(DumpGoldens, EveryCorpusFileMatchesItsGolden)
+{
+    for (const CorpusEntry &e : allEntries()) {
+        std::string trace = corpusDir() + "/" + e.stem() + ".trace";
+        std::string golden_path =
+            corpusDir() + "/golden/" + e.stem() + ".dump";
+        std::string golden = slurpText(golden_path);
+        ASSERT_FALSE(golden.empty())
+            << golden_path << " is missing — regenerate with "
+            << "tests/corpus/generate.sh";
+
+        std::string out;
+        int rc = runDump("--ops=3 '" + trace + "'", out);
+        EXPECT_EQ(rc, 0) << out;
+        EXPECT_EQ(out, golden)
+            << e.stem() << ": paralog-dump output drifted from its "
+            << "golden — if the change is deliberate, regenerate "
+            << "tests/corpus/";
+    }
+}
+
+TEST_F(DumpGoldens, HeapReadPathPrintsTheSameDump)
+{
+    // --no-mmap exercises the reader's heap fallback end to end; the
+    // bytes printed must not depend on how the file was loaded.
+    CorpusEntry e{LifeguardKind::kTaintCheck, MemoryModel::kTSO, 2};
+    std::string trace = corpusDir() + "/" + e.stem() + ".trace";
+    std::string a, b;
+    EXPECT_EQ(runDump("--ops=3 '" + trace + "'", a), 0);
+    EXPECT_EQ(runDump("--no-mmap --ops=3 '" + trace + "'", b), 0);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(DumpGoldens, RejectsGarbageWithAnError)
+{
+    std::string bad = ::testing::TempDir() + "paralog_dump_garbage_" +
+                      std::to_string(::getpid()) + ".trace";
+    std::FILE *f = std::fopen(bad.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 200; ++i)
+        std::fputc(0x5A, f);
+    std::fclose(f);
+    std::string out;
+    EXPECT_EQ(runDump("'" + bad + "'", out), 1);
+    EXPECT_NE(out.find("bad magic"), std::string::npos) << out;
+    std::remove(bad.c_str());
+}
+
+} // namespace
+} // namespace paralog

@@ -348,6 +348,53 @@ TEST_F(TraceFormatTest, MidChunkEofIsDiagnosedNotDecoded)
         << "a failed reader must not hand records to the decoder";
 }
 
+TEST_F(TraceFormatTest, RejectsParallelFooterWithoutLifeguardStats)
+{
+    // The header's config fingerprint does not cover the footer, so a
+    // footer whose per-core lifeguard list disagrees with the header's
+    // thread count — the empty list being the degenerate case — can sit
+    // behind an intact header. The reader must reject it at open, not
+    // let replay's footer self-check trip an assertion later.
+    TempTrace src("nolg_src"), bad("nolg");
+    RunSpec spec = makeSpec(WorkloadKind::kLu, LifeguardKind::kTaintCheck,
+                            2, MemoryModel::kSC, 300, src.path());
+    recordExperiment(spec);
+
+    trace::TraceReader reader(src.path());
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    ASSERT_EQ(reader.config().mode, MonitorMode::kParallel);
+    ASSERT_EQ(reader.footer().lifeguard.size(), 2u);
+
+    // Rewrite the recording with the lifeguard stats stripped — the
+    // same journal bytes behind a tampered footer.
+    trace::TraceWriter writer(bad.path(), reader.config());
+    writer.opCount = reader.footer().opCount;
+    writer.recordCount = reader.footer().recordCount;
+    writer.setTotals(reader.totalOps(), reader.totalRecords());
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < reader.chunkCount(); ++i) {
+        std::uint32_t kind = reader.chunkKind(i);
+        if (kind != trace::kChunkOps && kind != trace::kChunkMetaLatency)
+            continue;
+        ASSERT_TRUE(reader.chunkPayload(i, payload)) << reader.error();
+        if (kind == trace::kChunkOps)
+            writer.writeOpsChunk(reader.chunkTid(i), payload);
+        else
+            writer.writeLatencyChunk(reader.chunkTid(i), payload);
+    }
+    trace::TraceFooter tampered = reader.footer();
+    tampered.lifeguard.clear();
+    ASSERT_TRUE(writer.finalize(tampered)) << writer.error();
+
+    trace::TraceReader check(bad.path());
+    EXPECT_FALSE(check.ok())
+        << "an empty lifeguard list in a 2-core parallel recording "
+        << "must not be accepted";
+    EXPECT_NE(check.error().find("lifeguard stats for 0 cores"),
+              std::string::npos)
+        << check.error();
+}
+
 // -------------------------------------------- replay determinism ----
 
 struct ReplayCell

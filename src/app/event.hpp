@@ -94,6 +94,16 @@ struct EventRecord
     /// Bytes charged against the log buffer at append time (annotations
     /// added later — TSO arcs, versions — must not skew accounting).
     std::uint32_t chargedBytes = 0;
+    /// Simulated cycle at which the application core appended this
+    /// record (equal to the retiring access's AccessTag::retireCycle).
+    /// Transient capture-side state for the live-parallel publication
+    /// seal (CaptureUnit::publishSealed): a record may leave the
+    /// producer's log buffer only once no buffered TSO store can still
+    /// target it with a consume-version annotation. Never serialized;
+    /// CA-arrival and produce-version insertions keep 0 (they are never
+    /// the target of a version request — those name a memory access's
+    /// AccessTag rid, whose own record carries the real append cycle).
+    Cycle appendCycle = 0;
 
     bool isMemAccess() const
     {
@@ -133,6 +143,7 @@ struct EventRecord
         consumesVersion = false;
         wrapper = false;
         chargedBytes = 0;
+        appendCycle = 0;
     }
 };
 

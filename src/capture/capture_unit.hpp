@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 
 #include "app/event.hpp"
 #include "capture/compressor.hpp"
@@ -157,6 +158,55 @@ class CaptureUnit
     SpscRing<EventRecord> *ring() { return ring_; }
 
     /**
+     * Live-parallel online seal: move every sealed head record into the
+     * ring and advance the ceiling bound. A record is sealed once (a)
+     * it is visible under the TSO visibility limit (all annotations —
+     * drain-time arcs, consume versions, produce insertions — land on
+     * records the limit still hides) and (b) its append cycle is at or
+     * below @p watermark, the minimum retire cycle over all buffered
+     * TSO stores: MemorySystem::addArcFrom raises a version request
+     * only against an access that retired strictly *after* the draining
+     * store, so no future drain can target a record published under
+     * this rule. Under SC (or with empty store buffers) the watermark
+     * is Cycle max and the rule degenerates to the visibility limit.
+     *
+     * Records sealed while the ring is full spill to an unbounded
+     * producer-side overflow queue (FIFO with the ring) so the seal
+     * never blocks the application simulation. Producer-thread-only.
+     */
+    void publishSealed(Cycle watermark);
+
+    /** True once every captured record has been handed to the ring
+     *  (log buffer and overflow both empty). Producer-thread-only. */
+    bool
+    liveAllPublished() const
+    {
+        return buf_.empty() && liveOverflow_.empty();
+    }
+
+    /** Sealed-but-unpublished records waiting for ring space
+     *  (producer-side; watchdog signature input). */
+    std::size_t overflowSize() const { return liveOverflow_.size(); }
+
+    /** Current publication frontier (acquire; either side may read). */
+    RecordId
+    ceilingBound() const
+    {
+        return ceilingBound_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Producer-side "stream drained" test for syscall delayed
+     * advertising: no *visible* record is still waiting in the log
+     * buffer. In serial mode this equals consumerEmpty(); in ring mode
+     * it deliberately ignores the ring and overflow (records there are
+     * sealed — the syscall's consumer-side ordering is enforced by the
+     * CA arc chain, not by producer-side draining) and never touches
+     * consumer-face state, so the producer thread may call it freely.
+     */
+    bool drainedForSyscall() const { return buf_.peek(visLimit_) == nullptr; }
+
+    /**
      * Ring-mode progress bound: a consumer that has drained the ring
      * may publish progress up to this value. The producer advances it
      * (release) only after publishing every ring record it covers, and
@@ -232,6 +282,10 @@ class CaptureUnit
     /// Ring-mode progress bound, producer-published (release) and read
     /// by progressCeiling() (acquire) before the ring head.
     std::atomic<RecordId> ceilingBound_{0};
+    /// Live-parallel: sealed records that found the ring full. Drained
+    /// ahead of the log buffer on the next publishSealed so the ring
+    /// stays FIFO by rid. Producer-thread-only.
+    std::deque<EventRecord> liveOverflow_;
     /// Arcs that survived reduction but whose record was filtered out;
     /// re-attached to the next captured record (conservative ordering).
     std::vector<DepArc> pendingArcsCarry_;

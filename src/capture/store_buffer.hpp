@@ -85,6 +85,24 @@ class TsoDataPath : public DataPath
     /** Buffered stores for a core (tests). */
     std::size_t depth(CoreId core) const { return buffers_[core].size(); }
 
+    /**
+     * Retire cycle of the oldest buffered store for @p core (Cycle max
+     * when the buffer is empty). Stores retire in program order, so the
+     * front entry carries the buffer's minimum. The global minimum over
+     * all cores is the live-parallel publication watermark: a drain can
+     * raise a consume-version annotation only against a load that
+     * retired strictly *after* the draining store
+     * (MemorySystem::addArcFrom), so any record appended at or before
+     * every buffered store's retire cycle can never be targeted again
+     * and is safe to hand to its consumer (CaptureUnit::publishSealed).
+     */
+    Cycle
+    oldestStoreRetire(CoreId core) const
+    {
+        const auto &buf = buffers_[core];
+        return buf.empty() ? ~Cycle{0} : buf.front().tag.retireCycle;
+    }
+
     StatSet stats{"tso"};
 
   private:

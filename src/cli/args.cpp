@@ -304,11 +304,12 @@ usageText()
        << "                 listed lifeguard; replaying the recorded\n"
        << "                 lifeguard is self-checked bit-identical\n"
        << "                 against the recorded results\n"
-       << "  --lg-threads=N replay the lifeguard cores on N host threads\n"
-       << "                 (0/1 = serial engine). N >= 2 selects the\n"
-       << "                 concurrent engine: analysis results stay\n"
-       << "                 identical to serial, simulated timing is\n"
-       << "                 relaxed. Replay-only; rejected with --record\n"
+       << "  --lg-threads=N run the lifeguard cores on N host threads,\n"
+       << "                 live or replay (0/1 = serial engine). N >= 2\n"
+       << "                 selects the concurrent engine: analysis\n"
+       << "                 fingerprints stay identical to serial,\n"
+       << "                 simulated timing is relaxed. Composes with\n"
+       << "                 --record (the journal replays result-exact)\n"
        << "  --decode-jobs=N\n"
        << "                 pre-decode a v2 recording's op chunks on N\n"
        << "                 worker threads at replay open (default 1 =\n"
@@ -755,18 +756,18 @@ parseArgs(const std::vector<std::string_view> &args)
                         "no --repeat");
     }
 
-    // --lg-threads selects the replay engine's host threading. Recording
-    // requires the serial engine (the journal's lgStep stamps describe
-    // the serial scheduler), and the live path has no concurrent engine
-    // yet — so the flag is replay-only, rejected even with a 0/1 value
-    // rather than silently normalized.
-    if (o.lgThreadsSet && !o.recordPath.empty())
-        return fail("--record requires the serial engine and cannot be "
-                    "combined with --lg-threads (record first, then "
-                    "replay with --replay --lg-threads=N)");
-    if (o.lgThreadsSet && o.replayPath.empty())
-        return fail("--lg-threads applies to replay only (combine it "
-                    "with --replay=FILE)");
+    // --lg-threads selects the lifeguard cores' host threading, live or
+    // replay; 0/1 is the serial engine everywhere and --record composes
+    // with either (a live-parallel recording carries a header bit and
+    // replays result-exact through the concurrent replay engine). The
+    // only hard conflict is disabling ConflictAlerts: the concurrent
+    // engines rely on their two-sided barriers for cross-stream
+    // ordering, with no serial scheduler to fall back on.
+    if (o.lgThreadsSet && o.lgThreads >= 2 && o.replayPath.empty() &&
+        !o.conflictAlerts)
+        return fail("--lg-threads=N (N >= 2) relies on the ConflictAlert "
+                    "barriers and cannot be combined with "
+                    "--conflict-alerts=off");
 
     // --decode-jobs tunes the replay reader's eager v2-chunk decode; it
     // never changes results, but accepting it elsewhere would imply it

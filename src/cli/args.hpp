@@ -71,11 +71,14 @@ struct CliOptions
     std::uint32_t shadowShards = 0; ///< 0 = auto (per lifeguard core)
     std::uint64_t maxCycles = 0;    ///< 0 = platform default watchdog
 
-    /// --lg-threads=N: host threads for the lifeguard cores of a
-    /// --replay run (0/1 = serial engine; >= 2 = concurrent engine).
-    /// Replay-only: live runs and --record reject it.
+    /// --lg-threads=N: host threads for the lifeguard cores, live or
+    /// replay (0/1 = serial engine; >= 2 = concurrent engine). Live
+    /// concurrent runs keep analysis fingerprints identical to serial
+    /// but relax timing columns; composed with --record, the journal
+    /// carries a live-parallel header bit and replays result-exact
+    /// through the concurrent replay engine.
     std::uint32_t lgThreads = 0;
-    bool lgThreadsSet = false; ///< flag given (drives --record conflict)
+    bool lgThreadsSet = false; ///< flag given (drives conflict checks)
 
     std::uint32_t jobs = 1;   ///< host threads running matrix cells
     std::uint32_t repeat = 1; ///< repeats per cell, aggregated

@@ -72,6 +72,12 @@ AppCore::step(Cycle now)
 
     if (monitoringEnabled_ && capture_) {
         capture_->setRetired(tc_->retired);
+        // Live-parallel publication seal input: the record's append
+        // cycle equals the retiring access's AccessTag::retireCycle
+        // (Interpreter::tagFor stamps the same `now`), which is what
+        // MemorySystem::addArcFrom compares store-buffer entries
+        // against when it raises a version request.
+        out.event.record.appendCycle = now;
         bool appended = capture_->append(out.event);
         if (appended && out.event.caBroadcast && caBroadcast_) {
             latency += caBroadcast_(tc_->tid(), rid, out.event.caKind,

@@ -52,6 +52,7 @@ makeConfig(WorkloadKind workload, LifeguardKind lifeguard, MonitorMode mode,
     cfg.lifeguard = lifeguard;
     cfg.workload = workload;
     cfg.scale = opt.scale;
+    cfg.lgThreads = opt.lgThreads;
     if (opt.maxCycles > 0)
         cfg.maxCycles = opt.maxCycles;
     // Host-side delivery batch override (wall-clock A/B experiments;
@@ -91,7 +92,15 @@ recordExperiment(const RunSpec &spec)
     // simulated-result-invariant (the host wall-clock knob), but its
     // batch boundaries depend on the application-side horizon; batch
     // size 1 removes that dependence. Replay forces the same value.
-    cfg.sim.deliverBatchMax = 1;
+    //
+    // Live-parallel recordings carry no lifeguard-step stamps at all
+    // (the consumers run on host threads the journal never sees), so
+    // the pin is meaningless there: replay re-monitors them through
+    // the protocol-enforced engine, result-exact rather than
+    // schedule-exact, and may batch freely.
+    const bool liveParallel = cfg.lgThreads >= 2;
+    if (!liveParallel)
+        cfg.sim.deliverBatchMax = 1;
 
     trace::TraceConfig tc;
     tc.workload = spec.workload;
@@ -108,6 +117,7 @@ recordExperiment(const RunSpec &spec)
     tc.scale = spec.opt.scale;
     tc.seed = cfg.sim.seed;
     tc.logBufferBytes = cfg.sim.logBufferBytes;
+    tc.liveParallel = liveParallel;
 
     trace::TraceRecorder recorder(spec.recordPath, tc,
                                   spec.recordFormat);

@@ -40,8 +40,12 @@ struct ExperimentOptions
     std::uint32_t shadowShards = 0;
     /// Simulated-time watchdog override (0 = PlatformConfig default).
     std::uint64_t maxCycles = 0;
-    /// Host lifeguard threads for replay runs (ReplayConfig::lgThreads):
-    /// 0/1 = serial engine, >= 2 = concurrent engine. Ignored live.
+    /// Host lifeguard threads (ReplayConfig::lgThreads for replay
+    /// runs, PlatformConfig::lgThreads for live ones): 0/1 = serial
+    /// engine, >= 2 = concurrent engine. Live concurrent runs keep
+    /// analysis fingerprints identical to serial but relax timing
+    /// columns; composed with recording, the journal replays
+    /// result-exact (see PlatformConfig::lgThreads).
     std::uint32_t lgThreads = 0;
     /// v2-chunk decode workers for replay runs
     /// (ReplayConfig::decodeJobs). Ignored live and for v1 traces.

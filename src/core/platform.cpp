@@ -47,6 +47,16 @@ Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
                          : makeLifeguard(cfg_.lifeguard, k,
                                          cfg_.sim.effectiveShadowShards(k));
         policy_ = lifeguard_->policy();
+        if (concurrentLive()) {
+            // The host-parallel live engine relies on the CA barriers
+            // to order cross-stream delivery (it cannot fall back to
+            // the serial scheduler's interleaving), and on sharded
+            // shadow-memory locking for cross-thread metadata.
+            PARALOG_ASSERT(cfg_.sim.conflictAlerts,
+                           "live --lg-threads requires ConflictAlert "
+                           "broadcasts enabled");
+            lifeguard_->shadow().setConcurrent(true);
+        }
     }
 
     if (cfg_.sim.memoryModel == MemoryModel::kTSO) {
@@ -113,10 +123,19 @@ Platform::Platform(PlatformConfig cfg) : cfg_(std::move(cfg))
 
     if (monitoring) {
         for (ThreadId t = 0; t < k; ++t) {
+            // The concurrent live engine relaxes lifeguard timing: the
+            // timed memory hierarchy is single-threaded simulation
+            // state, so host-parallel lifeguard cores run with untimed
+            // metadata accesses (exactly like concurrent replay).
             lgCores_.push_back(std::make_unique<LifeguardCore>(
                 k + t, t, cfg_.sim, *captures_[t], *progress_, *caMgr_,
-                *lifeguard_, mem_.get(), versions_, 1));
-            if (trace::TraceRecorder *rec = cfg_.recorder) {
+                *lifeguard_, concurrentLive() ? nullptr : mem_.get(),
+                versions_, 1));
+            if (trace::TraceRecorder *rec = cfg_.recorder;
+                rec && !concurrentLive()) {
+                // The latency sideband describes the serial schedule's
+                // metadata access sequence; live-parallel recordings
+                // carry none (replay re-monitors them result-only).
                 lgCores_.back()->ctx().setMetaLatencyTee(
                     [rec, t](Cycle latency) {
                         rec->onMetaLatency(t, latency);
@@ -163,9 +182,20 @@ Platform::caBroadcast(ThreadId tid, RecordId rid, HighLevelKind kind,
     if (EventRecord *rec = captures_[tid]->buffer().findByRid(rid))
         rec->caSeq = seq;
     // Journal the barrier bookkeeping (the arrival records themselves
-    // were journalled by the appendCa calls above).
-    if (cfg_.recorder)
-        cfg_.recorder->onCaBroadcast(*caMgr_->find(seq));
+    // were journalled by the appendCa calls above). Copy-out lookup:
+    // in concurrent live mode consumer threads retire barrier entries
+    // (noteWaiterPassed/noteIssuerDelivered) concurrently with this
+    // producer-side hook, so a find() pointer could be invalidated
+    // mid-read.
+    if (cfg_.recorder) {
+        CaBroadcast b;
+        // Always live here: the CA records that let consumers retire
+        // the entry are still unpublished in the issuing step.
+        PARALOG_ASSERT(caMgr_->lookup(seq, b),
+                       "CA broadcast %llu retired before journaling",
+                       static_cast<unsigned long long>(seq));
+        cfg_.recorder->onCaBroadcast(b);
+    }
     return lat;
 }
 
@@ -174,7 +204,11 @@ Platform::lifeguardDrained(ThreadId tid)
 {
     if (cfg_.sim.mode == MonitorMode::kNoMonitoring)
         return true;
-    return captures_[tid]->consumerEmpty();
+    // Producer-side drain test. Identical to consumerEmpty() in serial
+    // mode (no ring attached), but safe for the concurrent live engine,
+    // where this hook runs on the producer thread and must not touch
+    // the ring's consumer face.
+    return captures_[tid]->drainedForSyscall();
 }
 
 void
@@ -287,6 +321,36 @@ Platform::allDone() const
 
 RunResult
 Platform::run()
+{
+    return concurrentLive() ? runConcurrentLive() : runSerial();
+}
+
+RunResult
+Platform::collectResult(Cycle total_cycles)
+{
+    RunResult result;
+    result.totalCycles = total_cycles;
+    for (auto &c : appCores_) {
+        c->stats.programInsts = c->tc().programInsts;
+        result.app.push_back(c->stats);
+    }
+    for (auto &c : lgCores_) {
+        result.lifeguard.push_back(c->stats);
+        result.versionStallRetries +=
+            c->enforcer().stats.get("version_stalls");
+    }
+    result.versionsProduced = versions_.stats.counter("produced").value();
+    result.versionsConsumed = versions_.stats.counter("consumed").value();
+    if (lifeguard_) {
+        result.violationCount = lifeguard_->violations.count();
+        result.violationFingerprint =
+            lifeguard_->violations.setFingerprint();
+    }
+    return result;
+}
+
+RunResult
+Platform::runSerial()
 {
     Cycle now = 0;
     Cycle last_now = 0;
@@ -437,25 +501,7 @@ Platform::run()
         }
     }
 
-    RunResult result;
-    result.totalCycles = now;
-    for (auto &c : appCores_) {
-        c->stats.programInsts = c->tc().programInsts;
-        result.app.push_back(c->stats);
-    }
-    for (auto &c : lgCores_) {
-        result.lifeguard.push_back(c->stats);
-        result.versionStallRetries +=
-            c->enforcer().stats.get("version_stalls");
-    }
-    result.versionsProduced = produced_ctr.value();
-    result.versionsConsumed = consumed_ctr.value();
-    if (lifeguard_) {
-        result.violationCount = lifeguard_->violations.count();
-        result.violationFingerprint =
-            lifeguard_->violations.setFingerprint();
-    }
-    return result;
+    return collectResult(now);
 }
 
 } // namespace paralog

@@ -66,6 +66,20 @@ struct PlatformConfig
     /// recorder outlives the platform (the caller finalizes it with
     /// the run's results and shadow fingerprint).
     trace::TraceRecorder *recorder = nullptr;
+    /**
+     * Host lifeguard threads for *live* runs. 0 and 1 select the serial
+     * scheduler (bit-identical, the reference). >= 2 selects the
+     * concurrent engine (core/platform_concurrent.cpp): the application
+     * cores and the whole capture pipeline stay on the calling thread
+     * while min(lgThreads, appThreads) consumer threads run the
+     * lifeguard cores round-robin behind lock-free SPSC rings, gated by
+     * the online publication seal (CaptureUnit::publishSealed).
+     * Analysis results (shadow fingerprint, violation set) stay
+     * identical to serial; simulated timing and delivery-schedule
+     * columns are relaxed (no global clock across host threads).
+     * Requires parallel monitoring mode with ConflictAlerts enabled.
+     */
+    std::uint32_t lgThreads = 0;
 };
 
 /**
@@ -117,6 +131,14 @@ class Platform : public PlatformHooks, public TsoHooks
     /** Run to completion; returns the collected statistics. */
     RunResult run();
 
+    /** True when run() will use the host-parallel live engine. */
+    bool
+    concurrentLive() const
+    {
+        return cfg_.lgThreads >= 2 &&
+               cfg_.sim.mode == MonitorMode::kParallel;
+    }
+
     // --- PlatformHooks ---
     bool lifeguardDrained(ThreadId tid) override;
 
@@ -145,6 +167,12 @@ class Platform : public PlatformHooks, public TsoHooks
                       const AddrRange &range);
     bool allDone() const;
     void dumpStuckState() const;
+    RunResult runSerial();
+    /// Implemented in core/platform_concurrent.cpp.
+    RunResult runConcurrentLive();
+    /// Shared result assembly (per-core stats, version counters,
+    /// violation fingerprint).
+    RunResult collectResult(Cycle total_cycles);
 
     PlatformConfig cfg_;
     LifeguardPolicy policy_;

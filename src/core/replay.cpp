@@ -109,18 +109,28 @@ ReplayPlatform::ReplayPlatform(ReplayConfig cfg)
                    "replay requires a parallel-monitoring recording");
 
     sim_ = tc.toSimConfig();
-    // Recordings use canonical single-pop delivery (see
-    // recordExperiment): the journal's lifeguard-step stamps only line
-    // up when replay steps the same way. The concurrent engine ignores
-    // the step stamps entirely (delivery order is protocol-enforced,
-    // not schedule-reproduced), so it may batch freely.
-    sim_.deliverBatchMax = concurrent() ? 16 : 1;
     if (cfg_.shadowShards != ReplayConfig::kKeepRecorded)
         sim_.shadowShards = cfg_.shadowShards;
     k_ = tc.appThreads;
     if (!cfg_.lifeguardOverride)
         lifeguardKind_ = tc.lifeguard;
     sameLifeguard_ = (lifeguardKind_ == tc.lifeguard);
+    liveParallelRec_ = tc.liveParallel;
+    // Live-parallel recordings carry no lifeguard-step stamps (the
+    // consumers ran on host threads the journal never saw), so the
+    // serial scheduler has no recorded interleaving to reproduce:
+    // same-lifeguard replays of them always go through the
+    // protocol-enforced concurrent engine (possibly with a single
+    // consumer thread). Cross-lifeguard replays of any recording stay
+    // on the serial engine (approximate, unverified).
+    concurrent_ = cfg_.lgThreads >= 2 ||
+                  (liveParallelRec_ && sameLifeguard_);
+    // Recordings use canonical single-pop delivery (see
+    // recordExperiment): the journal's lifeguard-step stamps only line
+    // up when replay steps the same way. The concurrent engine ignores
+    // the step stamps entirely (delivery order is protocol-enforced,
+    // not schedule-reproduced), so it may batch freely.
+    sim_.deliverBatchMax = concurrent() ? 16 : 1;
 
     if (concurrent()) {
         // Cross-lifeguard replays re-filter streams and use a fresh

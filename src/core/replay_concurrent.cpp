@@ -376,8 +376,10 @@ ReplayPlatform::runConcurrent()
     };
 
     // ---- consumers -----------------------------------------------------
-    const std::uint32_t nConsumers =
-        std::min<std::uint32_t>(cfg_.lgThreads, k_);
+    // At least one: live-parallel recordings select this engine even
+    // when no --lg-threads was requested (see ReplayPlatform ctor).
+    const std::uint32_t nConsumers = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(cfg_.lgThreads, k_));
 
     // Failure-containment test hook (fault point "lg.fail", legacy
     // PARALOG_FAIL_LG): panic on the consumer thread that owns the

@@ -91,6 +91,12 @@ inline constexpr std::uint8_t kCfgConflictAlerts = 1 << 0;
 inline constexpr std::uint8_t kCfgAccelIT = 1 << 1;
 inline constexpr std::uint8_t kCfgAccelIF = 1 << 2;
 inline constexpr std::uint8_t kCfgAccelMTLB = 1 << 3;
+/// Recorded by the host-parallel *live* engine (--lg-threads without
+/// --replay): journal ops carry no lifeguard-step stamps (lgStep is 0
+/// throughout) and there is no metadata-latency sideband, so replay
+/// re-monitors the streams result-exact rather than schedule-exact
+/// (core/replay.cpp relaxes timing columns against the footer).
+inline constexpr std::uint8_t kCfgLiveParallel = 1 << 4;
 
 /** Event-filter bits (header offset 30): which event classes the
  *  recorded lifeguard registered for. Replaying under a lifeguard that
@@ -113,6 +119,8 @@ struct TraceConfig
     bool accelIT = true;
     bool accelIF = true;
     bool accelMTLB = true;
+    /// Recorded by the live host-parallel engine (kCfgLiveParallel).
+    bool liveParallel = false;
     std::uint8_t filterBits = 0;
     std::uint32_t appThreads = 1;
     std::uint32_t shadowShards = 0;
@@ -308,6 +316,7 @@ parseTraceHeader(const std::uint8_t *h, ParsedHeader &out)
     out.cfg.accelIT = h[29] & kCfgAccelIT;
     out.cfg.accelIF = h[29] & kCfgAccelIF;
     out.cfg.accelMTLB = h[29] & kCfgAccelMTLB;
+    out.cfg.liveParallel = h[29] & kCfgLiveParallel;
     out.cfg.filterBits = h[30];
     out.cfg.appThreads = get32le(h + 32);
     out.cfg.shadowShards = get32le(h + 36);

@@ -70,7 +70,8 @@ TraceWriter::writeHeader()
     h[29] = (cfg_.conflictAlerts ? kCfgConflictAlerts : 0) |
             (cfg_.accelIT ? kCfgAccelIT : 0) |
             (cfg_.accelIF ? kCfgAccelIF : 0) |
-            (cfg_.accelMTLB ? kCfgAccelMTLB : 0);
+            (cfg_.accelMTLB ? kCfgAccelMTLB : 0) |
+            (cfg_.liveParallel ? kCfgLiveParallel : 0);
     h[30] = cfg_.filterBits;
     put32le(h + 32, cfg_.appThreads);
     put32le(h + 36, cfg_.shadowShards);

@@ -282,35 +282,46 @@ TEST(CliParse, ReplayTakesAxesFromTheRecording)
               ParseStatus::kError);
 }
 
-TEST(CliParse, LgThreadsIsReplayOnly)
+TEST(CliParse, LgThreadsAppliesLiveAndReplay)
 {
-    // --lg-threads selects the replay engine's host threading and flows
-    // through to the run specs.
+    // --lg-threads selects the host threading of the lifeguard cores,
+    // live or replay, and flows through to the run specs.
     ParseResult r = parse({"--replay=/tmp/x.trace", "--lg-threads=4"});
     ASSERT_EQ(r.status, ParseStatus::kOk);
     EXPECT_EQ(r.options.lgThreads, 4u);
     ASSERT_EQ(r.options.runSpecs().size(), 1u);
     EXPECT_EQ(r.options.runSpecs()[0].opt.lgThreads, 4u);
 
-    // 0/1 explicitly select the serial engine — still replay-only.
+    // 0/1 explicitly select the serial engine.
     EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=0"}).status,
               ParseStatus::kOk);
     EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=1"}).status,
               ParseStatus::kOk);
 
-    // Recording pins the serial engine: the combination is rejected
-    // outright (even with a 0/1 value), not silently normalized.
+    // Live runs use the live host-parallel engine.
+    ParseResult live = parse({"--lg-threads=2"});
+    ASSERT_EQ(live.status, ParseStatus::kOk);
+    ASSERT_EQ(live.options.runSpecs().size(), 1u);
+    EXPECT_EQ(live.options.runSpecs()[0].opt.lgThreads, 2u);
+
+    // --record composes: the journal carries the live-parallel header
+    // bit and replays result-exact through the concurrent engine.
     ParseResult rec =
         parse({"--record=/tmp/x.trace", "--lg-threads=2"});
-    EXPECT_EQ(rec.status, ParseStatus::kError);
-    EXPECT_NE(rec.error.find("--lg-threads"), std::string::npos);
+    ASSERT_EQ(rec.status, ParseStatus::kOk);
+    EXPECT_EQ(rec.options.runSpecs()[0].opt.lgThreads, 2u);
     EXPECT_EQ(parse({"--record=/tmp/x", "--lg-threads=0"}).status,
-              ParseStatus::kError);
+              ParseStatus::kOk);
 
-    // Live runs have no concurrent engine: replay-only.
-    ParseResult live = parse({"--lg-threads=2"});
-    EXPECT_EQ(live.status, ParseStatus::kError);
-    EXPECT_NE(live.error.find("--replay"), std::string::npos);
+    // The one hard conflict: the concurrent engines rely on the
+    // ConflictAlert barriers for cross-stream ordering.
+    ParseResult noca =
+        parse({"--lg-threads=2", "--conflict-alerts=off"});
+    EXPECT_EQ(noca.status, ParseStatus::kError);
+    EXPECT_NE(noca.error.find("--conflict-alerts"), std::string::npos);
+    EXPECT_EQ(
+        parse({"--lg-threads=1", "--conflict-alerts=off"}).status,
+        ParseStatus::kOk);
 
     // Value validation.
     EXPECT_EQ(parse({"--replay=/tmp/x", "--lg-threads=nope"}).status,
@@ -659,21 +670,33 @@ TEST_F(CliEndToEnd, InvalidComboExitsNonZeroWithUsage)
     EXPECT_NE(out.find("incompatible"), std::string::npos) << out;
 }
 
-TEST_F(CliEndToEnd, RecordRejectsLgThreads)
+TEST_F(CliEndToEnd, LiveLgThreadsRunsAndComposesWithRecord)
 {
-    // The flag-combination contract, end to end: --record pins the
-    // serial engine and must refuse --lg-threads with a clear error.
+    // The lifted flag contract, end to end: --lg-threads now drives the
+    // live host-parallel engine, and composes with --record — the
+    // recording replays result-exact (footer self-check, so a zero
+    // replay exit is the equivalence proof at this level).
+    std::string trace_path = ::testing::TempDir() +
+                             "paralog_cli_liverec_" +
+                             std::to_string(::getpid()) + ".trace";
     std::string out;
-    int rc = runCli("--record=/tmp/paralog_cli_never_written.trace "
-                    "--lg-threads=2",
+    int rc = runCli("--workload=lu --lifeguard=taintcheck "
+                    "--mode=parallel --cores=4 --scale=400 "
+                    "--lg-threads=2 --record=" +
+                        trace_path,
                     out);
-    EXPECT_EQ(rc, 2) << out;
-    EXPECT_NE(out.find("--lg-threads"), std::string::npos) << out;
+    EXPECT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("total cycles"), std::string::npos) << out;
 
-    // And --lg-threads without --replay is rejected too.
-    rc = runCli("--lg-threads=2", out);
+    rc = runCli("--replay=" + trace_path, out);
+    EXPECT_EQ(rc, 0) << out;
+    std::remove(trace_path.c_str());
+
+    // The one remaining hard conflict: the concurrent engines need the
+    // ConflictAlert barriers.
+    rc = runCli("--lg-threads=2 --conflict-alerts=off", out);
     EXPECT_EQ(rc, 2) << out;
-    EXPECT_NE(out.find("--replay"), std::string::npos) << out;
+    EXPECT_NE(out.find("--conflict-alerts"), std::string::npos) << out;
 }
 
 TEST_F(CliEndToEnd, ReplayWithLgThreadsRunsConcurrently)
